@@ -1,0 +1,68 @@
+"""Ablation: partition-tree mapping partitioning vs naive pairwise grouping.
+
+DESIGN.md calls out the partition tree (Algorithm 3) as a design choice worth
+ablating: the paper claims the tree makes the q-sharing grouping cheap.  The
+ablation partitions increasingly many mappings on the attributes of the
+default query with both implementations and compares their cost and output.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import ExperimentPoint, ExperimentSeries
+from repro.bench.reporting import render_experiment
+from repro.core.partition_tree import partition, partition_naive
+from repro.datagen.scenario import build_scenario
+from repro.workloads.queries import PAPER_QUERIES
+
+H_VALUES = (10, 20, 40, 60)
+SCALE = 0.02
+
+
+def _build_series():
+    scenario = build_scenario(target="Excel", h=max(H_VALUES), scale=SCALE, seed=7)
+    query = PAPER_QUERIES["Q4"].build(scenario.target_schema)
+    keys = query.partition_keys
+    series = ExperimentSeries(title="partitioning ablation", x_label="mappings")
+    for h in H_VALUES:
+        mappings = list(scenario.with_mappings(h).mappings)
+        for label, routine in (("partition-tree", partition), ("naive-pairwise", partition_naive)):
+            repeats = 50
+            started = time.perf_counter()
+            for _ in range(repeats):
+                groups = routine(keys, mappings)
+            elapsed = (time.perf_counter() - started) / repeats
+            series.add(
+                ExperimentPoint(
+                    method=label,
+                    x=h,
+                    seconds=elapsed,
+                    source_operators=0,
+                    source_queries=0,
+                    answers=len(groups),
+                )
+            )
+    return series
+
+
+def test_ablation_partition_tree(benchmark, report_writer):
+    series = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    text = render_experiment(
+        "Ablation: partition tree vs naive pairwise grouping (Q4 attributes)",
+        series,
+        metrics=("seconds", "answers"),
+        notes="'answers' column = number of partitions produced (must be identical)",
+    )
+    report_writer("ablation_partition", text)
+
+    for h in H_VALUES:
+        # Both implementations produce the same number of partitions.
+        assert series.value("partition-tree", h, "answers") == series.value(
+            "naive-pairwise", h, "answers"
+        )
+    # The tree is asymptotically cheaper; at the largest h it must not lose by
+    # more than a small constant factor (both are fast at this scale).
+    assert series.value("partition-tree", max(H_VALUES)) <= series.value(
+        "naive-pairwise", max(H_VALUES)
+    ) * 1.5

@@ -1,0 +1,58 @@
+"""Figure 10(b): basic / e-basic / e-MQO vs database size.
+
+The paper's observations on its default query Q4: both e-basic and e-MQO beat
+basic at every database size, e-basic beats e-MQO (the optimal-plan search is
+expensive), and all three grow with the database size.  The x-axis labels are
+the paper's 20-100 MB; the instance is generated at the calibrated scale (see
+``repro.bench.harness.mb_to_scale`` and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import SIMPLE_METHODS, sweep_database_size
+from repro.bench.reporting import render_experiment
+from repro.datagen.scenario import build_scenario
+from repro.workloads.queries import PAPER_QUERIES
+
+PAPER_MBS = (20, 40, 60, 80, 100)
+BASIC_H = 24
+#: The paper's 100 MB instance maps to this generator scale for this sweep.
+CALIBRATION = 0.04
+
+
+def _build_series():
+    scenario = build_scenario(target="Excel", h=BASIC_H, scale=CALIBRATION, seed=7)
+    return sweep_database_size(
+        SIMPLE_METHODS,
+        lambda sized: PAPER_QUERIES["Q4"].build(sized.target_schema),
+        scenario,
+        PAPER_MBS,
+        calibration=CALIBRATION,
+        title="Figure 10(b): simple solutions vs database size (Q4)",
+    )
+
+
+def test_fig10b_simple_solutions_vs_database_size(benchmark, report_writer):
+    series = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 10(b): basic / e-basic / e-MQO vs database size (Q4)",
+        series,
+        metrics=("seconds", "source_operators"),
+        notes=f"x-axis: paper MB labels; calibration scale {CALIBRATION} per 100 MB; h={BASIC_H}",
+    )
+    report_writer("fig10b_simple_dbsize", text)
+
+    largest = max(series.x_values())
+    basic_time = series.value("basic", largest)
+    ebasic_time = series.value("e-basic", largest)
+    # e-basic clearly outperforms basic at the largest size (paper's headline).
+    assert ebasic_time < basic_time
+    # Both enhanced methods execute far fewer source operators than basic.
+    assert series.value("e-basic", largest, "source_operators") < series.value(
+        "basic", largest, "source_operators"
+    )
+    assert series.value("e-mqo", largest, "source_operators") <= series.value(
+        "e-basic", largest, "source_operators"
+    )
+    # Cost grows with the database size for basic.
+    assert series.value("basic", largest) >= series.value("basic", min(series.x_values()))

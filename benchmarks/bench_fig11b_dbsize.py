@@ -1,0 +1,52 @@
+"""Figure 11(b): e-basic / q-sharing / o-sharing vs database size (Q4).
+
+The paper's observations: all three grow with the database size, o-sharing is
+the fastest and grows the slowest, q-sharing sits between o-sharing and
+e-basic.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import DEFAULT_METHODS, sweep_database_size
+from repro.bench.reporting import render_experiment
+from repro.datagen.scenario import build_scenario
+from repro.workloads.queries import PAPER_QUERIES
+
+PAPER_MBS = (20, 40, 60, 80, 100)
+BENCH_H = 60
+CALIBRATION = 0.03
+
+
+def _build_series():
+    scenario = build_scenario(target="Excel", h=BENCH_H, scale=CALIBRATION, seed=7)
+    return sweep_database_size(
+        DEFAULT_METHODS,
+        lambda sized: PAPER_QUERIES["Q4"].build(sized.target_schema),
+        scenario,
+        PAPER_MBS,
+        calibration=CALIBRATION,
+        title="Figure 11(b): sharing evaluators vs database size (Q4)",
+    )
+
+
+def test_fig11b_sharing_vs_database_size(benchmark, report_writer):
+    series = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 11(b): e-basic / q-sharing / o-sharing vs database size (Q4)",
+        series,
+        metrics=("seconds", "source_operators"),
+        notes=f"x-axis: paper MB labels; calibration scale {CALIBRATION} per 100 MB; h={BENCH_H}",
+    )
+    report_writer("fig11b_dbsize", text)
+
+    smallest, largest = min(series.x_values()), max(series.x_values())
+    # Work grows with the database size for every method.
+    for method in DEFAULT_METHODS:
+        assert series.value(method, largest) >= series.value(method, smallest) * 0.5
+    # o-sharing needs no more executed operators than e-basic at every size.
+    for size in series.x_values():
+        assert series.value("o-sharing", size, "source_operators") <= series.value(
+            "e-basic", size, "source_operators"
+        )
+    # And it wins (or ties) on time at the largest size.
+    assert series.value("o-sharing", largest) <= series.value("e-basic", largest) * 1.1

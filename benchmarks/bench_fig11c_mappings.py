@@ -1,0 +1,58 @@
+"""Figure 11(c): e-basic / q-sharing / o-sharing vs the number of mappings (Q4).
+
+The paper's observations: e-basic and q-sharing are sensitive to the mapping
+count (more mappings → more distinct source queries), while o-sharing grows
+the slowest because operator-level sharing absorbs most of the extra mappings.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import DEFAULT_METHODS, sweep_mapping_count
+from repro.bench.reporting import render_experiment
+from repro.datagen.scenario import build_scenario
+from repro.workloads.queries import PAPER_QUERIES
+
+H_VALUES = (10, 20, 40, 60, 80)
+SCALE = 0.03
+
+
+def _build_series():
+    scenario = build_scenario(target="Excel", h=max(H_VALUES), scale=SCALE, seed=7)
+    query = PAPER_QUERIES["Q4"].build(scenario.target_schema)
+    return sweep_mapping_count(
+        DEFAULT_METHODS,
+        query,
+        scenario,
+        H_VALUES,
+        title="Figure 11(c): sharing evaluators vs number of mappings (Q4)",
+    )
+
+
+def test_fig11c_sharing_vs_mappings(benchmark, report_writer):
+    series = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 11(c): e-basic / q-sharing / o-sharing vs number of mappings (Q4)",
+        series,
+        metrics=("seconds", "source_operators", "reformulations"),
+        notes=f"paper sweeps 100-500 mappings; reproduction sweeps {H_VALUES} at scale {SCALE}",
+    )
+    report_writer("fig11c_mappings", text)
+
+    smallest, largest = min(series.x_values()), max(series.x_values())
+    # e-basic's rewriting effort grows linearly with h; q-sharing's does not.
+    assert series.value("e-basic", largest, "reformulations") == largest
+    assert series.value("q-sharing", largest, "reformulations") <= series.value(
+        "e-basic", largest, "reformulations"
+    )
+    # o-sharing executes no more source operators than e-basic at every h.
+    for h in series.x_values():
+        assert series.value("o-sharing", h, "source_operators") <= series.value(
+            "e-basic", h, "source_operators"
+        )
+    # Relative growth: o-sharing's operator count grows no faster than e-basic's.
+    def growth(method):
+        return series.value(method, largest, "source_operators") / max(
+            series.value(method, smallest, "source_operators"), 1
+        )
+
+    assert growth("o-sharing") <= growth("e-basic") * 1.2

@@ -1,0 +1,60 @@
+"""Figure 11(d): evaluators vs the number of selection operators.
+
+The paper's observations: with a single selection operator q-sharing and
+o-sharing behave the same (there is nothing to share at the operator level,
+and o-sharing pays a small u-trace overhead); from two selections onward
+o-sharing wins because it shares operator results across mappings whose full
+source queries differ.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import DEFAULT_METHODS, ExperimentSeries, run_methods
+from repro.bench.reporting import render_experiment
+from repro.datagen.scenario import build_scenario
+from repro.workloads.generators import selection_query
+
+SELECTION_COUNTS = (1, 2, 3, 4, 5)
+BENCH_H = 60
+SCALE = 0.03
+
+
+def _build_series():
+    scenario = build_scenario(target="Excel", h=BENCH_H, scale=SCALE, seed=7)
+    series = ExperimentSeries(
+        title="Figure 11(d): time vs number of selection operators",
+        x_label="selection operators",
+    )
+    for count in SELECTION_COUNTS:
+        query = selection_query(count, scenario.target_schema)
+        for point in run_methods(DEFAULT_METHODS, query, scenario, x=count):
+            series.add(point)
+    return series
+
+
+def test_fig11d_selection_operators(benchmark, report_writer):
+    series = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 11(d): e-basic / q-sharing / o-sharing vs number of selections",
+        series,
+        metrics=("seconds", "source_operators", "reformulations"),
+        notes=f"selections on PO attributes; h={BENCH_H}, scale={SCALE}",
+    )
+    report_writer("fig11d_selections", text)
+
+    # More selection operators → more distinct source queries → more work for
+    # e-basic and q-sharing.
+    assert series.value("e-basic", 5, "source_operators") >= series.value(
+        "e-basic", 1, "source_operators"
+    )
+    # From 2 selections onward o-sharing executes no more operators than
+    # q-sharing (operator-level sharing kicks in).
+    for count in SELECTION_COUNTS[1:]:
+        assert series.value("o-sharing", count, "source_operators") <= series.value(
+            "q-sharing", count, "source_operators"
+        ) * 1.1 + 2
+    # q-sharing always rewrites no more queries than e-basic.
+    for count in SELECTION_COUNTS:
+        assert series.value("q-sharing", count, "reformulations") <= series.value(
+            "e-basic", count, "reformulations"
+        )

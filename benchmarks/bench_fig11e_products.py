@@ -1,0 +1,53 @@
+"""Figure 11(e): evaluators vs the number of Cartesian product operators.
+
+The paper's observations: queries with more self-joins produce more target
+attributes and therefore more distinct source queries; from two products
+onward o-sharing wins clearly because the product inputs are shared between
+mapping partitions.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import DEFAULT_METHODS, ExperimentSeries, run_methods
+from repro.bench.reporting import render_experiment
+from repro.datagen.scenario import build_scenario
+from repro.workloads.generators import product_query
+
+PRODUCT_COUNTS = (1, 2, 3)
+BENCH_H = 40
+SCALE = 0.02
+
+
+def _build_series():
+    scenario = build_scenario(target="Excel", h=BENCH_H, scale=SCALE, seed=7)
+    series = ExperimentSeries(
+        title="Figure 11(e): time vs number of Cartesian products",
+        x_label="Cartesian products",
+    )
+    for count in PRODUCT_COUNTS:
+        query = product_query(count, scenario.target_schema)
+        for point in run_methods(DEFAULT_METHODS, query, scenario, x=count):
+            series.add(point)
+    return series
+
+
+def test_fig11e_product_operators(benchmark, report_writer):
+    series = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 11(e): e-basic / q-sharing / o-sharing vs number of Cartesian products",
+        series,
+        metrics=("seconds", "source_operators"),
+        notes=f"self-joins of PO; h={BENCH_H}, scale={SCALE}",
+    )
+    report_writer("fig11e_products", text)
+
+    # Queries with more products are more expensive for every method.
+    for method in DEFAULT_METHODS:
+        assert series.value(method, 3) >= series.value(method, 1) * 0.5
+    # o-sharing executes no more source operators than e-basic at 2+ products.
+    for count in PRODUCT_COUNTS[1:]:
+        assert series.value("o-sharing", count, "source_operators") <= series.value(
+            "e-basic", count, "source_operators"
+        )
+    # And it is not slower than e-basic at the largest query.
+    assert series.value("o-sharing", 3) <= series.value("e-basic", 3) * 1.15

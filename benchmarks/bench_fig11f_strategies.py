@@ -1,0 +1,55 @@
+"""Figure 11(f): o-sharing operator-selection strategies (Random / SNF / SEF).
+
+The paper's observations on the Excel queries Q1-Q5: both SNF and SEF clearly
+beat Random (which ignores the mapping information and picks operators that
+split the mappings into many partitions), and SEF is at least as good as SNF.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import ExperimentSeries, run_method
+from repro.bench.reporting import render_experiment
+from repro.datagen.scenario import build_scenario
+from repro.workloads.queries import queries_for_target
+
+STRATEGIES = ("random", "snf", "sef")
+QUERY_IDS = ("Q1", "Q2", "Q3", "Q4", "Q5")
+BENCH_H = 60
+SCALE = 0.03
+
+
+def _build_series():
+    scenario = build_scenario(target="Excel", h=BENCH_H, scale=SCALE, seed=7)
+    series = ExperimentSeries(
+        title="Figure 11(f): operator selection strategies", x_label="query"
+    )
+    specs = {spec.query_id: spec for spec in queries_for_target("Excel")}
+    for query_id in QUERY_IDS:
+        query = specs[query_id].build(scenario.target_schema)
+        for strategy in STRATEGIES:
+            point = run_method(
+                "o-sharing", query, scenario, x=query_id, strategy=strategy, seed=11
+            )
+            point.method = strategy
+            series.add(point)
+    return series
+
+
+def test_fig11f_operator_selection_strategies(benchmark, report_writer):
+    series = benchmark.pedantic(_build_series, rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 11(f): o-sharing with Random / SNF / SEF on Q1-Q5 (Excel)",
+        series,
+        metrics=("seconds", "source_operators"),
+        notes=f"h={BENCH_H}, scale={SCALE}",
+    )
+    report_writer("fig11f_strategies", text)
+
+    def total_operators(strategy):
+        return sum(series.value(strategy, q, "source_operators") for q in QUERY_IDS)
+
+    # The informed strategies never execute more source operators than Random
+    # overall, and SEF is at least as good as SNF (the paper's conclusion).
+    assert total_operators("snf") <= total_operators("random")
+    assert total_operators("sef") <= total_operators("random")
+    assert total_operators("sef") <= total_operators("snf") * 1.05

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The reproduction environment is offline and has no ``wheel`` package, so the
+PEP 517 editable-install path (which builds a wheel) is unavailable.  This
+shim lets ``pip install -e .`` fall back to the classic ``setup.py develop``
+code path; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — a reproduction of *Evaluating Probabilistic Queries over Uncertain
+Matching* (Cheng, Gong, Cheung and Cheng, ICDE 2012).
+
+The library evaluates probabilistic queries issued against a *target* schema
+whose relationship to a *source* database is captured by a set of *possible
+mappings* with probabilities.  It contains:
+
+* an in-memory relational engine (:mod:`repro.relational`),
+* a schema-matching substrate producing possible mappings
+  (:mod:`repro.matching`),
+* a deterministic purchase-order data generator and ready-made experiment
+  scenarios (:mod:`repro.datagen`),
+* the paper's evaluation algorithms — basic, e-basic, e-MQO, q-sharing,
+  o-sharing and probabilistic top-k (:mod:`repro.core`),
+* the paper's query workload and parameterised workload generators
+  (:mod:`repro.workloads`), and
+* the benchmark harness regenerating the paper's figures and tables
+  (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import build_scenario, evaluate
+    from repro.workloads import paper_query
+
+    scenario = build_scenario(target="Excel", h=100, scale=0.05)
+    query = paper_query("Q1", scenario.target_schema)
+    result = evaluate(
+        query, scenario.mappings, scenario.database,
+        method="o-sharing", links=scenario.links,
+    )
+    print(result.answers.pretty())
+"""
+
+from repro.core import (
+    EvaluationResult,
+    Evaluator,
+    ProbabilisticAnswer,
+    SchemaLinks,
+    TargetQuery,
+    evaluate,
+    evaluate_top_k,
+    make_evaluator,
+)
+from repro.datagen import MatchingScenario, build_scenario
+from repro.matching import Mapping, MappingSet, generate_possible_mappings, match_schemas
+from repro.relational import Database, Relation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EvaluationResult",
+    "Evaluator",
+    "ProbabilisticAnswer",
+    "SchemaLinks",
+    "TargetQuery",
+    "evaluate",
+    "evaluate_top_k",
+    "make_evaluator",
+    "MatchingScenario",
+    "build_scenario",
+    "Mapping",
+    "MappingSet",
+    "generate_possible_mappings",
+    "match_schemas",
+    "Database",
+    "Relation",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Benchmark harness: experiment runners and report formatting.
+
+The modules in this package power the scripts in ``benchmarks/``, which
+regenerate every table and figure of the paper's evaluation section
+(Section VIII).  The harness is importable on its own so that downstream
+users can run the same sweeps against their own schemas and instances.
+"""
+
+from repro.bench.harness import (
+    DEFAULT_METHODS,
+    ExperimentPoint,
+    ExperimentSeries,
+    mb_to_scale,
+    run_method,
+    run_methods,
+    sweep_database_size,
+    sweep_mapping_count,
+)
+from repro.bench.reporting import format_series, format_table, render_experiment
+
+__all__ = [
+    "DEFAULT_METHODS",
+    "ExperimentPoint",
+    "ExperimentSeries",
+    "mb_to_scale",
+    "run_method",
+    "run_methods",
+    "sweep_database_size",
+    "sweep_mapping_count",
+    "format_series",
+    "format_table",
+    "render_experiment",
+]

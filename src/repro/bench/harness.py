@@ -1,0 +1,238 @@
+"""Experiment runners used by the ``benchmarks/`` scripts.
+
+The paper's figures plot the running time of one or more evaluation methods
+against an experiment parameter (query id, database size, number of mappings,
+number of operators, k).  The harness provides exactly that: run a set of
+methods on a scenario/query pair, collect wall-clock time and operator counts,
+and sweep a parameter to produce a series per method.
+
+The paper's x-axes are expressed in "database size (MB)" for a 100 MB TPC-H
+instance; :func:`mb_to_scale` converts those labels into the generator's scale
+factor so that a benchmark can print the same axis labels as the figure while
+running at a laptop-friendly size (see EXPERIMENTS.md for the calibration).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core import evaluate
+from repro.core.evaluators.base import EvaluationResult
+from repro.core.target_query import TargetQuery
+from repro.datagen.generator import GeneratorConfig, generate_source_instance
+from repro.datagen.scenario import MatchingScenario
+
+#: The methods compared in Figures 11(a)-(e).
+DEFAULT_METHODS: tuple[str, ...] = ("e-basic", "q-sharing", "o-sharing")
+
+#: The methods compared in Figure 10(b)-(c).
+SIMPLE_METHODS: tuple[str, ...] = ("basic", "e-basic", "e-mqo")
+
+#: How much smaller than the paper's 100 MB instance the benchmark instance
+#: is, per "paper megabyte".  The paper's 100 MB corresponds to scale 1.0 of
+#: the generator; running the full sweep at that size is not feasible for a
+#: pure-Python engine, so the benchmarks run at ``PAPER_MB_SCALE`` of it and
+#: keep the figure's axis labels.
+PAPER_MB_SCALE = 0.04
+
+
+def mb_to_scale(paper_mb: float, calibration: float = PAPER_MB_SCALE) -> float:
+    """Convert a paper-figure "database size (MB)" label into a generator scale.
+
+    The paper's 100 MB instance corresponds to generator scale ``calibration``
+    (0.04 by default), and intermediate sizes scale linearly.
+    """
+    if paper_mb <= 0:
+        raise ValueError("paper_mb must be positive")
+    return paper_mb / 100.0 * calibration
+
+
+@dataclass
+class ExperimentPoint:
+    """One measured point: a method evaluated at one parameter value."""
+
+    method: str
+    x: Any
+    seconds: float
+    source_operators: int
+    source_queries: int
+    answers: int
+    reformulations: int = 0
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentSeries:
+    """A collection of measured points, grouped per method."""
+
+    title: str
+    x_label: str
+    points: list[ExperimentPoint] = field(default_factory=list)
+
+    def add(self, point: ExperimentPoint) -> None:
+        """Record one measured point."""
+        self.points.append(point)
+
+    def methods(self) -> list[str]:
+        """Distinct methods, in first-appearance order."""
+        seen: list[str] = []
+        for point in self.points:
+            if point.method not in seen:
+                seen.append(point.method)
+        return seen
+
+    def x_values(self) -> list[Any]:
+        """Distinct x values, in first-appearance order."""
+        seen: list[Any] = []
+        for point in self.points:
+            if point.x not in seen:
+                seen.append(point.x)
+        return seen
+
+    def value(self, method: str, x: Any, metric: str = "seconds") -> Any:
+        """The measured metric for one (method, x) combination."""
+        for point in self.points:
+            if point.method == method and point.x == x:
+                if hasattr(point, metric):
+                    return getattr(point, metric)
+                return point.details.get(metric)
+        raise KeyError(f"no point for method={method!r}, x={x!r}")
+
+    def as_rows(self, metric: str = "seconds") -> list[list[Any]]:
+        """Rows of ``[x, metric(method_1), metric(method_2), ...]`` for reporting."""
+        rows = []
+        for x in self.x_values():
+            row: list[Any] = [x]
+            for method in self.methods():
+                try:
+                    row.append(self.value(method, x, metric))
+                except KeyError:
+                    row.append(None)
+            rows.append(row)
+        return rows
+
+
+# --------------------------------------------------------------------------- #
+# single-point runners
+# --------------------------------------------------------------------------- #
+def run_method(
+    method: str,
+    query: TargetQuery,
+    scenario: MatchingScenario,
+    x: Any = None,
+    **options: Any,
+) -> ExperimentPoint:
+    """Run one method on one query and collect its measurements."""
+    started = time.perf_counter()
+    result = evaluate(
+        query,
+        scenario.mappings,
+        scenario.database,
+        method=method,
+        links=scenario.links,
+        **options,
+    )
+    elapsed = time.perf_counter() - started
+    return point_from_result(result, method=method, x=x, seconds=elapsed)
+
+
+def point_from_result(
+    result: EvaluationResult,
+    method: str | None = None,
+    x: Any = None,
+    seconds: float | None = None,
+) -> ExperimentPoint:
+    """Convert an :class:`EvaluationResult` into an :class:`ExperimentPoint`."""
+    return ExperimentPoint(
+        method=method or result.evaluator,
+        x=x,
+        seconds=result.elapsed_seconds if seconds is None else seconds,
+        source_operators=result.stats.source_operators,
+        source_queries=result.stats.source_queries,
+        answers=len(result.answers),
+        reformulations=result.stats.reformulations,
+        details=dict(result.details),
+    )
+
+
+def run_methods(
+    methods: Sequence[str],
+    query: TargetQuery,
+    scenario: MatchingScenario,
+    x: Any = None,
+    **options: Any,
+) -> list[ExperimentPoint]:
+    """Run several methods on the same query and scenario."""
+    return [run_method(method, query, scenario, x=x, **options) for method in methods]
+
+
+# --------------------------------------------------------------------------- #
+# parameter sweeps
+# --------------------------------------------------------------------------- #
+def sweep_mapping_count(
+    methods: Sequence[str],
+    query: TargetQuery,
+    scenario: MatchingScenario,
+    h_values: Iterable[int],
+    title: str = "time vs number of mappings",
+    **options: Any,
+) -> ExperimentSeries:
+    """Figure 10(c) / 11(c) style sweep: vary the number of possible mappings."""
+    series = ExperimentSeries(title=title, x_label="mappings")
+    for h in h_values:
+        restricted = scenario.with_mappings(min(h, scenario.h))
+        for point in run_methods(methods, query, restricted, x=h, **options):
+            series.add(point)
+    return series
+
+
+def sweep_database_size(
+    methods: Sequence[str],
+    query_builder: Callable[[MatchingScenario], TargetQuery],
+    scenario: MatchingScenario,
+    paper_mbs: Iterable[float],
+    calibration: float = PAPER_MB_SCALE,
+    seed: int = 7,
+    title: str = "time vs database size",
+    **options: Any,
+) -> ExperimentSeries:
+    """Figure 10(b) / 11(b) style sweep: vary the source-instance size.
+
+    ``paper_mbs`` are the axis labels of the paper's figure (20..100 MB); each
+    is converted into a generator scale with :func:`mb_to_scale`.
+    """
+    series = ExperimentSeries(title=title, x_label="database size (MB)")
+    for paper_mb in paper_mbs:
+        scale = mb_to_scale(paper_mb, calibration)
+        database = generate_source_instance(scale=scale, config=GeneratorConfig(seed=seed))
+        sized = scenario.with_database(database, scale)
+        query = query_builder(sized)
+        for point in run_methods(methods, query, sized, x=paper_mb, **options):
+            series.add(point)
+    return series
+
+
+def sweep_queries(
+    methods: Sequence[str],
+    query_ids: Sequence[str],
+    scenarios: dict[str, MatchingScenario],
+    title: str = "time per query",
+    **options: Any,
+) -> ExperimentSeries:
+    """Figure 10(a) / 11(a) style sweep: one point per Table III query.
+
+    ``scenarios`` maps a target schema name to the scenario to use for the
+    queries defined on that schema.
+    """
+    from repro.workloads.queries import PAPER_QUERIES
+
+    series = ExperimentSeries(title=title, x_label="query")
+    for query_id in query_ids:
+        spec = PAPER_QUERIES[query_id.upper()]
+        scenario = scenarios[spec.target]
+        query = spec.build(scenario.target_schema)
+        for point in run_methods(methods, query, scenario, x=spec.query_id, **options):
+            series.add(point)
+    return series

@@ -1,0 +1,113 @@
+"""The paper's contribution: probabilistic query evaluation over possible mappings.
+
+The package is organised around the concepts of the paper:
+
+* :mod:`repro.core.answer` — probabilistic answers ``(t, Pr(t))``.
+* :mod:`repro.core.target_query` — target queries and their attributes.
+* :mod:`repro.core.links` / :mod:`repro.core.reformulation` — target-to-source
+  query and operator reformulation (Section VI-B).
+* :mod:`repro.core.partition_tree` — mapping partitioning (Algorithm 3).
+* :mod:`repro.core.eunit` — e-units and the u-trace (Section V).
+* :mod:`repro.core.operator_selection` — Random / SNF / SEF (Section VI-A).
+* :mod:`repro.core.metrics` — mapping-overlap metrics (Section VIII-B.1).
+* :mod:`repro.core.evaluators` — basic, e-basic, e-MQO, q-sharing, o-sharing
+  and top-k evaluation algorithms.
+
+The :func:`evaluate` and :func:`evaluate_top_k` helpers are the one-call entry
+points used by the examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.core.answer import ProbabilisticAnswer, RankedAnswer
+from repro.core.evaluators import (
+    EVALUATORS,
+    EvaluationResult,
+    Evaluator,
+    make_evaluator,
+)
+from repro.core.evaluators.topk import TopKEvaluator
+from repro.core.links import RelationLink, SchemaLinks
+from repro.core.metrics import o_ratio, overlap_series
+from repro.core.operator_selection import STRATEGIES, make_strategy
+from repro.core.partition_tree import partition, partition_and_represent, represent
+from repro.core.reformulation import (
+    UnmatchedAttributeError,
+    extract_answers,
+    reformulate_operator,
+    reformulate_query,
+)
+from repro.core.target_query import TargetAttribute, TargetQuery, TargetQueryError
+
+
+def evaluate(
+    query: TargetQuery,
+    mappings,
+    database,
+    method: str = "o-sharing",
+    links: SchemaLinks | None = None,
+    **options,
+) -> EvaluationResult:
+    """Evaluate a probabilistic query with the named algorithm.
+
+    Parameters
+    ----------
+    query:
+        The target query.
+    mappings:
+        The set of possible mappings (a :class:`~repro.matching.mappings.MappingSet`).
+    database:
+        The source instance ``D``.
+    method:
+        One of ``"basic"``, ``"e-basic"``, ``"e-mqo"``, ``"q-sharing"``,
+        ``"o-sharing"`` (default).
+    links:
+        Optional source-schema join links shared by all reformulations.
+    options:
+        Forwarded to the evaluator constructor (e.g. ``strategy="snf"`` for
+        o-sharing).
+    """
+    evaluator = make_evaluator(method, links=links, **options)
+    return evaluator.evaluate(query, mappings, database)
+
+
+def evaluate_top_k(
+    query: TargetQuery,
+    mappings,
+    database,
+    k: int,
+    links: SchemaLinks | None = None,
+    **options,
+) -> EvaluationResult:
+    """Evaluate a probabilistic top-k query (Section VII)."""
+    evaluator = TopKEvaluator(k=k, links=links, **options)
+    return evaluator.evaluate(query, mappings, database)
+
+
+__all__ = [
+    "ProbabilisticAnswer",
+    "RankedAnswer",
+    "EVALUATORS",
+    "EvaluationResult",
+    "Evaluator",
+    "make_evaluator",
+    "TopKEvaluator",
+    "RelationLink",
+    "SchemaLinks",
+    "o_ratio",
+    "overlap_series",
+    "STRATEGIES",
+    "make_strategy",
+    "partition",
+    "partition_and_represent",
+    "represent",
+    "UnmatchedAttributeError",
+    "extract_answers",
+    "reformulate_operator",
+    "reformulate_query",
+    "TargetAttribute",
+    "TargetQuery",
+    "TargetQueryError",
+    "evaluate",
+    "evaluate_top_k",
+]

@@ -1,0 +1,218 @@
+"""Probabilistic query answers (Section III of the paper).
+
+The answer of a probabilistic target query is a set of pairs ``(t, Pr(t))``
+where ``t`` is an answer tuple and ``Pr(t)`` is the probability that ``t`` is
+correct — the total probability of the possible mappings under which the
+reformulated source query returns ``t``.  Mappings whose source query returns
+*nothing* contribute their probability to a separate *null answer* (the
+paper's ``θ`` tuple), which is reported as :attr:`ProbabilisticAnswer.empty_probability`
+rather than as a regular tuple.
+
+Every evaluator in :mod:`repro.core.evaluators` produces a
+:class:`ProbabilisticAnswer`; the cross-evaluator equivalence tests compare
+these objects directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping as TMapping
+
+#: Probabilities within this tolerance are considered equal when comparing
+#: answers across evaluators (they are sums of the same floats in different
+#: orders).
+PROBABILITY_TOLERANCE = 1e-9
+
+AnswerTuple = tuple
+
+
+@dataclass(frozen=True)
+class RankedAnswer:
+    """One answer tuple together with its probability and rank (1-based)."""
+
+    rank: int
+    values: AnswerTuple
+    probability: float
+
+
+class ProbabilisticAnswer:
+    """A set of answer tuples with probabilities, plus the null-answer mass.
+
+    The container behaves like a mapping from answer tuple to probability and
+    supports the aggregation the paper performs: probabilities of duplicate
+    tuples obtained under different mappings are summed.
+    """
+
+    def __init__(self) -> None:
+        self._probabilities: dict[AnswerTuple, float] = {}
+        #: total probability of mappings whose source query returned no tuple
+        self.empty_probability: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[AnswerTuple, float]]) -> "ProbabilisticAnswer":
+        """Build an answer from ``(tuple, probability)`` pairs (duplicates summed)."""
+        answer = cls()
+        for values, probability in pairs:
+            answer.add(values, probability)
+        return answer
+
+    def add(self, values: Iterable[Any], probability: float) -> None:
+        """Add probability mass to one answer tuple."""
+        if probability < 0:
+            raise ValueError(f"probability must be non-negative, got {probability}")
+        key = tuple(values)
+        self._probabilities[key] = self._probabilities.get(key, 0.0) + probability
+
+    def add_tuples(self, tuples: Iterable[Iterable[Any]], probability: float) -> None:
+        """Add the same probability mass to several distinct answer tuples.
+
+        This is the per-mapping (or per-mapping-group) aggregation step: all
+        distinct tuples returned by one source query share the probability of
+        the mapping (group) that produced them.
+        """
+        for values in tuples:
+            self.add(values, probability)
+
+    def add_empty(self, probability: float) -> None:
+        """Record that mappings with this total probability produced no tuple."""
+        if probability < 0:
+            raise ValueError(f"probability must be non-negative, got {probability}")
+        self.empty_probability += probability
+
+    def merge(self, other: "ProbabilisticAnswer") -> None:
+        """Fold another answer into this one (probabilities summed)."""
+        for values, probability in other.items():
+            self.add(values, probability)
+        self.empty_probability += other.empty_probability
+
+    # ------------------------------------------------------------------ #
+    # access
+    # ------------------------------------------------------------------ #
+    def probability(self, values: Iterable[Any]) -> float:
+        """Probability of one answer tuple (0 when absent)."""
+        return self._probabilities.get(tuple(values), 0.0)
+
+    def items(self) -> Iterator[tuple[AnswerTuple, float]]:
+        """All ``(tuple, probability)`` pairs, in insertion order."""
+        return iter(self._probabilities.items())
+
+    @property
+    def tuples(self) -> list[AnswerTuple]:
+        """The distinct answer tuples, in insertion order."""
+        return list(self._probabilities)
+
+    @property
+    def total_probability(self) -> float:
+        """Total probability mass, including the null answer (should be ~1)."""
+        return sum(self._probabilities.values()) + self.empty_probability
+
+    def ranked(self) -> list[RankedAnswer]:
+        """All answers sorted by decreasing probability (ties broken by value)."""
+        ordered = sorted(
+            self._probabilities.items(), key=lambda item: (-item[1], _sort_key(item[0]))
+        )
+        return [
+            RankedAnswer(rank=rank, values=values, probability=probability)
+            for rank, (values, probability) in enumerate(ordered, start=1)
+        ]
+
+    def top_k(self, k: int) -> list[RankedAnswer]:
+        """The ``k`` answers with the highest probabilities (Section VII).
+
+        Only answers with a non-zero probability are returned, so fewer than
+        ``k`` answers may come back.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        return [answer for answer in self.ranked() if answer.probability > 0][:k]
+
+    def above_threshold(self, threshold: float) -> list[RankedAnswer]:
+        """All answers whose probability is at least ``threshold``.
+
+        This is the probability-threshold variant of a confidence-restricted
+        query (the paper's Section VII motivates top-k with users "only
+        interested in the answers with sufficiently high confidence"; a
+        threshold is the other common way to express that).
+        """
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        return [answer for answer in self.ranked() if answer.probability >= threshold]
+
+    # ------------------------------------------------------------------ #
+    # comparison
+    # ------------------------------------------------------------------ #
+    def equals(
+        self,
+        other: "ProbabilisticAnswer",
+        tolerance: float = PROBABILITY_TOLERANCE,
+    ) -> bool:
+        """True when both answers contain the same tuples with equal probabilities."""
+        if set(self._probabilities) != set(other._probabilities):
+            return False
+        if abs(self.empty_probability - other.empty_probability) > tolerance:
+            return False
+        return all(
+            abs(probability - other._probabilities[values]) <= tolerance
+            for values, probability in self._probabilities.items()
+        )
+
+    def difference(
+        self,
+        other: "ProbabilisticAnswer",
+        tolerance: float = PROBABILITY_TOLERANCE,
+    ) -> list[str]:
+        """Human-readable description of how two answers differ (for test output)."""
+        problems = []
+        for values in set(self._probabilities) - set(other._probabilities):
+            problems.append(f"tuple {values!r} missing from the other answer")
+        for values in set(other._probabilities) - set(self._probabilities):
+            problems.append(f"tuple {values!r} only present in the other answer")
+        for values in set(self._probabilities) & set(other._probabilities):
+            mine, theirs = self._probabilities[values], other._probabilities[values]
+            if abs(mine - theirs) > tolerance:
+                problems.append(f"tuple {values!r}: {mine} != {theirs}")
+        if abs(self.empty_probability - other.empty_probability) > tolerance:
+            problems.append(
+                f"empty probability {self.empty_probability} != {other.empty_probability}"
+            )
+        return problems
+
+    # ------------------------------------------------------------------ #
+    # dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._probabilities)
+
+    def __contains__(self, values: object) -> bool:
+        if not isinstance(values, tuple):
+            return False
+        return values in self._probabilities
+
+    def __iter__(self) -> Iterator[AnswerTuple]:
+        return iter(self._probabilities)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProbabilisticAnswer({len(self)} tuples, "
+            f"empty={self.empty_probability:.3f}, total={self.total_probability:.3f})"
+        )
+
+    def pretty(self, limit: int = 20) -> str:
+        """A small rendering used by the examples."""
+        lines = []
+        for answer in self.ranked()[:limit]:
+            rendered = ", ".join(str(value) for value in answer.values)
+            lines.append(f"  #{answer.rank:<3d} ({rendered})  p={answer.probability:.4f}")
+        if len(self) > limit:
+            lines.append(f"  ... ({len(self) - limit} more answers)")
+        if self.empty_probability > 0:
+            lines.append(f"  (no answer) p={self.empty_probability:.4f}")
+        return "\n".join(lines) if lines else "  (no answers)"
+
+
+def _sort_key(values: AnswerTuple) -> tuple:
+    """A total order over heterogeneous answer tuples (ties in ranked())."""
+    return tuple((type(value).__name__, str(value)) for value in values)

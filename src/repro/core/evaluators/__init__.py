@@ -1,0 +1,66 @@
+"""Evaluation algorithms for probabilistic queries over possible mappings.
+
+========== =========================================================
+name       algorithm
+========== =========================================================
+basic      one source query per mapping (Section III-B.1)
+e-basic    one source query per *distinct* reformulation (III-B.2)
+e-mqo      multiple-query optimisation over the distinct queries (III-B.3)
+q-sharing  partition-tree grouping + basic over representatives (IV)
+o-sharing  operator-level sharing over the u-trace (V-VI)
+top-k      bound-pruned top-k on top of o-sharing (VII)
+========== =========================================================
+"""
+
+from repro.core.evaluators.base import (
+    PHASE_AGGREGATION,
+    PHASE_EVALUATION,
+    PHASE_PLANNING,
+    PHASE_REWRITING,
+    EvaluationResult,
+    Evaluator,
+)
+from repro.core.evaluators.basic import BasicEvaluator
+from repro.core.evaluators.ebasic import EBasicEvaluator, cluster_source_queries
+from repro.core.evaluators.emqo import EMQOEvaluator, MemoizingExecutor, build_global_plan
+from repro.core.evaluators.osharing import OSharingEvaluator
+from repro.core.evaluators.qsharing import QSharingEvaluator
+from repro.core.evaluators.topk import TopKEvaluator
+
+#: Registry of the exact-answer evaluators, keyed by their public name.
+EVALUATORS = {
+    BasicEvaluator.name: BasicEvaluator,
+    EBasicEvaluator.name: EBasicEvaluator,
+    EMQOEvaluator.name: EMQOEvaluator,
+    QSharingEvaluator.name: QSharingEvaluator,
+    OSharingEvaluator.name: OSharingEvaluator,
+}
+
+
+def make_evaluator(name: str, links=None, **options) -> Evaluator:
+    """Instantiate an exact-answer evaluator by its public name."""
+    key = name.lower()
+    if key not in EVALUATORS:
+        raise KeyError(f"unknown evaluator {name!r}; available: {sorted(EVALUATORS)}")
+    return EVALUATORS[key](links=links, **options)
+
+
+__all__ = [
+    "PHASE_AGGREGATION",
+    "PHASE_EVALUATION",
+    "PHASE_PLANNING",
+    "PHASE_REWRITING",
+    "EvaluationResult",
+    "Evaluator",
+    "BasicEvaluator",
+    "EBasicEvaluator",
+    "cluster_source_queries",
+    "EMQOEvaluator",
+    "MemoizingExecutor",
+    "build_global_plan",
+    "OSharingEvaluator",
+    "QSharingEvaluator",
+    "TopKEvaluator",
+    "EVALUATORS",
+    "make_evaluator",
+]

@@ -1,0 +1,109 @@
+"""Common interface of the probabilistic-query evaluators.
+
+Every algorithm in the paper — *basic*, *e-basic*, *e-MQO*, *q-sharing*,
+*o-sharing* and the *top-k* variant — takes the same inputs (a target query,
+a set of possible mappings, a source instance) and produces a
+:class:`~repro.core.answer.ProbabilisticAnswer`.  The evaluators also report
+the execution statistics the paper's figures are built from (phase timings,
+number of source queries/operators executed, number of reformulations).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.answer import ProbabilisticAnswer
+from repro.core.links import SchemaLinks
+from repro.core.target_query import TargetQuery
+from repro.matching.mappings import MappingSet
+from repro.relational.database import Database
+from repro.relational.stats import ExecutionStats
+
+#: Names of the timing phases every evaluator records.
+PHASE_REWRITING = "rewriting"
+PHASE_EVALUATION = "evaluation"
+PHASE_AGGREGATION = "aggregation"
+PHASE_PLANNING = "planning"
+
+
+@dataclass
+class EvaluationResult:
+    """The outcome of evaluating one probabilistic query."""
+
+    evaluator: str
+    query: TargetQuery
+    answers: ProbabilisticAnswer
+    stats: ExecutionStats
+    #: evaluator-specific counters (distinct source queries, e-units created, ...)
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Total wall-clock time across all recorded phases."""
+        return self.stats.total_seconds
+
+    @property
+    def source_operators(self) -> int:
+        """Number of source operators executed (Table IV's metric)."""
+        return self.stats.source_operators
+
+    def summary(self) -> dict[str, Any]:
+        """A flat summary dict used by the benchmark reporting layer."""
+        return {
+            "evaluator": self.evaluator,
+            "query": self.query.name,
+            "answers": len(self.answers),
+            "empty_probability": self.answers.empty_probability,
+            "seconds": self.elapsed_seconds,
+            "source_queries": self.stats.source_queries,
+            "source_operators": self.stats.source_operators,
+            "reformulations": self.stats.reformulations,
+            "phase_seconds": dict(self.stats.phase_seconds),
+            **self.details,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EvaluationResult({self.evaluator}, query={self.query.name!r}, "
+            f"answers={len(self.answers)}, seconds={self.elapsed_seconds:.3f})"
+        )
+
+
+class Evaluator(abc.ABC):
+    """Base class of every query-evaluation algorithm."""
+
+    #: human-readable algorithm name used in reports and figures
+    name: str = "evaluator"
+
+    def __init__(self, links: SchemaLinks | None = None):
+        self.links = links
+
+    @abc.abstractmethod
+    def evaluate(
+        self,
+        query: TargetQuery,
+        mappings: MappingSet,
+        database: Database,
+    ) -> EvaluationResult:
+        """Evaluate the probabilistic query and return its answers and statistics."""
+
+    def _result(
+        self,
+        query: TargetQuery,
+        answers: ProbabilisticAnswer,
+        stats: ExecutionStats,
+        **details: Any,
+    ) -> EvaluationResult:
+        """Assemble an :class:`EvaluationResult` (shared helper)."""
+        return EvaluationResult(
+            evaluator=self.name,
+            query=query,
+            answers=answers,
+            stats=stats,
+            details=dict(details),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

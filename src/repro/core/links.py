@@ -1,0 +1,210 @@
+"""Join links between source relations.
+
+When a mapping sends the attributes of one target relation into *several*
+source relations, the reformulated scan must combine those source relations
+(Cases 2 and 3 of Section VI-B).  The paper combines them with a Cartesian
+product; real reformulation systems additionally use the key/foreign-key
+constraints of the source schema to turn the combination into a join (the
+mapping-generation literature the paper builds on, e.g. Popa et al., produces
+such join conditions).  :class:`SchemaLinks` carries those constraints: when a
+link exists between two source relations the combination becomes an equi-join,
+and when no link exists the combination falls back to the paper's Cartesian
+product — which is exactly what happens in the paper's own running example
+(``C_Order × Nation`` in Figure 8(d)).
+
+All evaluators share the same :class:`SchemaLinks` instance, so the answer
+semantics stay identical across evaluation strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.relational.algebra import Join, PlanNode, Product, Scan
+from repro.relational.expressions import ColumnRef
+from repro.relational.predicates import Comparison, conjunction
+
+
+@dataclass(frozen=True)
+class RelationLink:
+    """A key/foreign-key style join link between two source relations."""
+
+    left_relation: str
+    left_attribute: str
+    right_relation: str
+    right_attribute: str
+
+    @property
+    def reversed(self) -> "RelationLink":
+        """The same link read in the other direction."""
+        return RelationLink(
+            left_relation=self.right_relation,
+            left_attribute=self.right_attribute,
+            right_relation=self.left_relation,
+            right_attribute=self.left_attribute,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.left_relation}.{self.left_attribute} = "
+            f"{self.right_relation}.{self.right_attribute}"
+        )
+
+
+class SchemaLinks:
+    """A catalogue of :class:`RelationLink` between source relations."""
+
+    def __init__(self, links: Iterable[RelationLink] = ()):
+        self._links: dict[tuple[str, str], list[RelationLink]] = {}
+        for link in links:
+            self.add(link)
+
+    @classmethod
+    def empty(cls) -> "SchemaLinks":
+        """A catalogue with no links (every combination is a Cartesian product)."""
+        return cls()
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Iterable[tuple[str, str, str, str]]
+    ) -> "SchemaLinks":
+        """Build from ``(left_relation, left_attr, right_relation, right_attr)`` tuples."""
+        return cls(RelationLink(*pair) for pair in pairs)
+
+    # ------------------------------------------------------------------ #
+    def add(self, link: RelationLink) -> None:
+        """Register one link (both directions become queryable)."""
+        for directed in (link, link.reversed):
+            key = (directed.left_relation, directed.right_relation)
+            self._links.setdefault(key, []).append(directed)
+
+    def between(self, left_relation: str, right_relation: str) -> list[RelationLink]:
+        """Links joining ``left_relation`` to ``right_relation`` (possibly empty)."""
+        return list(self._links.get((left_relation, right_relation), ()))
+
+    def linked_to_any(self, relation: str, others: Iterable[str]) -> list[RelationLink]:
+        """Links from ``relation`` to any relation in ``others``."""
+        found: list[RelationLink] = []
+        for other in others:
+            found.extend(self.between(relation, other))
+        return found
+
+    def __len__(self) -> int:
+        return sum(len(links) for links in self._links.values()) // 2
+
+    def __iter__(self) -> Iterator[RelationLink]:
+        seen: set[tuple[str, str, str, str]] = set()
+        for links in self._links.values():
+            for link in links:
+                key = tuple(
+                    sorted(
+                        [
+                            (link.left_relation, link.left_attribute),
+                            (link.right_relation, link.right_attribute),
+                        ]
+                    )
+                )
+                flattened = (key[0][0], key[0][1], key[1][0], key[1][1])
+                if flattened not in seen:
+                    seen.add(flattened)
+                    yield link
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SchemaLinks({len(self)} links)"
+
+
+def scan_alias(alias: str, source_relation: str) -> str:
+    """The alias under which a source relation is scanned for a target alias.
+
+    Keeping the target alias in the label keeps self-joins (``PO1``/``PO2``)
+    apart even though both reformulate into the same source relations.
+    """
+    return f"{alias}@{source_relation}"
+
+
+def combine_cover(
+    alias: str,
+    relations: Sequence[str],
+    links: SchemaLinks | None,
+) -> PlanNode:
+    """Combine the source relations covering one target alias into a plan.
+
+    The relations are combined left-deep; each new relation is joined to the
+    already-combined ones through a schema link when one exists, and crossed
+    in with a Cartesian product otherwise (the paper's default).
+    """
+    if not relations:
+        raise ValueError("cannot combine an empty source-relation cover")
+    links = links or SchemaLinks.empty()
+    ordered = _link_aware_order(relations, links)
+    plan: PlanNode = Scan(ordered[0], alias=scan_alias(alias, ordered[0]))
+    included = [ordered[0]]
+    for relation in ordered[1:]:
+        scan = Scan(relation, alias=scan_alias(alias, relation))
+        plan = attach_with_links(plan, included, alias, relation, scan, links)
+        included.append(relation)
+    return plan
+
+
+def attach_with_links(
+    base_plan: PlanNode,
+    base_relations: Sequence[str],
+    alias: str,
+    relation: str,
+    relation_plan: PlanNode,
+    links: SchemaLinks | None,
+    available_columns: Iterable[str] | None = None,
+) -> PlanNode:
+    """Attach one more source relation to an existing plan for the same alias.
+
+    Used both by :func:`combine_cover` and by the operator reformulation's
+    Case 2, where an intermediate relation lacks some of the source attributes
+    an operator needs.  When ``available_columns`` is given (the labels of an
+    already-materialised intermediate), links whose base-side column is no
+    longer present fall back to a Cartesian product.
+    """
+    links = links or SchemaLinks.empty()
+    usable = links.linked_to_any(relation, base_relations)
+    if available_columns is not None:
+        present = set(available_columns)
+        usable = [
+            link
+            for link in usable
+            if f"{scan_alias(alias, link.right_relation)}.{link.right_attribute}" in present
+        ]
+    if not usable:
+        return Product(base_plan, relation_plan)
+    conditions = [
+        Comparison(
+            ColumnRef(name=link.right_attribute, qualifier=scan_alias(alias, link.right_relation)),
+            "=",
+            ColumnRef(name=link.left_attribute, qualifier=scan_alias(alias, link.left_relation)),
+        )
+        for link in usable
+    ]
+    return Join(base_plan, relation_plan, conjunction(conditions))
+
+
+def _link_aware_order(relations: Sequence[str], links: SchemaLinks) -> list[str]:
+    """Order relations so that linked relations are adjacent where possible.
+
+    The order is deterministic for a given input order (stable greedy pick),
+    which keeps the canonical form of reformulated plans stable — e-basic and
+    e-MQO rely on canonical equality to detect identical source queries.
+    """
+    remaining = list(dict.fromkeys(relations))
+    if len(remaining) <= 1:
+        return remaining
+    ordered = [remaining.pop(0)]
+    while remaining:
+        linked_index = next(
+            (
+                index
+                for index, candidate in enumerate(remaining)
+                if links.linked_to_any(candidate, ordered)
+            ),
+            0,
+        )
+        ordered.append(remaining.pop(linked_index))
+    return ordered

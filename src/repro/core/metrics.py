@@ -1,0 +1,84 @@
+"""Mapping-overlap metrics (Section VIII-B.1 of the paper).
+
+The paper motivates its sharing algorithms by measuring how similar the
+possible mappings are: the *o-ratio* of two mappings is the Jaccard overlap of
+their correspondence sets, and the o-ratio of a mapping set is the average
+over all pairs.  The paper reports o-ratios of 79%/68%/72% for its three
+target schemas and shows (Figure 9a) that the ratio stays in the 73-79% band
+as the number of mappings grows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.matching.mappings import Mapping, MappingSet
+
+
+def o_ratio_pair(left: Mapping, right: Mapping) -> float:
+    """The o-ratio of two mappings: ``|m_i ∩ m_j| / |m_i ∪ m_j|`` over correspondences."""
+    return left.overlap(right)
+
+
+def o_ratio(mappings: MappingSet | Sequence[Mapping]) -> float:
+    """The average pairwise o-ratio of a mapping set."""
+    if isinstance(mappings, MappingSet):
+        return mappings.o_ratio()
+    mappings = list(mappings)
+    if len(mappings) < 2:
+        return 1.0
+    total = 0.0
+    count = 0
+    for left, right in itertools.combinations(mappings, 2):
+        total += o_ratio_pair(left, right)
+        count += 1
+    return total / count
+
+
+def pairwise_o_ratios(mappings: MappingSet | Sequence[Mapping]) -> list[float]:
+    """All pairwise o-ratios (useful for distribution plots and tests)."""
+    items = list(mappings)
+    return [o_ratio_pair(left, right) for left, right in itertools.combinations(items, 2)]
+
+
+def shared_correspondence_fraction(mappings: MappingSet) -> float:
+    """Fraction of the largest mapping's correspondences shared by *all* mappings."""
+    shared = mappings.shared_correspondences()
+    largest = max(mapping.size for mapping in mappings)
+    if largest == 0:
+        return 1.0
+    return len(shared) / largest
+
+
+@dataclass(frozen=True)
+class OverlapPoint:
+    """One point of the o-ratio-versus-number-of-mappings series (Figure 9a)."""
+
+    h: int
+    o_ratio: float
+
+
+def overlap_series(mappings: MappingSet, h_values: Sequence[int]) -> list[OverlapPoint]:
+    """The o-ratio of the first ``h`` mappings for each ``h`` (Figure 9a's series)."""
+    points = []
+    for h in h_values:
+        if h < 1:
+            raise ValueError("h values must be positive")
+        subset = mappings.subset(min(h, mappings.size))
+        points.append(OverlapPoint(h=min(h, mappings.size), o_ratio=subset.o_ratio()))
+    return points
+
+
+def correspondence_frequencies(mappings: MappingSet) -> dict[tuple[str, str], int]:
+    """How many mappings contain each correspondence pair.
+
+    The paper's Figure 3 observation — ``(cname, pname)`` shared by four of
+    five mappings — is this histogram.
+    """
+    counts: dict[tuple[str, str], int] = {}
+    for mapping in mappings:
+        for pair in mapping.pairs:
+            counts[pair] = counts.get(pair, 0) + 1
+    return counts

@@ -1,0 +1,226 @@
+"""Mapping partitioning with a partition tree (Section IV-A, Algorithm 3).
+
+q-sharing groups the possible mappings so that every group produces the same
+source query for a given target query.  Two mappings land in the same group
+exactly when they assign the same source attribute (possibly "unmatched") to
+every target attribute the query uses.  The partition tree makes this grouping
+a single pass over the mappings: level ``k`` of the tree branches on the
+source attribute matched to the ``k``-th target attribute, and each leaf
+bucket is one partition.
+
+``partition_naive`` implements the obvious alternative — pairwise signature
+comparison — and exists for the ablation benchmark that quantifies what the
+tree buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, Union
+
+from repro.matching.mappings import Mapping
+
+#: Edge label used when a mapping leaves a target attribute unmatched.
+UNMATCHED = "<unmatched>"
+
+
+@dataclass(frozen=True)
+class AttributeKey:
+    """Partition on the source attribute matched to one target attribute.
+
+    Two mappings take the same branch exactly when they map the attribute to
+    the same source attribute (or both leave it unmatched).
+    """
+
+    attribute: str
+
+    def label(self, mapping: Mapping) -> str:
+        """The branch label of ``mapping`` for this key."""
+        return mapping.source_for(self.attribute) or UNMATCHED
+
+
+@dataclass(frozen=True)
+class CoverKey:
+    """Partition on the *source relations* covering one target alias.
+
+    Used for scan operands whose attributes are not constrained by any
+    operator (a bare cross-product side, like ``Order`` in the paper's q2):
+    two mappings produce the same reformulated scan exactly when the set of
+    source relations covering the alias is the same, regardless of which
+    individual attributes map where.
+    """
+
+    alias: str
+    attributes: tuple[str, ...]
+
+    def label(self, mapping: Mapping) -> str:
+        """The branch label: the sorted source-relation cover of the alias."""
+        relations = {
+            source.partition(".")[0]
+            for source in (mapping.source_for(attribute) for attribute in self.attributes)
+            if source is not None
+        }
+        if not relations:
+            return UNMATCHED
+        return ",".join(sorted(relations))
+
+
+#: A partition key: either a qualified target attribute name (shorthand for
+#: :class:`AttributeKey`) or an explicit key object.
+PartitionKey = Union[str, AttributeKey, CoverKey]
+
+
+def _as_key(key: PartitionKey) -> AttributeKey | CoverKey:
+    """Normalise a partition key specification into a key object."""
+    if isinstance(key, str):
+        return AttributeKey(key)
+    return key
+
+
+@dataclass
+class PartitionNode:
+    """One node of the partition tree.
+
+    Interior nodes branch on the source attribute matched to the node's
+    target attribute; leaf nodes are buckets holding one partition.
+    """
+
+    level: int
+    #: outgoing edges: source attribute (or UNMATCHED) -> child node
+    children: dict[str, "PartitionNode"] = field(default_factory=dict)
+    #: mappings deposited here (leaf nodes only)
+    bucket: list[Mapping] = field(default_factory=list)
+
+    @property
+    def is_bucket(self) -> bool:
+        """True for leaf buckets."""
+        return not self.children and self.level >= 0
+
+    def edge_count(self) -> int:
+        """Number of outgoing edges."""
+        return len(self.children)
+
+
+class PartitionTree:
+    """The partition tree of Algorithm 3."""
+
+    def __init__(self, attributes: Sequence[PartitionKey]):
+        if not attributes:
+            raise ValueError("a partition tree needs at least one target attribute")
+        self.attributes = [_as_key(key) for key in attributes]
+        self.root = PartitionNode(level=0)
+        self._node_count = 1
+
+    # ------------------------------------------------------------------ #
+    def put(self, mapping: Mapping) -> None:
+        """Insert one mapping (the recursive ``put`` routine of Algorithm 3)."""
+        node = self.root
+        for level, attribute in enumerate(self.attributes):
+            label = attribute.label(mapping)
+            child = node.children.get(label)
+            if child is None:
+                child = PartitionNode(level=level + 1)
+                node.children[label] = child
+                self._node_count += 1
+            node = child
+        node.bucket.append(mapping)
+
+    def extend(self, mappings: Iterable[Mapping]) -> None:
+        """Insert many mappings."""
+        for mapping in mappings:
+            self.put(mapping)
+
+    # ------------------------------------------------------------------ #
+    def buckets(self) -> list[list[Mapping]]:
+        """All non-empty leaf buckets (the partitions), in insertion order."""
+        found: list[list[Mapping]] = []
+        self._collect(self.root, found)
+        return found
+
+    def _collect(self, node: PartitionNode, found: list[list[Mapping]]) -> None:
+        if node.bucket:
+            found.append(list(node.bucket))
+        for label in node.children:
+            self._collect(node.children[label], found)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the tree (used by the ablation benchmark)."""
+        return self._node_count
+
+    @property
+    def depth(self) -> int:
+        """Number of levels (target attributes) plus the bucket level."""
+        return len(self.attributes) + 1
+
+    def __iter__(self) -> Iterator[list[Mapping]]:
+        return iter(self.buckets())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionTree(attributes={len(self.attributes)}, nodes={self._node_count}, "
+            f"partitions={len(self.buckets())})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the partition / represent routines used by the evaluators
+# --------------------------------------------------------------------------- #
+def partition(
+    attributes: Sequence[PartitionKey],
+    mappings: Iterable[Mapping],
+) -> list[list[Mapping]]:
+    """Group mappings that agree on every partition key.
+
+    This is the ``partition`` routine of Algorithms 1-4; ``attributes`` are
+    qualified target attribute names (``relation.attribute``) or explicit
+    :class:`AttributeKey` / :class:`CoverKey` objects.
+    """
+    mappings = list(mappings)
+    if not attributes:
+        return [mappings] if mappings else []
+    tree = PartitionTree(attributes)
+    tree.extend(mappings)
+    return tree.buckets()
+
+
+def partition_naive(
+    attributes: Sequence[PartitionKey],
+    mappings: Iterable[Mapping],
+) -> list[list[Mapping]]:
+    """Quadratic pairwise grouping (ablation baseline for the partition tree)."""
+    keys = [_as_key(key) for key in attributes]
+    groups: list[tuple[tuple[str, ...], list[Mapping]]] = []
+    for mapping in mappings:
+        signature = tuple(key.label(mapping) for key in keys)
+        for existing_signature, bucket in groups:
+            if existing_signature == signature:
+                bucket.append(mapping)
+                break
+        else:
+            groups.append((signature, [mapping]))
+    return [bucket for _, bucket in groups]
+
+
+def represent(partitions: Sequence[Sequence[Mapping]]) -> list[Mapping]:
+    """One representative mapping per partition, carrying the partition's probability.
+
+    The representative is the partition's first mapping; its probability is
+    the sum over the partition, because every mapping of the partition yields
+    the same source query and therefore the same answer tuples (Section IV).
+    """
+    representatives: list[Mapping] = []
+    for bucket in partitions:
+        if not bucket:
+            continue
+        total = sum(mapping.probability for mapping in bucket)
+        representatives.append(bucket[0].with_probability(total))
+    return representatives
+
+
+def partition_and_represent(
+    attributes: Sequence[str],
+    mappings: Iterable[Mapping],
+) -> list[Mapping]:
+    """Convenience composition of :func:`partition` and :func:`represent`."""
+    return represent(partition(attributes, mappings))

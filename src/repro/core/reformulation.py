@@ -1,0 +1,367 @@
+"""Reformulating target queries and operators into source queries.
+
+Two levels of reformulation are provided, matching the two families of
+evaluation algorithms in the paper:
+
+* :func:`reformulate_query` rewrites a whole target query through one mapping
+  into a source query; this is the rewriting step of *basic*, *e-basic*,
+  *e-MQO* and *q-sharing* (Section III-B / IV).
+* :func:`reformulate_operator` rewrites a single target operator through one
+  mapping, handling materialised intermediate results; this is
+  ``reformulate_op`` of *o-sharing* (Section VI-B, Cases 1-3 for unary and
+  binary operators).
+
+Both levels share the same labelling convention — the source relations that
+serve a target scan alias ``A`` are scanned under ``A@<source relation>`` so
+that self-joins stay disjoint — and the same :class:`~repro.core.links.SchemaLinks`
+combination rule, which guarantees that every evaluator computes the same
+probabilistic answer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.links import (
+    SchemaLinks,
+    attach_with_links,
+    combine_cover,
+    scan_alias,
+)
+from repro.core.target_query import TargetAttribute, TargetQuery
+from repro.matching.mappings import Mapping
+from repro.relational.algebra import (
+    Aggregate,
+    Join,
+    Materialized,
+    PlanNode,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.expressions import ColumnRef
+from repro.relational.relation import Relation
+
+
+class UnmatchedAttributeError(LookupError):
+    """Raised when a mapping does not match a target attribute the query needs.
+
+    The paper's mappings are *partial*; a mapping that does not cover a
+    required attribute cannot answer the query, so the evaluators convert this
+    error into the null answer (the mapping's probability goes to
+    :attr:`~repro.core.answer.ProbabilisticAnswer.empty_probability`).
+    """
+
+    def __init__(self, attribute: TargetAttribute, mapping: Mapping):
+        self.attribute = attribute
+        self.mapping = mapping
+        super().__init__(
+            f"mapping m{mapping.mapping_id} has no correspondence for "
+            f"target attribute {attribute.qualified}"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# attribute-level translation
+# --------------------------------------------------------------------------- #
+def source_attribute(mapping: Mapping, attribute: TargetAttribute) -> tuple[str, str]:
+    """The ``(source relation, source attribute)`` matched to a target attribute."""
+    qualified = mapping.source_for(attribute.qualified)
+    if qualified is None:
+        raise UnmatchedAttributeError(attribute, mapping)
+    relation, _, name = qualified.partition(".")
+    return relation, name
+
+
+def source_reference(mapping: Mapping, attribute: TargetAttribute) -> ColumnRef:
+    """The source-level column reference replacing a target attribute reference."""
+    relation, name = source_attribute(mapping, attribute)
+    return ColumnRef(name=name, qualifier=scan_alias(attribute.alias, relation))
+
+
+def source_label(mapping: Mapping, attribute: TargetAttribute) -> str:
+    """The column label under which a target attribute's values appear."""
+    reference = source_reference(mapping, attribute)
+    return f"{reference.qualifier}.{reference.name}"
+
+
+def cover_relations(
+    query: TargetQuery,
+    mapping: Mapping,
+    alias: str,
+    attributes: Sequence[TargetAttribute] | None = None,
+) -> list[str]:
+    """The source relations that must be scanned to serve one target alias.
+
+    ``attributes`` restricts the cover to specific attributes (operator-level
+    reformulation, Case 3 for unary operators); otherwise the query's needed
+    attributes for the alias are used.  Attributes the query references must
+    be matched by the mapping; for a bare (never-referenced) alias, unmatched
+    attributes are simply skipped, but at least one attribute must be matched.
+    """
+    strict = attributes is not None or bool(query.attributes_for_alias(alias))
+    needed = list(attributes) if attributes is not None else query.needed_attributes(alias)
+    relations: list[str] = []
+    last_unmatched: TargetAttribute | None = None
+    for attribute in needed:
+        qualified = mapping.source_for(attribute.qualified)
+        if qualified is None:
+            if strict:
+                raise UnmatchedAttributeError(attribute, mapping)
+            last_unmatched = attribute
+            continue
+        relation = qualified.partition(".")[0]
+        if relation not in relations:
+            relations.append(relation)
+    if not relations:
+        raise UnmatchedAttributeError(last_unmatched or needed[0], mapping)
+    return relations
+
+
+def build_scan_plan(
+    query: TargetQuery,
+    mapping: Mapping,
+    alias: str,
+    links: SchemaLinks | None,
+    attributes: Sequence[TargetAttribute] | None = None,
+) -> PlanNode:
+    """The source plan replacing one target scan (Case 3 of Section VI-B)."""
+    relations = cover_relations(query, mapping, alias, attributes)
+    return combine_cover(alias, relations, links)
+
+
+# --------------------------------------------------------------------------- #
+# whole-query reformulation (basic / e-basic / e-MQO / q-sharing)
+# --------------------------------------------------------------------------- #
+def reformulate_query(
+    query: TargetQuery,
+    mapping: Mapping,
+    links: SchemaLinks | None = None,
+) -> PlanNode:
+    """Rewrite the whole target query into a source query through ``mapping``.
+
+    Raises :class:`UnmatchedAttributeError` when the mapping does not cover
+    an attribute the query needs.
+    """
+
+    def rewrite_ref(ref: ColumnRef) -> ColumnRef:
+        return source_reference(mapping, query.resolve(ref))
+
+    def rewrite(node: PlanNode) -> PlanNode:
+        if isinstance(node, Scan):
+            return build_scan_plan(query, mapping, node.label, links)
+        if isinstance(node, Select):
+            return Select(node.child, node.predicate.rename(rewrite_ref))
+        if isinstance(node, Join):
+            return Join(node.left, node.right, node.predicate.rename(rewrite_ref))
+        if isinstance(node, Project):
+            return Project(node.child, [rewrite_ref(ref) for ref in node.columns], node.distinct)
+        if isinstance(node, Aggregate):
+            argument = node.argument.rename(rewrite_ref) if node.argument is not None else None
+            group_by = [rewrite_ref(ref) for ref in node.group_by]
+            return Aggregate(node.child, node.function, argument, group_by)
+        return node
+
+    return query.plan.transform(rewrite)
+
+
+# --------------------------------------------------------------------------- #
+# operator-level reformulation (o-sharing, Section VI-B)
+# --------------------------------------------------------------------------- #
+def reformulate_operator(
+    query: TargetQuery,
+    mapping: Mapping,
+    operator: PlanNode,
+    links: SchemaLinks | None = None,
+    pushdown_leaf: PlanNode | None = None,
+) -> PlanNode:
+    """Rewrite one target operator into an executable source plan.
+
+    ``operator`` must have leaf children (scans or materialised intermediate
+    results); for a selection that has been reordered below a chain of other
+    selections, ``pushdown_leaf`` names the leaf the selection is evaluated
+    against directly (the paper's ``reorder_op``).
+
+    The returned plan consists of the reformulated operator applied to the
+    appropriate inputs (Cases 1-3 of Section VI-B); executing it yields the
+    intermediate relation that replaces the operator in the e-unit's plan.
+    """
+
+    def rewrite_ref(ref: ColumnRef) -> ColumnRef:
+        return source_reference(mapping, query.resolve(ref))
+
+    if isinstance(operator, (Select, Project, Aggregate)):
+        leaf = pushdown_leaf if pushdown_leaf is not None else operator.children()[0]
+        needed = query.operator_attributes(operator)
+        input_plan = _unary_input(query, mapping, operator, leaf, needed, links)
+        if isinstance(operator, Select):
+            return Select(input_plan, operator.predicate.rename(rewrite_ref))
+        if isinstance(operator, Project):
+            return Project(
+                input_plan, [rewrite_ref(ref) for ref in operator.columns], operator.distinct
+            )
+        argument = (
+            operator.argument.rename(rewrite_ref) if operator.argument is not None else None
+        )
+        group_by = [rewrite_ref(ref) for ref in operator.group_by]
+        return Aggregate(input_plan, operator.function, argument, group_by)
+
+    if isinstance(operator, (Product, Join, Union)):
+        if pushdown_leaf is not None:
+            raise ValueError("pushdown_leaf only applies to unary operators")
+        left, right = operator.children()
+        needed = query.operator_attributes(operator)
+        left_plan = _binary_input(query, mapping, left, needed, links)
+        right_plan = _binary_input(query, mapping, right, needed, links)
+        if isinstance(operator, Product):
+            return Product(left_plan, right_plan)
+        if isinstance(operator, Union):
+            return Union(left_plan, right_plan, operator.distinct)
+        return Join(left_plan, right_plan, operator.predicate.rename(rewrite_ref))
+
+    raise TypeError(f"cannot reformulate operator of type {type(operator).__name__}")
+
+
+def _unary_input(
+    query: TargetQuery,
+    mapping: Mapping,
+    operator: PlanNode,
+    leaf: PlanNode,
+    needed: Sequence[TargetAttribute],
+    links: SchemaLinks | None,
+) -> PlanNode:
+    """Input plan of a unary operator (Cases 1-3 of Section VI-B)."""
+    if isinstance(leaf, Materialized):
+        return _extend_materialized(query, mapping, leaf, needed, links)
+    if isinstance(leaf, Scan):
+        attributes: Sequence[TargetAttribute] | None = needed
+        if not needed:
+            # e.g. COUNT(*) directly over a target scan — cover the scan's
+            # needed attributes instead of an (empty) operator attribute set.
+            attributes = None
+        return build_scan_plan(query, mapping, leaf.label, links, attributes)
+    raise TypeError(f"operator input must be a leaf, got {type(leaf).__name__}")
+
+
+def _binary_input(
+    query: TargetQuery,
+    mapping: Mapping,
+    leaf: PlanNode,
+    needed: Sequence[TargetAttribute],
+    links: SchemaLinks | None,
+) -> PlanNode:
+    """Input plan of one side of a binary operator (Cases 1-3 of Section VI-B)."""
+    if isinstance(leaf, Materialized):
+        return _extend_materialized(query, mapping, leaf, needed, links)
+    if isinstance(leaf, Scan):
+        return build_scan_plan(query, mapping, leaf.label, links)
+    raise TypeError(f"binary operator input must be a leaf, got {type(leaf).__name__}")
+
+
+def _covered_by(leaf: Materialized, mapping: Mapping, attribute: TargetAttribute) -> bool:
+    """True when the materialised relation already holds the attribute's source column."""
+    qualified = mapping.source_for(attribute.qualified)
+    if qualified is None:
+        return False
+    relation, _, name = qualified.partition(".")
+    return leaf.relation.has_column(f"{scan_alias(attribute.alias, relation)}.{name}")
+
+
+def _aliases_of(leaf: Materialized) -> set[str]:
+    """Target aliases whose columns appear in a materialised relation."""
+    aliases: set[str] = set()
+    for label in leaf.relation.columns:
+        qualifier = label.rsplit(".", 1)[0]
+        alias = qualifier.split("@", 1)[0]
+        if alias:
+            aliases.add(alias)
+    return aliases
+
+
+def _extend_materialized(
+    query: TargetQuery,
+    mapping: Mapping,
+    leaf: Materialized,
+    needed: Sequence[TargetAttribute],
+    links: SchemaLinks | None,
+) -> PlanNode:
+    """Case 1/2: use the materialised relation, joining in missing source relations."""
+    plan: PlanNode = leaf
+    base_relations = _source_relations_of(leaf)
+    columns = list(leaf.relation.columns)
+    attached: list[tuple[str, str]] = []
+    for attribute in needed:
+        if attribute.alias not in _aliases_of(leaf):
+            # The attribute belongs to a different scan alias that is still a
+            # separate leaf of the e-unit's plan; it is not this input's job
+            # to provide it.
+            continue
+        if _covered_by(leaf, mapping, attribute):
+            continue
+        relation, _ = source_attribute(mapping, attribute)
+        key = (attribute.alias, relation)
+        if key in attached:
+            continue
+        scan = Scan(relation, alias=scan_alias(attribute.alias, relation))
+        plan = attach_with_links(
+            plan,
+            base_relations,
+            attribute.alias,
+            relation,
+            scan,
+            links,
+            available_columns=columns,
+        )
+        attached.append(key)
+        base_relations.append(relation)
+    return plan
+
+
+def _source_relations_of(leaf: Materialized) -> list[str]:
+    """Source relations whose columns appear in a materialised relation."""
+    relations: list[str] = []
+    for label in leaf.relation.columns:
+        qualifier = label.rsplit(".", 1)[0]
+        if "@" in qualifier:
+            relation = qualifier.split("@", 1)[1]
+            if relation not in relations:
+                relations.append(relation)
+    return relations
+
+
+# --------------------------------------------------------------------------- #
+# answer extraction
+# --------------------------------------------------------------------------- #
+def extract_answers(
+    query: TargetQuery,
+    mapping: Mapping,
+    relation: Relation,
+) -> list[tuple]:
+    """Project a source result onto the query's output attributes.
+
+    Returns the *distinct* answer tuples, in first-occurrence order; an empty
+    list means the mapping produced no answer (the null answer).  For
+    aggregate queries the relation's rows are the answers themselves.
+    """
+    if relation.is_empty:
+        return []
+    if query.is_aggregate:
+        return _distinct(relation.rows)
+    positions = []
+    for attribute in query.output_attributes:
+        reference = source_reference(mapping, attribute)
+        positions.append(relation.resolve(reference.name, reference.qualifier))
+    projected = [tuple(row[position] for position in positions) for row in relation.rows]
+    return _distinct(projected)
+
+
+def _distinct(rows: Iterable[tuple]) -> list[tuple]:
+    seen: set[tuple] = set()
+    unique: list[tuple] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return unique

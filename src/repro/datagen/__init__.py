@@ -1,0 +1,27 @@
+"""Deterministic purchase-order data generation.
+
+* :mod:`repro.datagen.source_schema` — the TPC-H-like source schema
+  (8 relations, 46 attributes) that plays the role of the paper's TPC-H
+  instance.
+* :mod:`repro.datagen.generator` — a deterministic, scalable generator for
+  the source instance.
+* :mod:`repro.datagen.target_schemas` — the Excel/Noris/Paragon-like target
+  schemas (``PO`` + ``Item`` relations each).
+* :mod:`repro.datagen.scenario` — one-call construction of a complete
+  matching scenario (schemas + instance + possible mappings).
+"""
+
+from repro.datagen.generator import GeneratorConfig, generate_source_instance
+from repro.datagen.scenario import MatchingScenario, build_scenario
+from repro.datagen.source_schema import source_schema
+from repro.datagen.target_schemas import target_schema, TARGET_SCHEMA_NAMES
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_source_instance",
+    "MatchingScenario",
+    "build_scenario",
+    "source_schema",
+    "target_schema",
+    "TARGET_SCHEMA_NAMES",
+]

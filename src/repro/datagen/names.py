@@ -1,0 +1,137 @@
+"""Deterministic value pools used by the data generator.
+
+The pools deliberately contain the constants used by the paper's target
+queries (Table III) — ``Mary``, ``ABC``, ``Central``, ``335-1736``,
+``00001`` — so that selections on those constants return non-empty results
+for a reasonable fraction of the possible mappings.
+"""
+
+from __future__ import annotations
+
+#: Contact / person names (includes the query constant ``Mary``).
+PERSON_NAMES = [
+    "Mary",
+    "Alice",
+    "Bob",
+    "Cindy",
+    "David",
+    "Eva",
+    "Frank",
+    "Grace",
+    "Henry",
+    "Irene",
+    "Jack",
+    "Karen",
+    "Leo",
+    "Nina",
+    "Oscar",
+    "Paula",
+]
+
+#: Company names (includes the query constant ``ABC``).
+COMPANY_NAMES = [
+    "ABC",
+    "Acme Corp",
+    "Globex",
+    "Initech",
+    "Umbrella",
+    "Stark Industries",
+    "Wayne Enterprises",
+    "Wonka",
+    "Tyrell",
+    "Cyberdyne",
+    "Aperture",
+    "Hooli",
+]
+
+#: Street names (includes the query constant ``Central``).
+STREET_NAMES = [
+    "Central",
+    "Main Street",
+    "Broadway",
+    "Queens Road",
+    "Pokfulam Road",
+    "High Street",
+    "Garden Road",
+    "Nathan Road",
+    "Hennessy Road",
+    "Des Voeux Road",
+]
+
+#: City names.
+CITY_NAMES = [
+    "Hong Kong",
+    "Shenzhen",
+    "London",
+    "New York",
+    "Paris",
+    "Tokyo",
+    "Singapore",
+    "Sydney",
+    "Berlin",
+    "Toronto",
+]
+
+#: Telephone numbers (includes the query constant ``335-1736``).
+PHONE_NUMBERS = [
+    "335-1736",
+    "212-5500",
+    "415-0199",
+    "646-3321",
+    "852-2859",
+    "755-8600",
+    "020-7946",
+    "030-1234",
+    "090-5678",
+    "613-4455",
+    "917-8642",
+    "331-2244",
+]
+
+#: Nations and regions (TPC-H style, trimmed).
+NATION_NAMES = [
+    "CHINA",
+    "JAPAN",
+    "INDIA",
+    "FRANCE",
+    "GERMANY",
+    "UNITED KINGDOM",
+    "UNITED STATES",
+    "CANADA",
+    "BRAZIL",
+    "AUSTRALIA",
+    "RUSSIA",
+    "EGYPT",
+    "KENYA",
+    "PERU",
+    "VIETNAM",
+]
+
+REGION_NAMES = ["ASIA", "EUROPE", "AMERICA", "AFRICA", "OCEANIA"]
+
+#: Part / item names.
+PART_NAMES = [
+    "widget",
+    "sprocket",
+    "gear",
+    "bolt",
+    "bracket",
+    "valve",
+    "gasket",
+    "bearing",
+    "spring",
+    "flange",
+    "coupling",
+    "rivet",
+]
+
+PART_BRANDS = ["Brand#11", "Brand#12", "Brand#21", "Brand#22", "Brand#31", "Brand#32"]
+
+ORDER_STATUSES = ["O", "F", "P"]
+
+CLERK_NAMES = [f"Clerk#{i:03d}" for i in range(1, 21)]
+
+#: Item numbers are zero-padded strings; ``00001`` is used by several queries.
+def item_number(value: int, modulo: int = 50) -> str:
+    """Zero-padded cyclic item number (guarantees ``00001`` occurs regularly)."""
+    return f"{(value % modulo) + 1:05d}"

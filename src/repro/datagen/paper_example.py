@@ -1,0 +1,252 @@
+"""The paper's running example (Figures 1-3).
+
+The example matches a *Customer / C_Order / Nation* source schema against a
+*Person / Order* target schema.  Five possible mappings ``m1..m5`` with
+probabilities 0.3, 0.2, 0.2, 0.2, 0.1 capture the matching uncertainty, and
+the Customer relation holds the three tuples of Figure 2.  The module exists
+so that tests and examples can check the library against the answers the
+paper works out by hand:
+
+* ``π_addr σ_phone='123' Person``  →  {(aaa, 0.5), (hk, 0.5)}  (query q0),
+* ``π_phone σ_addr='aaa' Person``  →  {(123, 0.5), (456, 0.8), (789, 0.2)}
+  (the Section III-B example),
+* ``π_pname σ_addr='abc' Person`` partitions the mappings into
+  {m1, m2}, {m3, m4}, {m5} (the q-sharing example of Section IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.links import SchemaLinks
+from repro.core.target_query import TargetQuery
+from repro.matching.mappings import Mapping, MappingSet
+from repro.relational.algebra import PlanNode, Product, Project, Scan, Select
+from repro.relational.database import Database
+from repro.relational.expressions import col
+from repro.relational.predicates import Equals
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.types import DataType
+
+_S = DataType.STRING
+_I = DataType.INTEGER
+_F = DataType.FLOAT
+
+
+def example_source_schema() -> DatabaseSchema:
+    """The source schema of Figure 1 (Customer, C_Order, Nation)."""
+    customer = RelationSchema.build(
+        "Customer",
+        [
+            ("cid", _I, "customer id"),
+            ("cname", _S, "customer name"),
+            ("ophone", _S, "office phone"),
+            ("hphone", _S, "home phone"),
+            ("mobile", _S, "mobile phone"),
+            ("oaddr", _S, "office address"),
+            ("haddr", _S, "home address"),
+            ("nid", _I, "nation id"),
+        ],
+    )
+    c_order = RelationSchema.build(
+        "C_Order",
+        [
+            ("oid", _I, "order id"),
+            ("cid", _I, "ordering customer"),
+            ("amount", _F, "order amount"),
+        ],
+    )
+    nation = RelationSchema.build(
+        "Nation",
+        [
+            ("nid", _I, "nation id"),
+            ("name", _S, "nation name"),
+        ],
+    )
+    return DatabaseSchema("ExampleSource", [customer, c_order, nation])
+
+
+def example_target_schema() -> DatabaseSchema:
+    """The target schema of Figure 1 (Person, Order)."""
+    person = RelationSchema.build(
+        "Person",
+        [
+            ("pname", _S, "person name"),
+            ("phone", _S, "phone"),
+            ("addr", _S, "address"),
+            ("nation", _S, "nation"),
+            ("gender", _S, "gender"),
+        ],
+    )
+    order = RelationSchema.build(
+        "Order",
+        [
+            ("sname", _S, "seller name"),
+            ("item", _S, "item"),
+            ("status", _S, "status"),
+            ("price", _F, "price"),
+            ("total", _F, "total"),
+        ],
+    )
+    return DatabaseSchema("ExampleTarget", [person, order])
+
+
+def example_database() -> Database:
+    """The source instance of Figure 2 (three Customer tuples) plus small extras."""
+    schema = example_source_schema()
+    database = Database(schema)
+    customer_rows = [
+        (1, "Alice", "123", "789", "555", "aaa", "hk", 1),
+        (2, "Bob", "456", "123", "556", "bbb", "hk", 2),
+        (3, "Cindy", "456", "789", "557", "aaa", "aaa", 1),
+    ]
+    database.set_relation(
+        "Customer", Relation.from_schema(schema.relation("Customer"), customer_rows)
+    )
+    c_order_rows = [
+        (10, 1, 120.0),
+        (11, 2, 80.0),
+    ]
+    database.set_relation(
+        "C_Order", Relation.from_schema(schema.relation("C_Order"), c_order_rows)
+    )
+    nation_rows = [
+        (1, "China"),
+        (2, "Japan"),
+    ]
+    database.set_relation(
+        "Nation", Relation.from_schema(schema.relation("Nation"), nation_rows)
+    )
+    return database
+
+
+def example_links() -> SchemaLinks:
+    """Key/foreign-key links of the example source schema."""
+    return SchemaLinks.from_pairs(
+        [
+            ("Customer", "nid", "Nation", "nid"),
+            ("C_Order", "cid", "Customer", "cid"),
+        ]
+    )
+
+
+def example_mappings() -> MappingSet:
+    """The five possible mappings of Figure 3 with their probabilities."""
+    common_nation = {"Person.nation": "Nation.name"}
+    mappings = [
+        Mapping(
+            mapping_id=1,
+            correspondences={
+                "Person.pname": "Customer.cname",
+                "Person.phone": "Customer.ophone",
+                "Person.addr": "Customer.oaddr",
+                "Order.total": "C_Order.amount",
+                **common_nation,
+            },
+            score=3.0,
+            probability=0.3,
+        ),
+        Mapping(
+            mapping_id=2,
+            correspondences={
+                "Person.pname": "Customer.cname",
+                "Person.phone": "Customer.ophone",
+                "Person.addr": "Customer.oaddr",
+                "Order.total": "C_Order.amount",
+                **common_nation,
+            },
+            score=2.0,
+            probability=0.2,
+        ),
+        Mapping(
+            mapping_id=3,
+            correspondences={
+                "Person.pname": "Customer.cname",
+                "Person.phone": "Customer.ophone",
+                "Person.addr": "Customer.haddr",
+                "Order.total": "C_Order.amount",
+                **common_nation,
+            },
+            score=2.0,
+            probability=0.2,
+        ),
+        Mapping(
+            mapping_id=4,
+            correspondences={
+                "Person.pname": "Customer.cname",
+                "Person.phone": "Customer.hphone",
+                "Person.addr": "Customer.haddr",
+                "Order.total": "C_Order.amount",
+                **common_nation,
+            },
+            score=2.0,
+            probability=0.2,
+        ),
+        Mapping(
+            mapping_id=5,
+            correspondences={
+                "Person.phone": "Customer.ophone",
+                "Person.addr": "Customer.haddr",
+                "Order.total": "C_Order.amount",
+                "Order.item": "Nation.name",
+                **common_nation,
+            },
+            score=1.0,
+            probability=0.1,
+        ),
+    ]
+    return MappingSet(mappings)
+
+
+@dataclass
+class PaperExample:
+    """The complete Figure 1-3 setup bundled for tests and examples."""
+
+    source_schema: DatabaseSchema
+    target_schema: DatabaseSchema
+    database: Database
+    mappings: MappingSet
+    links: SchemaLinks
+
+    def query(self, plan: PlanNode, name: str = "") -> TargetQuery:
+        """Wrap a plan over the example target schema into a :class:`TargetQuery`."""
+        return TargetQuery(plan, self.target_schema, name=name)
+
+    # -- the queries the paper discusses -------------------------------- #
+    def q0(self) -> TargetQuery:
+        """``π_addr σ_phone='123' Person`` (the introduction's q0)."""
+        plan = Project(Select(Scan("Person"), Equals(col("phone"), "123")), [col("addr")])
+        return self.query(plan, name="q0")
+
+    def q_phone_by_addr(self) -> TargetQuery:
+        """``π_phone σ_addr='aaa' Person`` (the Section III-B example)."""
+        plan = Project(Select(Scan("Person"), Equals(col("addr"), "aaa")), [col("phone")])
+        return self.query(plan, name="q-phone")
+
+    def q1(self) -> TargetQuery:
+        """``π_pname σ_addr='abc' Person`` (the q-sharing example, Section IV)."""
+        plan = Project(Select(Scan("Person"), Equals(col("addr"), "abc")), [col("pname")])
+        return self.query(plan, name="q1")
+
+    def q2(self) -> TargetQuery:
+        """``(σ_addr='hk' σ_phone='123' Person) × Order`` (the o-sharing example)."""
+        plan = Product(
+            Select(
+                Select(Scan("Person"), Equals(col("phone"), "123")),
+                Equals(col("addr"), "hk"),
+            ),
+            Scan("Order"),
+        )
+        return self.query(plan, name="q2")
+
+
+def build_paper_example() -> PaperExample:
+    """Assemble the complete running example of Figures 1-3."""
+    return PaperExample(
+        source_schema=example_source_schema(),
+        target_schema=example_target_schema(),
+        database=example_database(),
+        mappings=example_mappings(),
+        links=example_links(),
+    )

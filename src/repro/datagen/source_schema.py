@@ -1,0 +1,147 @@
+"""The TPC-H-like purchase-order source schema.
+
+The paper uses a 100 MB TPC-H instance whose schema has 8 relations and 46
+attributes.  This module defines an equivalent purchase-order schema of the
+same shape.  Attribute names are chosen so that the name-based matcher finds
+*plausible and ambiguous* candidates for the target-query attributes — e.g.
+``telephone`` matches both ``customer.c_phone`` and ``supplier.s_phone`` —
+because that ambiguity is exactly what makes the possible mappings differ and
+what the paper's sharing algorithms exploit.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.types import DataType
+
+SOURCE_SCHEMA_NAME = "SourcePO"
+
+_I = DataType.INTEGER
+_F = DataType.FLOAT
+_S = DataType.STRING
+_D = DataType.DATE
+
+
+@lru_cache(maxsize=1)
+def source_schema() -> DatabaseSchema:
+    """Build the 8-relation, 46-attribute source schema."""
+    region = RelationSchema.build(
+        "region",
+        [
+            ("r_regionkey", _I, "region key"),
+            ("r_name", _S, "region name"),
+        ],
+    )
+    nation = RelationSchema.build(
+        "nation",
+        [
+            ("n_nationkey", _I, "nation key"),
+            ("n_name", _S, "nation name"),
+            ("n_regionkey", _I, "owning region"),
+        ],
+    )
+    customer = RelationSchema.build(
+        "customer",
+        [
+            ("c_custkey", _I, "customer key"),
+            ("c_company", _S, "customer company name"),
+            ("c_contactname", _S, "contact person"),
+            ("c_phone", _S, "office telephone"),
+            ("c_deliverto", _S, "delivery recipient"),
+            ("c_invoiceaddress", _S, "invoice address"),
+            ("c_deliverstreet", _S, "delivery street"),
+            ("c_nationkey", _I, "nation of the customer"),
+            ("c_balance", _F, "account balance"),
+        ],
+    )
+    supplier = RelationSchema.build(
+        "supplier",
+        [
+            ("s_suppkey", _I, "supplier key"),
+            ("s_company", _S, "supplier company name"),
+            ("s_contactname", _S, "contact person"),
+            ("s_phone", _S, "supplier telephone"),
+            ("s_address", _S, "supplier address"),
+            ("s_nationkey", _I, "nation of the supplier"),
+        ],
+    )
+    part = RelationSchema.build(
+        "part",
+        [
+            ("p_partkey", _I, "part key"),
+            ("p_itemname", _S, "item name"),
+            ("p_brand", _S, "brand"),
+            ("p_unitprice", _F, "unit retail price"),
+            ("p_size", _I, "size"),
+        ],
+    )
+    partsupp = RelationSchema.build(
+        "partsupp",
+        [
+            ("ps_partkey", _I, "part key"),
+            ("ps_suppkey", _I, "supplier key"),
+            ("ps_supplycost", _F, "supply cost"),
+            ("ps_availableqty", _I, "available quantity"),
+        ],
+    )
+    orders = RelationSchema.build(
+        "orders",
+        [
+            ("o_orderkey", _I, "order key / order number"),
+            ("o_custkey", _I, "ordering customer"),
+            ("o_orderstatus", _S, "order status"),
+            ("o_totalprice", _F, "total price"),
+            ("o_orderdate", _D, "order date"),
+            ("o_priority", _I, "order priority (1-5)"),
+            ("o_invoiceto", _S, "invoice recipient"),
+            ("o_clerk", _S, "clerk handling the order"),
+        ],
+    )
+    lineitem = RelationSchema.build(
+        "lineitem",
+        [
+            ("l_orderkey", _I, "owning order"),
+            ("l_itemnum", _S, "item number"),
+            ("l_suppkey", _I, "supplier"),
+            ("l_linenumber", _I, "line number within the order"),
+            ("l_quantity", _I, "ordered quantity"),
+            ("l_price", _F, "line price"),
+            ("l_shipdate", _D, "ship date"),
+            ("l_shipstreet", _S, "ship-to street"),
+            ("l_shipphone", _S, "ship-to telephone"),
+        ],
+    )
+    schema = DatabaseSchema(
+        SOURCE_SCHEMA_NAME,
+        [region, nation, customer, supplier, part, partsupp, orders, lineitem],
+    )
+    return schema
+
+
+def source_attribute_count() -> int:
+    """Total attribute count (the paper's TPC-H schema has 46)."""
+    return source_schema().attribute_count
+
+
+#: Key/foreign-key pairs of the source schema, used by reformulation to join
+#: (rather than cross) source relations that together cover one target alias.
+SOURCE_LINK_PAIRS: tuple[tuple[str, str, str, str], ...] = (
+    ("nation", "n_regionkey", "region", "r_regionkey"),
+    ("customer", "c_nationkey", "nation", "n_nationkey"),
+    ("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("orders", "o_custkey", "customer", "c_custkey"),
+    ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ("partsupp", "ps_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+)
+
+
+@lru_cache(maxsize=1)
+def source_links():
+    """The :class:`~repro.core.links.SchemaLinks` of the source schema."""
+    from repro.core.links import SchemaLinks
+
+    return SchemaLinks.from_pairs(SOURCE_LINK_PAIRS)

@@ -1,0 +1,222 @@
+"""Target purchase-order schemas: Excel, Noris and Paragon look-alikes.
+
+The paper evaluates against three purchase-order target schemas distributed
+with COMA++ (Excel, Noris, Paragon — 48, 66 and 69 attributes), converted to
+a relational form with two relations, ``PO`` and ``Item``.  The schemas below
+follow that structure and naming style; the attributes referenced by the
+paper's queries (Table III) — ``telephone``, ``priority``, ``invoiceTo``,
+``quantity``, ``itemNum``, ``orderNum``, ``company``, ``deliverToStreet``,
+``deliverTo``, ``unitPrice``, ``billTo``, ``shipToAddress``, ``shipToPhone``,
+``billToAddress``, ``price`` — are present verbatim in the relevant schema.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.types import DataType
+
+_I = DataType.INTEGER
+_F = DataType.FLOAT
+_S = DataType.STRING
+_D = DataType.DATE
+
+#: The schema names accepted by :func:`target_schema`.
+TARGET_SCHEMA_NAMES = ("Excel", "Noris", "Paragon")
+
+
+def _excel() -> DatabaseSchema:
+    po = RelationSchema.build(
+        "PO",
+        [
+            ("orderNum", _S, "order number"),
+            ("orderDate", _D, "order date"),
+            ("status", _S, "order status"),
+            ("priority", _I, "order priority"),
+            ("company", _S, "ordering company"),
+            ("invoiceTo", _S, "invoice recipient"),
+            ("telephone", _S, "contact telephone"),
+            ("mobilePhone", _S, "contact mobile"),
+            ("contactName", _S, "contact person"),
+            ("deliverTo", _S, "delivery recipient"),
+            ("deliverToStreet", _S, "delivery street"),
+            ("deliverToCity", _S, "delivery city"),
+            ("deliverToNation", _S, "delivery nation"),
+            ("invoiceAddress", _S, "invoice address"),
+            ("totalAmount", _F, "order total"),
+            ("discount", _F, "order discount"),
+            ("currency", _S, "currency"),
+            ("paymentTerms", _S, "payment terms"),
+            ("clerk", _S, "clerk"),
+            ("remarks", _S, "free-text remarks"),
+            ("customerKey", _I, "customer identifier"),
+            ("customerBalance", _F, "customer account balance"),
+            ("region", _S, "customer region"),
+            ("nation", _S, "customer nation"),
+        ],
+    )
+    item = RelationSchema.build(
+        "Item",
+        [
+            ("itemNum", _S, "item number"),
+            ("orderNum", _S, "owning order number"),
+            ("itemName", _S, "item name"),
+            ("brand", _S, "brand"),
+            ("quantity", _I, "ordered quantity"),
+            ("unitPrice", _F, "unit price"),
+            ("extendedPrice", _F, "extended price"),
+            ("supplierCompany", _S, "supplier company"),
+            ("supplierPhone", _S, "supplier telephone"),
+            ("supplierAddress", _S, "supplier address"),
+            ("shipDate", _D, "ship date"),
+            ("shipStreet", _S, "ship street"),
+            ("lineNumber", _I, "line number"),
+            ("availableQty", _I, "available quantity"),
+            ("supplyCost", _F, "supply cost"),
+            ("itemSize", _I, "item size"),
+            ("taxAmount", _F, "tax amount"),
+            ("itemStatus", _S, "item status"),
+            ("itemComment", _S, "item comment"),
+            ("packaging", _S, "packaging"),
+            ("weight", _F, "weight"),
+            ("warehouse", _S, "warehouse"),
+            ("deliveryWindow", _S, "delivery window"),
+            ("returnPolicy", _S, "return policy"),
+        ],
+    )
+    return DatabaseSchema("Excel", [po, item])
+
+
+def _noris() -> DatabaseSchema:
+    po = RelationSchema.build(
+        "PO",
+        [
+            ("orderNum", _S, "purchase order number"),
+            ("orderIssueDate", _D, "issue date"),
+            ("orderStatusCode", _S, "status code"),
+            ("orderPriorityLevel", _I, "priority level"),
+            ("buyerCompany", _S, "buyer company"),
+            ("invoiceTo", _S, "invoice recipient"),
+            ("invoiceStreetAddress", _S, "invoice street address"),
+            ("telephone", _S, "buyer telephone"),
+            ("faxNumber", _S, "fax number"),
+            ("contactPerson", _S, "contact person"),
+            ("deliverTo", _S, "delivery recipient"),
+            ("deliverToStreet", _S, "delivery street"),
+            ("deliverToCity", _S, "delivery city"),
+            ("deliverToCountry", _S, "delivery country"),
+            ("deliverToPostcode", _S, "delivery postcode"),
+            ("orderTotalValue", _F, "order value"),
+            ("orderCurrency", _S, "currency"),
+            ("orderClerkName", _S, "clerk"),
+            ("customerAccountKey", _I, "customer account"),
+            ("customerCreditBalance", _F, "credit balance"),
+            ("salesRegion", _S, "sales region"),
+            ("salesNation", _S, "sales nation"),
+            ("shippingMode", _S, "shipping mode"),
+            ("specialInstructions", _S, "special instructions"),
+            ("approvalStatus", _S, "approval status"),
+            ("revisionNumber", _I, "revision number"),
+        ],
+    )
+    item = RelationSchema.build(
+        "Item",
+        [
+            ("itemNum", _S, "item number"),
+            ("orderNum", _S, "owning order"),
+            ("articleName", _S, "article name"),
+            ("articleBrand", _S, "article brand"),
+            ("orderedQuantity", _I, "ordered quantity"),
+            ("unitPrice", _F, "unit price"),
+            ("lineTotalPrice", _F, "line total"),
+            ("vendorCompany", _S, "vendor company"),
+            ("vendorPhone", _S, "vendor phone"),
+            ("vendorStreetAddress", _S, "vendor address"),
+            ("requestedShipDate", _D, "requested ship date"),
+            ("shipToStreet", _S, "ship-to street"),
+            ("lineSequenceNumber", _I, "line sequence"),
+            ("stockAvailableQuantity", _I, "stock quantity"),
+            ("procurementCost", _F, "procurement cost"),
+            ("articleSize", _I, "article size"),
+            ("taxRatePercent", _F, "tax rate"),
+            ("lineStatusCode", _S, "line status"),
+            ("inspectionRequired", _S, "inspection flag"),
+            ("countryOfOrigin", _S, "country of origin"),
+        ],
+    )
+    return DatabaseSchema("Noris", [po, item])
+
+
+def _paragon() -> DatabaseSchema:
+    po = RelationSchema.build(
+        "PO",
+        [
+            ("orderNum", _S, "order number"),
+            ("orderCreationDate", _D, "creation date"),
+            ("statusFlag", _S, "status flag"),
+            ("priorityCode", _I, "priority code"),
+            ("purchasingCompany", _S, "purchasing company"),
+            ("invoiceTo", _S, "invoice recipient"),
+            ("billTo", _S, "billing recipient"),
+            ("billToAddress", _S, "billing address"),
+            ("telephone", _S, "telephone"),
+            ("shipToPhone", _S, "ship-to telephone"),
+            ("shipToAddress", _S, "ship-to address"),
+            ("shipToStreet", _S, "ship-to street"),
+            ("shipToCity", _S, "ship-to city"),
+            ("shipToCountry", _S, "ship-to country"),
+            ("grandTotal", _F, "grand total"),
+            ("currencyCode", _S, "currency"),
+            ("purchasingAgent", _S, "purchasing agent"),
+            ("accountNumber", _I, "account number"),
+            ("accountBalance", _F, "account balance"),
+            ("tradeRegion", _S, "trade region"),
+            ("tradeNation", _S, "trade nation"),
+            ("freightTerms", _S, "freight terms"),
+            ("paymentDueDate", _D, "payment due date"),
+            ("authorizedBy", _S, "authorised by"),
+            ("documentRevision", _I, "document revision"),
+        ],
+    )
+    item = RelationSchema.build(
+        "Item",
+        [
+            ("itemNum", _S, "item number"),
+            ("orderNum", _S, "owning order"),
+            ("productName", _S, "product name"),
+            ("productBrand", _S, "product brand"),
+            ("quantityOrdered", _I, "quantity ordered"),
+            ("price", _F, "price"),
+            ("extendedAmount", _F, "extended amount"),
+            ("supplierCompany", _S, "supplier company"),
+            ("supplierTelephone", _S, "supplier telephone"),
+            ("supplierAddress", _S, "supplier address"),
+            ("promisedShipDate", _D, "promised ship date"),
+            ("shipmentStreet", _S, "shipment street"),
+            ("itemLineNumber", _I, "line number"),
+            ("quantityAvailable", _I, "quantity available"),
+            ("unitCost", _F, "unit cost"),
+            ("productSize", _I, "product size"),
+            ("taxValue", _F, "tax value"),
+            ("lineState", _S, "line state"),
+            ("serialNumbers", _S, "serial numbers"),
+            ("warrantyMonths", _I, "warranty months"),
+            ("hazardClass", _S, "hazard class"),
+        ],
+    )
+    return DatabaseSchema("Paragon", [po, item])
+
+
+_BUILDERS = {"Excel": _excel, "Noris": _noris, "Paragon": _paragon}
+
+
+@lru_cache(maxsize=None)
+def target_schema(name: str = "Excel") -> DatabaseSchema:
+    """Return one of the three target schemas by (case-insensitive) name."""
+    for candidate, builder in _BUILDERS.items():
+        if candidate.lower() == name.lower():
+            return builder()
+    raise KeyError(
+        f"unknown target schema {name!r}; available: {', '.join(TARGET_SCHEMA_NAMES)}"
+    )

@@ -1,0 +1,49 @@
+"""Schema-matching substrate (stand-in for COMA++).
+
+The paper consumes the *output* of a schema matcher: scored correspondences
+between source and target attributes, turned into a set of possible mappings
+by a k-best bipartite-matching construction.  This package provides the whole
+pipeline from scratch:
+
+* :mod:`repro.matching.similarity` — string similarity measures
+  (Levenshtein, Jaro-Winkler, n-gram, token overlap, prefix/suffix).
+* :mod:`repro.matching.tokenize` — attribute-name tokenisation.
+* :mod:`repro.matching.matcher` — the composite matcher producing a scored
+  correspondence matrix between two schemas.
+* :mod:`repro.matching.hungarian` — maximum-weight bipartite assignment.
+* :mod:`repro.matching.kbest` — Murty's algorithm enumerating the h best
+  assignments.
+* :mod:`repro.matching.mappings` — the possible-mapping model
+  (:class:`Mapping`, :class:`MappingSet`) with probability normalisation and
+  the o-ratio overlap metric of Section VIII-B.1.
+"""
+
+from repro.matching.correspondence import Correspondence
+from repro.matching.hungarian import max_weight_assignment
+from repro.matching.kbest import k_best_assignments
+from repro.matching.mappings import Mapping, MappingSet, generate_possible_mappings
+from repro.matching.matcher import CompositeMatcher, MatchResult, match_schemas
+from repro.matching.similarity import (
+    jaro_winkler,
+    levenshtein_similarity,
+    ngram_similarity,
+    prefix_suffix_similarity,
+    token_similarity,
+)
+
+__all__ = [
+    "Correspondence",
+    "max_weight_assignment",
+    "k_best_assignments",
+    "Mapping",
+    "MappingSet",
+    "generate_possible_mappings",
+    "CompositeMatcher",
+    "MatchResult",
+    "match_schemas",
+    "jaro_winkler",
+    "levenshtein_similarity",
+    "ngram_similarity",
+    "prefix_suffix_similarity",
+    "token_similarity",
+]

@@ -1,0 +1,36 @@
+"""Correspondences between source and target attributes.
+
+A correspondence is a scored pair ``(source attribute, target attribute)``,
+identified by qualified names (``relation.attribute``) so that attributes in
+different relations never collide.  The figure-1 example of the paper —
+``(ophone, phone)`` with score 0.85 — is a correspondence in this sense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Correspondence:
+    """A scored attribute correspondence.
+
+    Ordering sorts by score (ascending) so that ``max``/``sorted`` behave
+    naturally; the matcher returns correspondences sorted descending by score.
+    """
+
+    score: float
+    source: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0 + 1e-9:
+            raise ValueError(f"correspondence score {self.score} outside [0, 1]")
+
+    @property
+    def pair(self) -> tuple[str, str]:
+        """The ``(source, target)`` identity of the correspondence (score ignored)."""
+        return (self.source, self.target)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.source} ~ {self.target}, {self.score:.2f})"

@@ -1,0 +1,141 @@
+"""Maximum-weight bipartite assignment (Hungarian algorithm).
+
+The possible-mapping construction of the paper (Section II / VIII-A) evaluates
+a *bipartite matching algorithm* over the matcher's similarity scores and
+keeps the h best matchings.  This module provides the single best assignment;
+:mod:`repro.matching.kbest` builds Murty's k-best enumeration on top of it.
+
+The implementation is the classical shortest-augmenting-path formulation with
+row/column potentials (O(n² · m)), written for rectangular matrices with at
+most as many rows as columns.  ``FORBIDDEN`` marks pairs that must never be
+chosen (used by Murty's partitioning and by score thresholds).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+#: Weight assigned to pairs that must not be selected.  Any assignment whose
+#: total weight dips below ``FORBIDDEN / 2`` is treated as infeasible.
+FORBIDDEN = -1.0e9
+
+AssignmentSolver = Callable[[Sequence[Sequence[float]]], list[int]]
+
+
+def max_weight_assignment(weights: Sequence[Sequence[float]]) -> list[int]:
+    """Solve the rectangular assignment problem, maximising total weight.
+
+    Parameters
+    ----------
+    weights:
+        ``weights[i][j]`` is the weight of assigning row ``i`` to column ``j``.
+        The number of rows must not exceed the number of columns.
+
+    Returns
+    -------
+    list[int]
+        ``assignment[i]`` is the column assigned to row ``i``.  Every row is
+        assigned (columns may be left unassigned); callers encode "allow row
+        to stay unmatched" by adding per-row dummy columns.
+    """
+    rows = len(weights)
+    if rows == 0:
+        return []
+    cols = len(weights[0])
+    if any(len(row) != cols for row in weights):
+        raise ValueError("weight matrix is ragged")
+    if rows > cols:
+        raise ValueError(
+            f"assignment requires rows <= columns, got {rows} rows and {cols} columns"
+        )
+    # Convert to a minimisation problem.
+    cost = [[-value for value in row] for row in weights]
+    return _min_cost_assignment(cost)
+
+
+def assignment_weight(weights: Sequence[Sequence[float]], assignment: Sequence[int]) -> float:
+    """Total weight of an assignment produced by :func:`max_weight_assignment`."""
+    return sum(weights[i][j] for i, j in enumerate(assignment))
+
+
+def is_feasible(weights: Sequence[Sequence[float]], assignment: Sequence[int]) -> bool:
+    """True when the assignment avoids all :data:`FORBIDDEN` pairs."""
+    return all(weights[i][j] > FORBIDDEN / 2 for i, j in enumerate(assignment))
+
+
+def _min_cost_assignment(cost: list[list[float]]) -> list[int]:
+    """Shortest-augmenting-path assignment for a rows<=cols cost matrix."""
+    rows = len(cost)
+    cols = len(cost[0])
+    infinity = float("inf")
+    # Potentials; arrays are 1-indexed following the classical presentation.
+    u = [0.0] * (rows + 1)
+    v = [0.0] * (cols + 1)
+    # p[j] = row matched to column j (0 = unmatched).
+    p = [0] * (cols + 1)
+    way = [0] * (cols + 1)
+    for i in range(1, rows + 1):
+        p[0] = i
+        j0 = 0
+        minv = [infinity] * (cols + 1)
+        used = [False] * (cols + 1)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = infinity
+            j1 = -1
+            row_cost = cost[i0 - 1]
+            for j in range(1, cols + 1):
+                if used[j]:
+                    continue
+                current = row_cost[j - 1] - u[i0] - v[j]
+                if current < minv[j]:
+                    minv[j] = current
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(cols + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+    assignment = [-1] * rows
+    for j in range(1, cols + 1):
+        if p[j]:
+            assignment[p[j] - 1] = j - 1
+    return assignment
+
+
+def scipy_assignment_solver() -> AssignmentSolver | None:
+    """Return a scipy-backed solver when scipy is importable, else ``None``.
+
+    The pure-Python solver is always correct; the scipy solver (Jonker-
+    Volgenant, C implementation) is used by the scenario builder to speed up
+    Murty's enumeration for large mapping counts.  Tests cross-validate the
+    two implementations.
+    """
+    try:
+        from scipy.optimize import linear_sum_assignment
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        return None
+
+    import numpy as np
+
+    def solve(weights: Sequence[Sequence[float]]) -> list[int]:
+        matrix = np.asarray(weights, dtype=float)
+        row_indexes, col_indexes = linear_sum_assignment(matrix, maximize=True)
+        assignment = [-1] * matrix.shape[0]
+        for row, column in zip(row_indexes, col_indexes):
+            assignment[int(row)] = int(column)
+        return assignment
+
+    return solve

@@ -1,0 +1,148 @@
+"""Murty's algorithm: the k best assignments of a bipartite weight matrix.
+
+Given the matcher's score matrix, the k best one-to-one assignments are the
+k best *possible mappings* (Section II of the paper).  Murty's algorithm
+enumerates assignments in non-increasing weight order by best-first search
+over sub-problems: each popped solution is partitioned into child problems
+that force a prefix of its pairs and forbid the next pair.
+
+The implementation accepts any assignment solver with the signature of
+:func:`repro.matching.hungarian.max_weight_assignment`; by default the pure
+Python solver is used, and the scenario builder passes the scipy-backed
+solver for large mapping counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.matching.hungarian import (
+    FORBIDDEN,
+    AssignmentSolver,
+    assignment_weight,
+    is_feasible,
+    max_weight_assignment,
+)
+
+
+@dataclass(frozen=True)
+class RankedAssignment:
+    """One enumerated assignment together with its total weight and rank."""
+
+    rank: int
+    weight: float
+    assignment: tuple[int, ...]
+
+
+@dataclass(order=True)
+class _Subproblem:
+    """A node of Murty's search tree (max-heap via negated weight)."""
+
+    negated_weight: float
+    tie_breaker: int
+    assignment: tuple[int, ...] = field(compare=False)
+    forced: tuple[tuple[int, int], ...] = field(compare=False)
+    forbidden: tuple[tuple[int, int], ...] = field(compare=False)
+
+
+def k_best_assignments(
+    weights: Sequence[Sequence[float]],
+    k: int,
+    solver: AssignmentSolver | None = None,
+) -> list[RankedAssignment]:
+    """Return up to ``k`` feasible assignments in non-increasing weight order."""
+    return list(iter_best_assignments(weights, k, solver=solver))
+
+
+def iter_best_assignments(
+    weights: Sequence[Sequence[float]],
+    k: int,
+    solver: AssignmentSolver | None = None,
+) -> Iterator[RankedAssignment]:
+    """Lazily yield up to ``k`` assignments in non-increasing weight order."""
+    if k <= 0:
+        return
+    solve = solver or max_weight_assignment
+    base = [list(row) for row in weights]
+    rows = len(base)
+    if rows == 0:
+        return
+
+    counter = itertools.count()
+    heap: list[_Subproblem] = []
+    first = _solve_constrained(base, (), (), solve)
+    if first is None:
+        return
+    assignment, weight = first
+    heapq.heappush(
+        heap,
+        _Subproblem(-weight, next(counter), assignment, (), ()),
+    )
+    emitted = 0
+    seen: set[tuple[int, ...]] = set()
+    while heap and emitted < k:
+        node = heapq.heappop(heap)
+        if node.assignment in seen:
+            continue
+        seen.add(node.assignment)
+        emitted += 1
+        yield RankedAssignment(
+            rank=emitted, weight=-node.negated_weight, assignment=node.assignment
+        )
+        # Partition the node into child sub-problems (Murty's split).
+        forced: list[tuple[int, int]] = list(node.forced)
+        forced_rows = {row for row, _ in node.forced}
+        for row in range(rows):
+            if row in forced_rows:
+                continue
+            pair = (row, node.assignment[row])
+            child_forbidden = node.forbidden + (pair,)
+            child_forced = tuple(forced)
+            solved = _solve_constrained(base, child_forced, child_forbidden, solve)
+            if solved is not None:
+                child_assignment, child_weight = solved
+                heapq.heappush(
+                    heap,
+                    _Subproblem(
+                        -child_weight,
+                        next(counter),
+                        child_assignment,
+                        child_forced,
+                        child_forbidden,
+                    ),
+                )
+            forced.append(pair)
+            forced_rows.add(row)
+
+
+def _solve_constrained(
+    base: list[list[float]],
+    forced: tuple[tuple[int, int], ...],
+    forbidden: tuple[tuple[int, int], ...],
+    solve: AssignmentSolver,
+) -> tuple[tuple[int, ...], float] | None:
+    """Solve the assignment problem under forced/forbidden pair constraints.
+
+    Returns ``None`` when no feasible assignment exists (some row can only be
+    matched through a forbidden pair).
+    """
+    matrix = [row[:] for row in base]
+    cols = len(matrix[0]) if matrix else 0
+    for row, column in forbidden:
+        matrix[row][column] = FORBIDDEN
+    for row, column in forced:
+        kept = matrix[row][column]
+        matrix[row] = [FORBIDDEN] * cols
+        matrix[row][column] = kept
+        # Prevent other rows from stealing the forced column.
+        for other in range(len(matrix)):
+            if other != row:
+                matrix[other][column] = FORBIDDEN
+    assignment = solve(matrix)
+    if not is_feasible(matrix, assignment):
+        return None
+    weight = assignment_weight(matrix, assignment)
+    return tuple(assignment), weight

@@ -1,0 +1,246 @@
+"""The possible-mapping model (Section III-A of the paper).
+
+An uncertain matching between a source schema ``S`` and a target schema ``T``
+is a set ``M = {m_1, ..., m_h}`` of possible mappings.  Each mapping is a
+one-to-one, partial set of attribute correspondences and carries a
+probability; the mapping events are mutually exclusive and the probabilities
+sum to one.
+
+``generate_possible_mappings`` reproduces the construction the paper cites
+from [8], [9], [10]: run a k-best bipartite-matching enumeration over the
+matcher's similarity scores, keep the ``h`` best mappings, and normalise each
+mapping's total similarity score by the sum over the ``h`` mappings to obtain
+its probability.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping as TMapping, Sequence
+
+from repro.matching.correspondence import Correspondence
+from repro.matching.hungarian import AssignmentSolver
+from repro.matching.kbest import iter_best_assignments
+from repro.matching.matcher import MatchResult
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One possible mapping: a one-to-one partial attribute correspondence set."""
+
+    mapping_id: int
+    #: target qualified attribute -> source qualified attribute
+    correspondences: TMapping[str, str]
+    #: total similarity score of the mapping (sum of correspondence scores)
+    score: float
+    #: probability that this mapping is the correct one
+    probability: float
+
+    def source_for(self, target_attribute: str) -> str | None:
+        """Source attribute matched to ``target_attribute`` (None if unmatched)."""
+        return self.correspondences.get(target_attribute)
+
+    @property
+    def pairs(self) -> frozenset[tuple[str, str]]:
+        """The correspondence pairs as a hashable set (used by the o-ratio)."""
+        return frozenset(self.correspondences.items())
+
+    @property
+    def size(self) -> int:
+        """Number of correspondences in the mapping."""
+        return len(self.correspondences)
+
+    def covers(self, target_attributes: Iterable[str]) -> bool:
+        """True when every listed target attribute is matched by this mapping."""
+        return all(attribute in self.correspondences for attribute in target_attributes)
+
+    def signature(self, target_attributes: Sequence[str]) -> tuple[str | None, ...]:
+        """The source attributes assigned to the listed target attributes.
+
+        Two mappings with equal signatures for a query's attributes produce
+        the same source query — this is the grouping criterion of q-sharing.
+        """
+        return tuple(self.correspondences.get(attribute) for attribute in target_attributes)
+
+    def with_probability(self, probability: float) -> "Mapping":
+        """A copy of this mapping carrying a different probability."""
+        return Mapping(
+            mapping_id=self.mapping_id,
+            correspondences=self.correspondences,
+            score=self.score,
+            probability=probability,
+        )
+
+    def overlap(self, other: "Mapping") -> float:
+        """The o-ratio of two mappings: |m_i ∩ m_j| / |m_i ∪ m_j| over pairs."""
+        mine, theirs = self.pairs, other.pairs
+        union = len(mine | theirs)
+        if union == 0:
+            return 1.0
+        return len(mine & theirs) / union
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"m{self.mapping_id}(|c|={self.size}, p={self.probability:.3f})"
+
+
+class MappingSet:
+    """An ordered set of possible mappings with normalised probabilities."""
+
+    def __init__(self, mappings: Sequence[Mapping], normalize: bool = False):
+        mappings = list(mappings)
+        if not mappings:
+            raise ValueError("a MappingSet needs at least one mapping")
+        if normalize:
+            mappings = self._normalized(mappings)
+        self.mappings: list[Mapping] = mappings
+        self._by_id = {mapping.mapping_id: mapping for mapping in mappings}
+        if len(self._by_id) != len(mappings):
+            raise ValueError("duplicate mapping ids in MappingSet")
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _normalized(mappings: list[Mapping]) -> list[Mapping]:
+        total = sum(mapping.score for mapping in mappings)
+        if total <= 0:
+            uniform = 1.0 / len(mappings)
+            return [mapping.with_probability(uniform) for mapping in mappings]
+        return [mapping.with_probability(mapping.score / total) for mapping in mappings]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of possible mappings (the paper's ``h``)."""
+        return len(self.mappings)
+
+    @property
+    def total_probability(self) -> float:
+        """Sum of the mapping probabilities (should be ~1)."""
+        return sum(mapping.probability for mapping in self.mappings)
+
+    def mapping(self, mapping_id: int) -> Mapping:
+        """Mapping with a given id."""
+        try:
+            return self._by_id[mapping_id]
+        except KeyError:
+            raise KeyError(f"no mapping with id {mapping_id}") from None
+
+    def subset(self, h: int) -> "MappingSet":
+        """The first ``h`` mappings, re-normalised (used by the #mappings sweeps)."""
+        if h <= 0:
+            raise ValueError("subset size must be positive")
+        return MappingSet(self.mappings[:h], normalize=True)
+
+    def probability_of(self, mappings: Iterable[Mapping]) -> float:
+        """Total probability of a group of mappings."""
+        return sum(mapping.probability for mapping in mappings)
+
+    # -- overlap metrics (Section VIII-B.1) ----------------------------- #
+    def o_ratio(self) -> float:
+        """Average pairwise overlap ratio of the mapping set."""
+        if len(self.mappings) < 2:
+            return 1.0
+        total = 0.0
+        count = 0
+        for left, right in itertools.combinations(self.mappings, 2):
+            total += left.overlap(right)
+            count += 1
+        return total / count
+
+    def shared_correspondences(self) -> frozenset[tuple[str, str]]:
+        """Correspondence pairs shared by *every* mapping in the set."""
+        shared = set(self.mappings[0].pairs)
+        for mapping in self.mappings[1:]:
+            shared &= mapping.pairs
+        return frozenset(shared)
+
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[Mapping]:
+        return iter(self.mappings)
+
+    def __len__(self) -> int:
+        return len(self.mappings)
+
+    def __getitem__(self, index: int) -> Mapping:
+        return self.mappings[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MappingSet(h={len(self.mappings)}, o_ratio≈{self.o_ratio():.2f})"
+
+
+def generate_possible_mappings(
+    match_result: MatchResult,
+    h: int,
+    solver: AssignmentSolver | None = None,
+    candidate_threshold: float | None = None,
+) -> MappingSet:
+    """Generate the ``h`` best possible mappings from a matcher result.
+
+    The construction follows Section II/VIII-A of the paper:
+
+    1. keep, per target attribute, the above-threshold candidate source
+       attributes;
+    2. enumerate one-to-one assignments in decreasing total-score order with
+       Murty's algorithm (each target attribute may also stay unmatched via a
+       per-attribute dummy column);
+    3. keep the ``h`` best assignments and normalise their total scores into
+       probabilities.
+    """
+    if h <= 0:
+        raise ValueError("h must be positive")
+    threshold = match_result.threshold if candidate_threshold is None else candidate_threshold
+
+    # Target attributes that have at least one candidate, with their candidates.
+    candidate_map: dict[str, list[tuple[str, float]]] = {}
+    for correspondence in match_result.correspondences:
+        if correspondence.score < threshold:
+            continue
+        candidate_map.setdefault(correspondence.target, []).append(
+            (correspondence.source, correspondence.score)
+        )
+    if not candidate_map:
+        raise ValueError(
+            "the match result has no correspondence above the threshold; "
+            "cannot build possible mappings"
+        )
+
+    targets = sorted(candidate_map)
+    sources = sorted({source for candidates in candidate_map.values() for source, _ in candidates})
+    source_index = {source: i for i, source in enumerate(sources)}
+
+    # Columns: real source attributes followed by one dummy column per target
+    # attribute (allows the mapping to stay partial).  Dummy pairs score 0,
+    # every other non-candidate pair is forbidden.
+    from repro.matching.hungarian import FORBIDDEN
+
+    columns = len(sources) + len(targets)
+    weights: list[list[float]] = []
+    for row, target in enumerate(targets):
+        row_weights = [FORBIDDEN] * columns
+        for source, score in candidate_map[target]:
+            row_weights[source_index[source]] = score
+        row_weights[len(sources) + row] = 0.0
+        weights.append(row_weights)
+
+    mappings: list[Mapping] = []
+    for ranked in iter_best_assignments(weights, h, solver=solver):
+        correspondences: dict[str, str] = {}
+        score = 0.0
+        for row, column in enumerate(ranked.assignment):
+            if column >= len(sources):
+                continue  # dummy column: target attribute left unmatched
+            target = targets[row]
+            source = sources[column]
+            correspondences[target] = source
+            score += match_result.score(target, source)
+        mappings.append(
+            Mapping(
+                mapping_id=len(mappings) + 1,
+                correspondences=correspondences,
+                score=score,
+                probability=0.0,
+            )
+        )
+    if not mappings:
+        raise ValueError("no feasible mapping could be generated")
+    return MappingSet(mappings, normalize=True)

@@ -1,0 +1,153 @@
+"""String similarity measures used by the composite matcher.
+
+All measures return a similarity in ``[0, 1]`` where 1 means identical.  They
+are implemented from scratch (no external record-linkage dependency) and are
+individually exercised by unit tests; the composite matcher combines them
+with weights the way COMA++ combines its individual matchers.
+"""
+
+from __future__ import annotations
+
+from repro.matching.tokenize import normalize_tokens, normalized_name
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Classic dynamic-programming edit distance (insert/delete/substitute)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            current.append(
+                min(
+                    previous[j] + 1,      # deletion
+                    current[j - 1] + 1,   # insertion
+                    previous[j - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left: str, right: str) -> float:
+    """Edit distance normalised into a similarity: ``1 - d / max_len``."""
+    if not left and not right:
+        return 1.0
+    longest = max(len(left), len(right))
+    return 1.0 - levenshtein_distance(left, right) / longest
+
+
+def jaro(left: str, right: str) -> float:
+    """Jaro similarity (transposition-aware common-character matching)."""
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+    window = max(len(left), len(right)) // 2 - 1
+    window = max(window, 0)
+    left_matches = [False] * len(left)
+    right_matches = [False] * len(right)
+    matches = 0
+    for i, char in enumerate(left):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(right))
+        for j in range(start, end):
+            if right_matches[j] or right[j] != char:
+                continue
+            left_matches[i] = True
+            right_matches[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(left_matches):
+        if not matched:
+            continue
+        while not right_matches[j]:
+            j += 1
+        if left[i] != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(left) + matches / len(right) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(left: str, right: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity (Jaro boosted by a shared prefix of up to 4 chars)."""
+    base = jaro(left, right)
+    prefix = 0
+    for left_char, right_char in zip(left[:4], right[:4]):
+        if left_char != right_char:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def ngram_similarity(left: str, right: str, n: int = 3) -> float:
+    """Dice coefficient over character n-grams (default trigrams).
+
+    Strings shorter than ``n`` are padded with ``#`` so that very short names
+    still produce at least one gram.
+    """
+    left_grams = _ngrams(left, n)
+    right_grams = _ngrams(right, n)
+    if not left_grams and not right_grams:
+        return 1.0
+    if not left_grams or not right_grams:
+        return 0.0
+    overlap = sum(min(left_grams[gram], right_grams.get(gram, 0)) for gram in left_grams)
+    total = sum(left_grams.values()) + sum(right_grams.values())
+    return 2.0 * overlap / total
+
+
+def _ngrams(text: str, n: int) -> dict[str, int]:
+    padded = f"{'#' * (n - 1)}{text}{'#' * (n - 1)}" if text else ""
+    grams: dict[str, int] = {}
+    for i in range(max(len(padded) - n + 1, 0)):
+        gram = padded[i : i + n]
+        grams[gram] = grams.get(gram, 0) + 1
+    return grams
+
+
+def token_similarity(left: str, right: str) -> float:
+    """Dice coefficient over normalised word tokens of the two names."""
+    left_tokens = set(normalize_tokens(left))
+    right_tokens = set(normalize_tokens(right))
+    if not left_tokens and not right_tokens:
+        return 1.0
+    if not left_tokens or not right_tokens:
+        return 0.0
+    return 2.0 * len(left_tokens & right_tokens) / (len(left_tokens) + len(right_tokens))
+
+
+def prefix_suffix_similarity(left: str, right: str) -> float:
+    """Similarity based on the longest common prefix and suffix of normalised names."""
+    left_norm = normalized_name(left)
+    right_norm = normalized_name(right)
+    if not left_norm and not right_norm:
+        return 1.0
+    if not left_norm or not right_norm:
+        return 0.0
+    prefix = 0
+    for left_char, right_char in zip(left_norm, right_norm):
+        if left_char != right_char:
+            break
+        prefix += 1
+    suffix = 0
+    for left_char, right_char in zip(reversed(left_norm), reversed(right_norm)):
+        if left_char != right_char:
+            break
+        suffix += 1
+    suffix = min(suffix, min(len(left_norm), len(right_norm)) - prefix)
+    shorter = min(len(left_norm), len(right_norm))
+    return (prefix + max(suffix, 0)) / shorter if shorter else 0.0

@@ -1,0 +1,168 @@
+"""Attribute-name tokenisation.
+
+Schema attribute names mix conventions — ``deliverToStreet``, ``o_orderkey``,
+``ship_to_phone`` — so every similarity measure that works on tokens first
+normalises a name into a list of lowercase word tokens.
+"""
+
+from __future__ import annotations
+
+import re
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])|(?<=[A-Z])(?=[A-Z][a-z])")
+_NON_ALNUM = re.compile(r"[^0-9a-zA-Z]+")
+_DIGIT_BOUNDARY = re.compile(r"(?<=[a-zA-Z])(?=[0-9])|(?<=[0-9])(?=[a-zA-Z])")
+
+#: Common abbreviations expanded before comparison.  The real COMA++ uses a
+#: synonym dictionary; this small table captures the purchase-order domain.
+ABBREVIATIONS: dict[str, str] = {
+    "no": "number",
+    "num": "number",
+    "nbr": "number",
+    "qty": "quantity",
+    "amt": "amount",
+    "addr": "address",
+    "tel": "telephone",
+    "phone": "telephone",
+    "cust": "customer",
+    "ord": "order",
+    "descr": "description",
+    "desc": "description",
+    "id": "key",
+    "key": "key",
+    "bill": "invoice",
+    "person": "name",
+    "buyer": "customer",
+    "vendor": "supplier",
+    "article": "item",
+    "product": "item",
+}
+
+#: Domain vocabulary used to segment run-together tokens (``orderkey`` →
+#: ``order`` + ``key``).  Database attribute names frequently concatenate
+#: words without a case or underscore boundary; COMA++ handles this with a
+#: dictionary-based tokeniser, which this list emulates for the purchase-order
+#: domain.  Longest words first so greedy segmentation prefers them.
+VOCABULARY: tuple[str, ...] = tuple(
+    sorted(
+        {
+            "addr",
+            "address",
+            "amount",
+            "available",
+            "balance",
+            "brand",
+            "city",
+            "clerk",
+            "company",
+            "contact",
+            "cost",
+            "country",
+            "cust",
+            "customer",
+            "date",
+            "deliver",
+            "discount",
+            "invoice",
+            "item",
+            "key",
+            "line",
+            "mobile",
+            "name",
+            "nation",
+            "num",
+            "number",
+            "order",
+            "part",
+            "phone",
+            "price",
+            "priority",
+            "qty",
+            "quantity",
+            "region",
+            "ship",
+            "size",
+            "status",
+            "street",
+            "supp",
+            "supplier",
+            "supply",
+            "tax",
+            "telephone",
+            "total",
+            "unit",
+        },
+        key=len,
+        reverse=True,
+    )
+)
+
+
+def segment_token(token: str, vocabulary: tuple[str, ...] = VOCABULARY) -> list[str]:
+    """Split a run-together token into vocabulary words where possible.
+
+    Greedy longest-prefix segmentation: ``orderkey`` → ``['order', 'key']``,
+    ``itemnum`` → ``['item', 'num']``.  Characters that match no vocabulary
+    word are accumulated and emitted as-is, so unknown tokens survive
+    unchanged.
+
+    >>> segment_token("orderkey")
+    ['order', 'key']
+    >>> segment_token("foobar")
+    ['foobar']
+    """
+    pieces: list[str] = []
+    residue = ""
+    position = 0
+    while position < len(token):
+        match = next(
+            (word for word in vocabulary if token.startswith(word, position)), None
+        )
+        if match is None:
+            residue += token[position]
+            position += 1
+            continue
+        if residue:
+            pieces.append(residue)
+            residue = ""
+        pieces.append(match)
+        position += len(match)
+    if residue:
+        pieces.append(residue)
+    return pieces or [token]
+
+
+def split_name(name: str) -> list[str]:
+    """Split an attribute or relation name into lowercase tokens.
+
+    Case and underscore boundaries are split first, then run-together tokens
+    are segmented against the domain vocabulary.
+
+    >>> split_name("deliverToStreet")
+    ['deliver', 'to', 'street']
+    >>> split_name("o_orderkey")
+    ['o', 'order', 'key']
+    """
+    if not name:
+        return []
+    spaced = _NON_ALNUM.sub(" ", name)
+    spaced = _CAMEL_BOUNDARY.sub(" ", spaced)
+    spaced = _DIGIT_BOUNDARY.sub(" ", spaced)
+    tokens = [token.lower() for token in spaced.split() if token]
+    segmented: list[str] = []
+    for token in tokens:
+        segmented.extend(segment_token(token))
+    return segmented
+
+
+def normalize_tokens(name: str, expand_abbreviations: bool = True) -> list[str]:
+    """Tokenise and (optionally) expand domain abbreviations."""
+    tokens = split_name(name)
+    if not expand_abbreviations:
+        return tokens
+    return [ABBREVIATIONS.get(token, token) for token in tokens]
+
+
+def normalized_name(name: str) -> str:
+    """The tokenised name re-joined without separators (used by edit-distance measures)."""
+    return "".join(normalize_tokens(name))

@@ -1,0 +1,87 @@
+"""In-memory relational engine substrate.
+
+The engine provides everything the reproduction needs to execute *source
+queries* over a *source instance*:
+
+* :mod:`repro.relational.schema` — attributes, relation schemas, database
+  schemas.
+* :mod:`repro.relational.relation` — the :class:`Relation` container.
+* :mod:`repro.relational.database` — a catalog of named relations (the
+  source instance ``D`` of the paper).
+* :mod:`repro.relational.predicates` — a small predicate AST (comparisons and
+  boolean connectives) evaluated against named attributes.
+* :mod:`repro.relational.algebra` — logical plan nodes (scan, selection,
+  projection, Cartesian product, join, aggregation and materialised
+  relations).
+* :mod:`repro.relational.executor` — a recursive plan evaluator instrumented
+  with operator and row counters (:mod:`repro.relational.stats`).
+* :mod:`repro.relational.indexes` — hash indexes used to accelerate equality
+  selections on base relations.
+* :mod:`repro.relational.csvio` — simple CSV persistence.
+"""
+
+from repro.relational.algebra import (
+    Aggregate,
+    Join,
+    Materialized,
+    PlanNode,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.database import Database
+from repro.relational.executor import Executor
+from repro.relational.predicates import (
+    And,
+    Between,
+    Comparison,
+    Equals,
+    GreaterEqual,
+    GreaterThan,
+    In,
+    LessEqual,
+    LessThan,
+    Not,
+    NotEquals,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.stats import ExecutionStats
+
+__all__ = [
+    "Aggregate",
+    "Join",
+    "Materialized",
+    "PlanNode",
+    "Product",
+    "Project",
+    "Scan",
+    "Select",
+    "Union",
+    "Database",
+    "Executor",
+    "And",
+    "Between",
+    "Comparison",
+    "Equals",
+    "GreaterEqual",
+    "GreaterThan",
+    "In",
+    "LessEqual",
+    "LessThan",
+    "Not",
+    "NotEquals",
+    "Or",
+    "Predicate",
+    "TruePredicate",
+    "Relation",
+    "Attribute",
+    "DatabaseSchema",
+    "RelationSchema",
+    "ExecutionStats",
+]

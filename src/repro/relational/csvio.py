@@ -1,0 +1,94 @@
+"""CSV persistence for relations and databases.
+
+The benchmark harness regenerates data deterministically, so persistence is
+not required for the reproduction itself — it exists so that downstream users
+can load their own source instances (the library-adoption use case) and so
+that examples can dump inspectable artefacts.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema
+from repro.relational.types import DataType
+
+
+def write_relation(relation: Relation, path: str | Path) -> None:
+    """Write ``relation`` to ``path`` as a header-first CSV file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.columns)
+        writer.writerows(relation.rows)
+
+
+def read_relation(path: str | Path, name: str = "") -> Relation:
+    """Read a relation previously written by :func:`write_relation`.
+
+    Values are read back as strings; use :func:`read_typed_relation` when the
+    schema is known and numeric columns must be restored.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            columns = next(reader)
+        except StopIteration:
+            raise ValueError(f"CSV file {path} is empty") from None
+        rows = [tuple(row) for row in reader]
+    return Relation(columns, rows, name=name or path.stem)
+
+
+def read_typed_relation(
+    path: str | Path,
+    types: Iterable[DataType],
+    name: str = "",
+) -> Relation:
+    """Read a relation and coerce each column to the given data types."""
+    raw = read_relation(path, name=name)
+    types = list(types)
+    if len(types) != len(raw.columns):
+        raise ValueError(
+            f"expected {len(raw.columns)} column types, got {len(types)}"
+        )
+    rows = [
+        tuple(data_type.coerce(value) if value != "" else None for data_type, value in zip(types, row))
+        for row in raw.rows
+    ]
+    return Relation(raw.columns, rows, name=raw.name)
+
+
+def write_database(database: Database, directory: str | Path) -> list[Path]:
+    """Write every loaded relation of ``database`` into ``directory`` (one CSV each)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, relation in database:
+        target = directory / f"{name}.csv"
+        write_relation(relation, target)
+        written.append(target)
+    return written
+
+
+def read_database(schema: DatabaseSchema, directory: str | Path) -> Database:
+    """Load a database from a directory of per-relation CSV files.
+
+    Only relations present both in the schema and on disk are loaded; column
+    values are coerced according to the schema's declared data types.
+    """
+    directory = Path(directory)
+    database = Database(schema)
+    for relation_schema in schema:
+        path = directory / f"{relation_schema.name}.csv"
+        if not path.exists():
+            continue
+        types = [attribute.data_type for attribute in relation_schema]
+        relation = read_typed_relation(path, types, name=relation_schema.name)
+        database.set_relation(relation_schema.name, relation)
+    return database

@@ -1,0 +1,109 @@
+"""The :class:`Database` — a catalog of named relations (the source instance ``D``)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.relational.indexes import HashIndex, IndexCatalog
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class Database:
+    """A named collection of :class:`Relation` instances plus their schema.
+
+    This plays the role of the paper's source instance ``D``: source queries
+    (reformulated target queries) are executed against it by
+    :class:`~repro.relational.executor.Executor`.
+    """
+
+    def __init__(self, schema: DatabaseSchema, relations: dict[str, Relation] | None = None):
+        self.schema = schema
+        self._relations: dict[str, Relation] = {}
+        self._indexes = IndexCatalog()
+        if relations:
+            for name, relation in relations.items():
+                self.set_relation(name, relation)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, schema: DatabaseSchema) -> "Database":
+        """A database with an empty relation for every schema relation."""
+        database = cls(schema)
+        for relation_schema in schema:
+            database.set_relation(
+                relation_schema.name, Relation.from_schema(relation_schema, [])
+            )
+        return database
+
+    # ------------------------------------------------------------------ #
+    def set_relation(self, name: str, relation: Relation) -> None:
+        """Install (or replace) the contents of relation ``name``."""
+        if not self.schema.has_relation(name):
+            raise KeyError(f"schema {self.schema.name!r} has no relation {name!r}")
+        expected = self.schema.relation(name)
+        if len(relation.columns) != len(expected):
+            raise ValueError(
+                f"relation {name!r} expects {len(expected)} columns, got {len(relation.columns)}"
+            )
+        self._relations[name] = relation
+        self._indexes.invalidate(name)
+
+    def relation(self, name: str) -> Relation:
+        """The stored relation called ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"database has no relation {name!r}") from None
+
+    def relation_schema(self, name: str) -> RelationSchema:
+        """Schema of relation ``name``."""
+        return self.schema.relation(name)
+
+    def has_relation(self, name: str) -> bool:
+        """True when relation ``name`` is loaded."""
+        return name in self._relations
+
+    def scan(self, name: str, alias: str | None = None) -> Relation:
+        """Return relation ``name`` with columns requalified under ``alias``."""
+        relation = self.relation(name)
+        if alias is None or alias == relation.name:
+            return relation
+        return relation.prefixed(alias)
+
+    def index(self, relation_name: str, column: str) -> HashIndex:
+        """Return (building if needed) a hash index on ``relation_name.column``.
+
+        ``column`` is the *unqualified* attribute name; the index is built on
+        the stored relation whose labels are ``relation_name.column``.
+        """
+        relation = self.relation(relation_name)
+        label = f"{relation_name}.{column}" if not relation.has_column(column) else column
+        return self._indexes.get(relation, relation_name, label)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def relation_names(self) -> list[str]:
+        """Names of loaded relations."""
+        return list(self._relations)
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of rows across all loaded relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def cardinalities(self) -> dict[str, int]:
+        """Row count per loaded relation."""
+        return {name: len(relation) for name, relation in self._relations.items()}
+
+    def __iter__(self) -> Iterator[tuple[str, Relation]]:
+        return iter(self._relations.items())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Database(schema={self.schema.name!r}, relations={len(self._relations)}, "
+            f"rows={self.total_rows})"
+        )

@@ -1,0 +1,327 @@
+"""Plan executor.
+
+The executor evaluates a :class:`~repro.relational.algebra.PlanNode` tree
+against a :class:`~repro.relational.database.Database` and returns a
+:class:`~repro.relational.relation.Relation`.  It is deliberately simple —
+recursive, materialising — because every algorithm in the paper manipulates
+*which* operators get executed, not *how* an individual operator is executed.
+
+Two physical optimisations are implemented because the figures depend on
+realistic relative costs:
+
+* equality selections directly above a base-relation scan use a hash index;
+* equi-joins use a hash join; all other joins and Cartesian products are
+  nested loops.
+
+Each executed operator is recorded in an
+:class:`~repro.relational.stats.ExecutionStats` so that evaluators can report
+the number of source operators they ran (Table IV of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.relational.algebra import (
+    Aggregate,
+    Join,
+    Materialized,
+    PlanNode,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.database import Database
+from repro.relational.expressions import ColumnRef, Literal
+from repro.relational.predicates import Comparison, Predicate, conjunction
+from repro.relational.relation import Relation
+from repro.relational.stats import ExecutionStats
+from repro.relational.types import _try_parse_number
+
+
+class Executor:
+    """Evaluates relational-algebra plans against a database."""
+
+    def __init__(self, database: Database, stats: ExecutionStats | None = None):
+        self.database = database
+        self.stats = stats if stats is not None else ExecutionStats()
+
+    # ------------------------------------------------------------------ #
+    def execute(self, plan: PlanNode) -> Relation:
+        """Evaluate ``plan`` and return its result relation."""
+        result = self._evaluate(plan)
+        return result
+
+    def execute_query(self, plan: PlanNode) -> Relation:
+        """Evaluate a complete source query (counts one source query in stats)."""
+        self.stats.count_source_query()
+        return self.execute(plan)
+
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, node: PlanNode) -> Relation:
+        if isinstance(node, Materialized):
+            return node.relation
+        if isinstance(node, Scan):
+            return self._evaluate_scan(node)
+        if isinstance(node, Select):
+            return self._evaluate_select(node)
+        if isinstance(node, Project):
+            return self._evaluate_project(node)
+        if isinstance(node, Product):
+            return self._evaluate_product(node)
+        if isinstance(node, Join):
+            return self._evaluate_join(node)
+        if isinstance(node, Union):
+            return self._evaluate_union(node)
+        if isinstance(node, Aggregate):
+            return self._evaluate_aggregate(node)
+        raise TypeError(f"cannot execute plan node of type {type(node).__name__}")
+
+    # -- leaves ---------------------------------------------------------- #
+    def _evaluate_scan(self, node: Scan) -> Relation:
+        relation = self.database.scan(node.relation, node.alias)
+        self.stats.count_operator("Scan", rows_in=len(relation), rows_out=len(relation))
+        return relation
+
+    # -- selection -------------------------------------------------------- #
+    def _evaluate_select(self, node: Select) -> Relation:
+        indexed = self._try_indexed_select(node)
+        if indexed is not None:
+            return indexed
+        child = self._evaluate(node.child)
+        predicate = node.predicate
+        rows = [row for row in child.rows if predicate.evaluate(child, row)]
+        self.stats.count_operator("Select", rows_in=len(child), rows_out=len(rows))
+        return Relation(child.columns, rows, name=child.name)
+
+    def _try_indexed_select(self, node: Select) -> Relation | None:
+        """Fast path: single equality comparison over a base-relation scan."""
+        if not isinstance(node.child, Scan):
+            return None
+        predicate = node.predicate
+        if not isinstance(predicate, Comparison) or predicate.op != "=":
+            return None
+        if not (isinstance(predicate.left, ColumnRef) and isinstance(predicate.right, Literal)):
+            return None
+        scan = node.child
+        aliased = self.database.scan(scan.relation, scan.alias)
+        try:
+            position = aliased.resolve(predicate.left.name, predicate.left.qualifier)
+        except KeyError:
+            return None
+        attribute = aliased.columns[position].split(".", 1)[-1]
+        index = self.database.index(scan.relation, attribute)
+        rows = self._index_lookup(index, predicate.right.value)
+        # The scan itself is implicit in an index lookup; record both operators
+        # so that operator counts are comparable with the non-indexed path.
+        self.stats.count_operator("Scan", rows_in=0, rows_out=0)
+        self.stats.count_operator("Select", rows_in=len(rows), rows_out=len(rows))
+        return Relation(aliased.columns, rows, name=aliased.name)
+
+    @staticmethod
+    def _index_lookup(index: Any, value: Any) -> list[tuple]:
+        """Index lookup tolerant of int/str literal representation differences."""
+        rows = index.lookup_rows(value)
+        if rows:
+            return rows
+        if isinstance(value, str):
+            parsed = _try_parse_number(value)
+            if parsed is not None:
+                rows = index.lookup_rows(parsed)
+                if rows:
+                    return rows
+        elif isinstance(value, (int, float)):
+            rows = index.lookup_rows(str(value))
+            if rows:
+                return rows
+            if isinstance(value, int):
+                rows = index.lookup_rows(float(value))
+        return rows
+
+    # -- projection -------------------------------------------------------- #
+    def _evaluate_project(self, node: Project) -> Relation:
+        child = self._evaluate(node.child)
+        positions = [child.resolve(ref.name, ref.qualifier) for ref in node.columns]
+        labels = self._unique_labels([child.columns[i] for i in positions])
+        rows = [tuple(row[i] for i in positions) for row in child.rows]
+        if node.distinct:
+            seen: set[tuple] = set()
+            unique_rows = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique_rows.append(row)
+            rows = unique_rows
+        self.stats.count_operator("Project", rows_in=len(child), rows_out=len(rows))
+        return Relation(labels, rows, name=child.name)
+
+    @staticmethod
+    def _unique_labels(labels: list[str]) -> list[str]:
+        """Deduplicate output labels (a projection may repeat a column)."""
+        seen: dict[str, int] = defaultdict(int)
+        unique = []
+        for label in labels:
+            seen[label] += 1
+            unique.append(label if seen[label] == 1 else f"{label}#{seen[label]}")
+        return unique
+
+    # -- product / join ---------------------------------------------------- #
+    def _evaluate_product(self, node: Product) -> Relation:
+        left = self._evaluate(node.left)
+        right = self._evaluate(node.right)
+        columns = self._combine_columns(left, right)
+        rows = [lrow + rrow for lrow in left.rows for rrow in right.rows]
+        self.stats.count_operator(
+            "Product", rows_in=len(left) + len(right), rows_out=len(rows)
+        )
+        return Relation(columns, rows)
+
+    def _evaluate_join(self, node: Join) -> Relation:
+        left = self._evaluate(node.left)
+        right = self._evaluate(node.right)
+        columns = self._combine_columns(left, right)
+        combined = Relation(columns, [])
+        equi = self._find_equi_condition(node.predicate, left, right)
+        if equi is not None:
+            left_pos, right_pos = equi
+            buckets: dict[Any, list[tuple]] = defaultdict(list)
+            for rrow in right.rows:
+                buckets[rrow[right_pos]].append(rrow)
+            rows = []
+            residual = node.predicate
+            for lrow in left.rows:
+                for rrow in buckets.get(lrow[left_pos], ()):
+                    candidate = lrow + rrow
+                    if residual.evaluate(combined, candidate):
+                        rows.append(candidate)
+        else:
+            rows = [
+                lrow + rrow
+                for lrow in left.rows
+                for rrow in right.rows
+                if node.predicate.evaluate(combined, lrow + rrow)
+            ]
+        self.stats.count_operator("Join", rows_in=len(left) + len(right), rows_out=len(rows))
+        return Relation(columns, rows)
+
+    def _evaluate_union(self, node: Union) -> Relation:
+        left = self._evaluate(node.left)
+        right = self._evaluate(node.right)
+        if len(left.columns) != len(right.columns):
+            raise ValueError(
+                f"UNION requires inputs of equal arity, got {len(left.columns)} "
+                f"and {len(right.columns)} columns"
+            )
+        rows = list(left.rows) + list(right.rows)
+        if node.distinct:
+            seen: set[tuple] = set()
+            unique_rows = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique_rows.append(row)
+            rows = unique_rows
+        self.stats.count_operator("Union", rows_in=len(left) + len(right), rows_out=len(rows))
+        return Relation(left.columns, rows, name=left.name)
+
+    @staticmethod
+    def _combine_columns(left: Relation, right: Relation) -> list[str]:
+        """Concatenate column labels, suffixing the right side on collisions."""
+        columns = list(left.columns)
+        taken = set(columns)
+        for label in right.columns:
+            candidate = label
+            counter = 2
+            while candidate in taken:
+                candidate = f"{label}#{counter}"
+                counter += 1
+            taken.add(candidate)
+            columns.append(candidate)
+        return columns
+
+    def _find_equi_condition(
+        self, predicate: Predicate, left: Relation, right: Relation
+    ) -> tuple[int, int] | None:
+        """Locate a ``left_col = right_col`` conjunct usable for a hash join."""
+        for conjunct in predicate.conjuncts():
+            if not isinstance(conjunct, Comparison) or not conjunct.is_equi_column:
+                continue
+            first, second = conjunct.left, conjunct.right
+            sides = self._resolve_sides(first, second, left, right)
+            if sides is not None:
+                return sides
+        return None
+
+    @staticmethod
+    def _resolve_sides(
+        first: ColumnRef, second: ColumnRef, left: Relation, right: Relation
+    ) -> tuple[int, int] | None:
+        def resolve(relation: Relation, ref: ColumnRef) -> int | None:
+            try:
+                return relation.resolve(ref.name, ref.qualifier)
+            except KeyError:
+                return None
+
+        left_pos, right_pos = resolve(left, first), resolve(right, second)
+        if left_pos is not None and right_pos is not None:
+            return left_pos, right_pos
+        left_pos, right_pos = resolve(left, second), resolve(right, first)
+        if left_pos is not None and right_pos is not None:
+            return left_pos, right_pos
+        return None
+
+    # -- aggregation -------------------------------------------------------- #
+    def _evaluate_aggregate(self, node: Aggregate) -> Relation:
+        child = self._evaluate(node.child)
+        argument_label = str(node.argument) if node.argument is not None else "*"
+        output_label = f"{node.function}({argument_label})"
+
+        if not node.group_by:
+            value = self._aggregate_rows(node, child, child.rows)
+            rows = [(value,)]
+            self.stats.count_operator("Aggregate", rows_in=len(child), rows_out=1)
+            return Relation([output_label], rows)
+
+        group_positions = [child.resolve(ref.name, ref.qualifier) for ref in node.group_by]
+        group_labels = [child.columns[i] for i in group_positions]
+        groups: dict[tuple, list[tuple]] = defaultdict(list)
+        for row in child.rows:
+            key = tuple(row[i] for i in group_positions)
+            groups[key].append(row)
+        rows = [
+            key + (self._aggregate_rows(node, child, members),)
+            for key, members in groups.items()
+        ]
+        self.stats.count_operator("Aggregate", rows_in=len(child), rows_out=len(rows))
+        return Relation(group_labels + [output_label], rows)
+
+    @staticmethod
+    def _aggregate_rows(node: Aggregate, relation: Relation, rows: list[tuple]) -> Any:
+        if node.function == "COUNT" and node.argument is None:
+            return len(rows)
+        values = []
+        for row in rows:
+            value = node.argument.evaluate(relation, row)
+            if value is not None:
+                values.append(value)
+        if node.function == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if node.function == "SUM":
+            return sum(values)
+        if node.function == "AVG":
+            return sum(values) / len(values)
+        if node.function == "MIN":
+            return min(values)
+        if node.function == "MAX":
+            return max(values)
+        raise ValueError(f"unsupported aggregate {node.function!r}")  # pragma: no cover
+
+
+def execute(plan: PlanNode, database: Database, stats: ExecutionStats | None = None) -> Relation:
+    """Convenience wrapper: evaluate ``plan`` against ``database``."""
+    return Executor(database, stats).execute(plan)

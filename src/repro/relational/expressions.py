@@ -1,0 +1,132 @@
+"""Scalar expressions evaluated against a row of a :class:`Relation`.
+
+Expressions are the leaves of predicates (:mod:`repro.relational.predicates`)
+and the inputs of aggregates.  Only what the paper's query workload needs is
+implemented: column references, literals and the four arithmetic operators
+(used by derived measures such as ``price * quantity``).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.relational.relation import Relation, Row
+
+
+class Expression:
+    """Base class for scalar expressions."""
+
+    def evaluate(self, relation: Relation, row: Row) -> Any:
+        """Evaluate the expression against one row of ``relation``."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> list["ColumnRef"]:
+        """All column references appearing in the expression."""
+        raise NotImplementedError
+
+    def rename(self, rename_ref: Callable[["ColumnRef"], "ColumnRef"]) -> "Expression":
+        """Return a copy with every column reference rewritten by ``rename_ref``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """Reference to a column by attribute name and optional qualifier.
+
+    For target queries the qualifier is the *target alias* (e.g. ``PO1``) and
+    the name is the *target attribute* (e.g. ``orderNum``).  Reformulation
+    rewrites both parts into source-level labels.
+    """
+
+    name: str
+    qualifier: str | None = None
+
+    @property
+    def display(self) -> str:
+        """Human-readable form (``qualifier.name`` or just ``name``)."""
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def evaluate(self, relation: Relation, row: Row) -> Any:
+        return row[relation.resolve(self.name, self.qualifier)]
+
+    def referenced_columns(self) -> list["ColumnRef"]:
+        return [self]
+
+    def rename(self, rename_ref: Callable[["ColumnRef"], "ColumnRef"]) -> "Expression":
+        return rename_ref(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.display
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Any
+
+    def evaluate(self, relation: Relation, row: Row) -> Any:
+        return self.value
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        return []
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Expression":
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return repr(self.value)
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """Binary arithmetic over two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ValueError(f"unsupported arithmetic operator {self.op!r}")
+
+    def evaluate(self, relation: Relation, row: Row) -> Any:
+        left = self.left.evaluate(relation, row)
+        right = self.right.evaluate(relation, row)
+        if left is None or right is None:
+            return None
+        return _ARITHMETIC[self.op](left, right)
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Expression":
+        return Arithmetic(self.op, self.left.rename(rename_ref), self.right.rename(rename_ref))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.left} {self.op} {self.right})"
+
+
+def col(name: str, qualifier: str | None = None) -> ColumnRef:
+    """Shorthand constructor for :class:`ColumnRef`.
+
+    ``col("PO.orderNum")`` and ``col("orderNum", "PO")`` are equivalent.
+    """
+    if qualifier is None and "." in name:
+        qualifier, name = name.split(".", 1)
+    return ColumnRef(name=name, qualifier=qualifier)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand constructor for :class:`Literal`."""
+    return Literal(value)

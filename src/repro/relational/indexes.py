@@ -1,0 +1,71 @@
+"""Hash indexes over base relations.
+
+Equality selections dominate the paper's workload (Table III), so the engine
+builds hash indexes on demand: ``Database.index(relation, column)`` returns a
+value → row-positions map that the executor consults when a selection's
+predicate is a single ``column = constant`` comparison over a base-relation
+scan.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Hashable
+
+from repro.relational.relation import Relation
+
+
+class HashIndex:
+    """A value → row positions index over one column of a relation."""
+
+    def __init__(self, relation: Relation, column: str):
+        self.relation = relation
+        self.column = column
+        position = relation.column_index(column)
+        buckets: dict[Hashable, list[int]] = defaultdict(list)
+        for row_number, row in enumerate(relation.rows):
+            value = row[position]
+            if isinstance(value, Hashable):
+                buckets[value].append(row_number)
+        self._buckets = dict(buckets)
+
+    def lookup(self, value: Any) -> list[int]:
+        """Row positions whose indexed column equals ``value``."""
+        return self._buckets.get(value, [])
+
+    def lookup_rows(self, value: Any) -> list[tuple]:
+        """Rows whose indexed column equals ``value``."""
+        return [self.relation.rows[i] for i in self.lookup(value)]
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def __contains__(self, value: object) -> bool:
+        return value in self._buckets
+
+
+class IndexCatalog:
+    """Lazy cache of :class:`HashIndex` objects keyed by (relation name, column)."""
+
+    def __init__(self) -> None:
+        self._indexes: dict[tuple[str, str], HashIndex] = {}
+
+    def get(self, relation: Relation, relation_name: str, column: str) -> HashIndex:
+        """Return (building if needed) the index on ``relation_name.column``."""
+        key = (relation_name, column)
+        index = self._indexes.get(key)
+        if index is None or index.relation is not relation:
+            index = HashIndex(relation, column)
+            self._indexes[key] = index
+        return index
+
+    def invalidate(self, relation_name: str | None = None) -> None:
+        """Drop cached indexes (all of them, or only one relation's)."""
+        if relation_name is None:
+            self._indexes.clear()
+            return
+        for key in [key for key in self._indexes if key[0] == relation_name]:
+            del self._indexes[key]
+
+    def __len__(self) -> int:
+        return len(self._indexes)

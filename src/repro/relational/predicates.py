@@ -1,0 +1,329 @@
+"""Predicate AST evaluated against relation rows.
+
+Predicates are built from comparisons over :mod:`repro.relational.expressions`
+expressions and the boolean connectives AND / OR / NOT.  They support the
+operations the reproduction needs:
+
+* evaluation against a row (used by the executor);
+* enumeration of referenced columns (used by reformulation and by operator
+  validity checks in o-sharing);
+* structural rewriting of column references (used when a target predicate is
+  reformulated into a source predicate through a mapping);
+* a canonical string form (used to detect identical source queries /
+  operators in e-basic, e-MQO and the sharing evaluators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.relational.expressions import ColumnRef, Expression, Literal, col, lit
+from repro.relational.relation import Relation, Row
+from repro.relational.types import comparable
+
+
+class Predicate:
+    """Base class of the predicate AST."""
+
+    def evaluate(self, relation: Relation, row: Row) -> bool:
+        """True when ``row`` of ``relation`` satisfies the predicate."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        """All column references appearing in the predicate."""
+        raise NotImplementedError
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Predicate":
+        """Return a copy with every column reference rewritten."""
+        raise NotImplementedError
+
+    def canonical(self) -> str:
+        """A canonical textual form used for plan fingerprinting."""
+        raise NotImplementedError
+
+    def conjuncts(self) -> list["Predicate"]:
+        """Flatten a conjunction into its conjuncts (a non-AND predicate is itself)."""
+        return [self]
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """A predicate satisfied by every row."""
+
+    def evaluate(self, relation: Relation, row: Row) -> bool:
+        return True
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        return []
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Predicate":
+        return self
+
+    def canonical(self) -> str:
+        return "TRUE"
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda left, right: left == right,
+    "!=": lambda left, right: left != right,
+    "<": lambda left, right: left < right,
+    "<=": lambda left, right: left <= right,
+    ">": lambda left, right: left > right,
+    ">=": lambda left, right: left >= right,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """Binary comparison between two expressions."""
+
+    left: Expression
+    op: str
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, relation: Relation, row: Row) -> bool:
+        left = self.left.evaluate(relation, row)
+        right = self.right.evaluate(relation, row)
+        if left is None or right is None:
+            return False
+        left, right = comparable(left, right)
+        try:
+            return _COMPARATORS[self.op](left, right)
+        except TypeError:
+            return False
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Predicate":
+        return Comparison(self.left.rename(rename_ref), self.op, self.right.rename(rename_ref))
+
+    def canonical(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+    @property
+    def is_column_constant(self) -> bool:
+        """True for the common ``column <op> literal`` shape."""
+        return isinstance(self.left, ColumnRef) and isinstance(self.right, Literal)
+
+    @property
+    def is_equi_column(self) -> bool:
+        """True for ``column = column`` (join-style) comparisons."""
+        return (
+            self.op == "="
+            and isinstance(self.left, ColumnRef)
+            and isinstance(self.right, ColumnRef)
+        )
+
+
+@dataclass(frozen=True)
+class In(Predicate):
+    """Membership test: ``column IN (v1, v2, ...)``."""
+
+    expr: Expression
+    values: tuple
+
+    def evaluate(self, relation: Relation, row: Row) -> bool:
+        value = self.expr.evaluate(relation, row)
+        return value in self.values
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        return self.expr.referenced_columns()
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Predicate":
+        return In(self.expr.rename(rename_ref), self.values)
+
+    def canonical(self) -> str:
+        return f"({self.expr} IN {sorted(map(repr, self.values))})"
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """Range test: ``low <= expr <= high``."""
+
+    expr: Expression
+    low: Any
+    high: Any
+
+    def evaluate(self, relation: Relation, row: Row) -> bool:
+        value = self.expr.evaluate(relation, row)
+        if value is None:
+            return False
+        low, value_low = comparable(self.low, value)
+        high, value_high = comparable(self.high, value)
+        try:
+            return low <= value_low and value_high <= high
+        except TypeError:
+            return False
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        return self.expr.referenced_columns()
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Predicate":
+        return Between(self.expr.rename(rename_ref), self.low, self.high)
+
+    def canonical(self) -> str:
+        return f"({self.expr} BETWEEN {self.low!r} AND {self.high!r})"
+
+
+class _Connective(Predicate):
+    """Common plumbing for AND/OR."""
+
+    symbol = ""
+    short_circuit = True
+
+    def __init__(self, *operands: Predicate):
+        if len(operands) < 2:
+            raise ValueError(f"{type(self).__name__} needs at least two operands")
+        self.operands: tuple[Predicate, ...] = tuple(operands)
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        refs: list[ColumnRef] = []
+        for operand in self.operands:
+            refs.extend(operand.referenced_columns())
+        return refs
+
+    def canonical(self) -> str:
+        inner = f" {self.symbol} ".join(sorted(op.canonical() for op in self.operands))
+        return f"({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, type(self)):
+            return NotImplemented
+        return self.operands == other.operands
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.operands))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}{self.operands!r}"
+
+
+class And(_Connective):
+    """Conjunction of predicates."""
+
+    symbol = "AND"
+
+    def evaluate(self, relation: Relation, row: Row) -> bool:
+        return all(operand.evaluate(relation, row) for operand in self.operands)
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Predicate":
+        return And(*[operand.rename(rename_ref) for operand in self.operands])
+
+    def conjuncts(self) -> list[Predicate]:
+        flattened: list[Predicate] = []
+        for operand in self.operands:
+            flattened.extend(operand.conjuncts())
+        return flattened
+
+
+class Or(_Connective):
+    """Disjunction of predicates."""
+
+    symbol = "OR"
+
+    def evaluate(self, relation: Relation, row: Row) -> bool:
+        return any(operand.evaluate(relation, row) for operand in self.operands)
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Predicate":
+        return Or(*[operand.rename(rename_ref) for operand in self.operands])
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    operand: Predicate
+
+    def evaluate(self, relation: Relation, row: Row) -> bool:
+        return not self.operand.evaluate(relation, row)
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        return self.operand.referenced_columns()
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Predicate":
+        return Not(self.operand.rename(rename_ref))
+
+    def canonical(self) -> str:
+        return f"(NOT {self.operand.canonical()})"
+
+
+# --------------------------------------------------------------------------- #
+# convenience constructors
+# --------------------------------------------------------------------------- #
+def _as_expression(value: Any) -> Expression:
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, str) and "." in value:
+        # Strings containing a dot are *not* treated as column references —
+        # constants such as addresses legitimately contain dots.  Callers that
+        # want a column reference should use :func:`repro.relational.expressions.col`.
+        return lit(value)
+    return lit(value)
+
+
+def Equals(column: str | ColumnRef, value: Any) -> Comparison:
+    """``column = value`` with a string column name or an explicit reference."""
+    reference = column if isinstance(column, ColumnRef) else col(column)
+    return Comparison(reference, "=", _as_expression(value))
+
+
+def NotEquals(column: str | ColumnRef, value: Any) -> Comparison:
+    """``column != value``."""
+    reference = column if isinstance(column, ColumnRef) else col(column)
+    return Comparison(reference, "!=", _as_expression(value))
+
+
+def LessThan(column: str | ColumnRef, value: Any) -> Comparison:
+    """``column < value``."""
+    reference = column if isinstance(column, ColumnRef) else col(column)
+    return Comparison(reference, "<", _as_expression(value))
+
+
+def LessEqual(column: str | ColumnRef, value: Any) -> Comparison:
+    """``column <= value``."""
+    reference = column if isinstance(column, ColumnRef) else col(column)
+    return Comparison(reference, "<=", _as_expression(value))
+
+
+def GreaterThan(column: str | ColumnRef, value: Any) -> Comparison:
+    """``column > value``."""
+    reference = column if isinstance(column, ColumnRef) else col(column)
+    return Comparison(reference, ">", _as_expression(value))
+
+
+def GreaterEqual(column: str | ColumnRef, value: Any) -> Comparison:
+    """``column >= value``."""
+    reference = column if isinstance(column, ColumnRef) else col(column)
+    return Comparison(reference, ">=", _as_expression(value))
+
+
+def ColumnEquals(left: str | ColumnRef, right: str | ColumnRef) -> Comparison:
+    """``left_column = right_column`` (join predicate)."""
+    left_ref = left if isinstance(left, ColumnRef) else col(left)
+    right_ref = right if isinstance(right, ColumnRef) else col(right)
+    return Comparison(left_ref, "=", right_ref)
+
+
+def conjunction(predicates: Sequence[Predicate]) -> Predicate:
+    """AND together a sequence of predicates (empty → TRUE, singleton → itself)."""
+    predicates = list(predicates)
+    if not predicates:
+        return TruePredicate()
+    if len(predicates) == 1:
+        return predicates[0]
+    return And(*predicates)

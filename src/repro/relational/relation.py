@@ -1,0 +1,196 @@
+"""The :class:`Relation` container — an ordered bag of rows with labelled columns.
+
+A relation produced by the executor carries *column labels* rather than a full
+:class:`~repro.relational.schema.RelationSchema`: labels are strings of the
+form ``alias.attribute`` (for scanned base relations) or whatever a projection
+chose to call its outputs.  Labels are what predicates and projections resolve
+against, and what o-sharing uses to decide whether an intermediate result
+already covers the source attributes an operator needs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.relational.schema import RelationSchema
+
+Row = tuple
+
+
+class Relation:
+    """An ordered bag of rows over a fixed list of column labels."""
+
+    __slots__ = ("columns", "rows", "name", "_column_positions")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[Any]] = (),
+        name: str = "",
+    ):
+        self.columns: tuple[str, ...] = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate column labels: {self.columns}")
+        self.rows: list[Row] = [tuple(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"row width {len(row)} does not match column count {len(self.columns)}"
+                )
+        self.name = name
+        self._column_positions = {label: i for i, label in enumerate(self.columns)}
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_schema(
+        cls,
+        schema: RelationSchema,
+        rows: Iterable[Sequence[Any]] = (),
+        alias: str | None = None,
+    ) -> "Relation":
+        """Build a relation whose labels are ``alias.attribute`` for ``schema``."""
+        prefix = alias or schema.name
+        columns = [f"{prefix}.{attribute.name}" for attribute in schema]
+        return cls(columns, rows, name=prefix)
+
+    @classmethod
+    def from_dicts(cls, columns: Sequence[str], dicts: Iterable[dict]) -> "Relation":
+        """Build a relation from a sequence of ``{label: value}`` dictionaries."""
+        rows = [tuple(record.get(label) for label in columns) for record in dicts]
+        return cls(columns, rows)
+
+    @classmethod
+    def empty(cls, columns: Sequence[str] = (), name: str = "") -> "Relation":
+        """An empty relation (possibly with zero columns)."""
+        return cls(columns, [], name=name)
+
+    # ------------------------------------------------------------------ #
+    # column handling
+    # ------------------------------------------------------------------ #
+    def column_index(self, label: str) -> int:
+        """Position of an exact column label."""
+        try:
+            return self._column_positions[label]
+        except KeyError:
+            raise KeyError(
+                f"relation {self.name or '<anonymous>'} has no column {label!r}; "
+                f"columns are {list(self.columns)}"
+            ) from None
+
+    def has_column(self, label: str) -> bool:
+        """True when the exact label is present."""
+        return label in self._column_positions
+
+    def resolve(self, name: str, qualifier: str | None = None) -> int:
+        """Resolve an attribute reference to a column position.
+
+        With a qualifier the label ``qualifier.name`` must exist.  Without a
+        qualifier the unqualified ``name`` must match exactly one column
+        suffix (``*.name``) or an exact label ``name``.
+        """
+        if qualifier is not None:
+            return self.column_index(f"{qualifier}.{name}")
+        if name in self._column_positions:
+            return self._column_positions[name]
+        suffix = f".{name}"
+        matches = [i for i, label in enumerate(self.columns) if label.endswith(suffix)]
+        if not matches:
+            raise KeyError(
+                f"no column matches unqualified reference {name!r}; "
+                f"columns are {list(self.columns)}"
+            )
+        if len(matches) > 1:
+            ambiguous = [self.columns[i] for i in matches]
+            raise KeyError(f"ambiguous reference {name!r}: matches {ambiguous}")
+        return matches[0]
+
+    def rename(self, renaming: dict[str, str]) -> "Relation":
+        """Return a relation with columns renamed per ``renaming`` (missing keys kept)."""
+        columns = [renaming.get(label, label) for label in self.columns]
+        return Relation(columns, self.rows, name=self.name)
+
+    def prefixed(self, prefix: str) -> "Relation":
+        """Return a copy whose column labels are requalified with ``prefix``."""
+        columns = [f"{prefix}.{label.split('.', 1)[-1]}" for label in self.columns]
+        return Relation(columns, self.rows, name=prefix)
+
+    # ------------------------------------------------------------------ #
+    # row handling
+    # ------------------------------------------------------------------ #
+    def append(self, row: Sequence[Any]) -> None:
+        """Append one row (validated for width)."""
+        row = tuple(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row width {len(row)} does not match column count {len(self.columns)}"
+            )
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.append(row)
+
+    def value(self, row: Row, label: str) -> Any:
+        """Value of ``label`` within ``row``."""
+        return row[self.column_index(label)]
+
+    def project_rows(self, indexes: Sequence[int]) -> list[Row]:
+        """Rows restricted to the given column positions."""
+        return [tuple(row[i] for i in indexes) for row in self.rows]
+
+    def filter(self, keep: Callable[[Row], bool]) -> "Relation":
+        """A new relation containing the rows for which ``keep`` returns True."""
+        return Relation(self.columns, [row for row in self.rows if keep(row)], name=self.name)
+
+    def distinct(self) -> "Relation":
+        """A new relation with duplicate rows removed (first occurrence kept)."""
+        seen: set[Row] = set()
+        rows = []
+        for row in self.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Relation(self.columns, rows, name=self.name)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as ``{label: value}`` dictionaries (handy in tests and examples)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    # ------------------------------------------------------------------ #
+    # dunder plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when the relation holds no rows."""
+        return not self.rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Relation(name={self.name!r}, columns={list(self.columns)}, "
+            f"rows={len(self.rows)})"
+        )
+
+    def pretty(self, limit: int = 10) -> str:
+        """A small fixed-width rendering used by the examples."""
+        header = " | ".join(self.columns)
+        divider = "-" * len(header)
+        lines = [header, divider]
+        for row in self.rows[:limit]:
+            lines.append(" | ".join(str(value) for value in row))
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Schema objects: attributes, relation schemas and database schemas.
+
+Attributes are always owned by a relation, and their *qualified name*
+(``Relation.attribute``) is the identity used throughout the reproduction —
+correspondences, mappings and reformulation all speak in qualified names so
+that the same attribute name occurring in two relations (``PO.orderNum`` and
+``Item.orderNum`` in the paper's target schemas) never collides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute (column) of a relation schema.
+
+    Parameters
+    ----------
+    relation:
+        Name of the owning relation.
+    name:
+        Attribute name, unique within the owning relation.
+    data_type:
+        Declared :class:`~repro.relational.types.DataType`.
+    description:
+        Optional human-readable documentation string; the matcher does not
+        look at it (it is name-based, like the paper's COMA++ configuration)
+        but examples print it.
+    """
+
+    relation: str
+    name: str
+    data_type: DataType = DataType.STRING
+    description: str = ""
+
+    @property
+    def qualified(self) -> str:
+        """The globally unique ``relation.name`` identifier."""
+        return f"{self.relation}.{self.name}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.qualified
+
+
+class RelationSchema:
+    """An ordered collection of :class:`Attribute` belonging to one relation."""
+
+    def __init__(self, name: str, attributes: Iterable[Attribute]):
+        self.name = name
+        self.attributes: tuple[Attribute, ...] = tuple(attributes)
+        names = [attribute.name for attribute in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in relation {name!r}: {names}")
+        for attribute in self.attributes:
+            if attribute.relation != name:
+                raise ValueError(
+                    f"attribute {attribute.qualified} does not belong to relation {name!r}"
+                )
+        self._by_name = {attribute.name: attribute for attribute in self.attributes}
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        columns: Iterable[tuple[str, DataType] | tuple[str, DataType, str]],
+    ) -> "RelationSchema":
+        """Convenience constructor from ``(name, type[, description])`` tuples."""
+        attributes = []
+        for column in columns:
+            if len(column) == 2:
+                col_name, data_type = column
+                description = ""
+            else:
+                col_name, data_type, description = column
+            attributes.append(
+                Attribute(
+                    relation=name,
+                    name=col_name,
+                    data_type=data_type,
+                    description=description,
+                )
+            )
+        return cls(name, attributes)
+
+    @property
+    def attribute_names(self) -> list[str]:
+        """Unqualified attribute names, in declaration order."""
+        return [attribute.name for attribute in self.attributes]
+
+    @property
+    def qualified_names(self) -> list[str]:
+        """Qualified attribute names, in declaration order."""
+        return [attribute.qualified for attribute in self.attributes]
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name`` (unqualified)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"relation {self.name!r} has no attribute {name!r}") from None
+
+    def has_attribute(self, name: str) -> bool:
+        """True when the relation declares an attribute called ``name``."""
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationSchema):
+            return NotImplemented
+        return self.name == other.name and self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.attributes))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RelationSchema({self.name!r}, {len(self.attributes)} attributes)"
+
+
+class DatabaseSchema:
+    """A named set of :class:`RelationSchema` (a source or target schema).
+
+    The paper's ``S`` (TPC-H-like purchase order schema) and the three target
+    schemas (Excel, Noris, Paragon) are instances of this class.
+    """
+
+    def __init__(self, name: str, relations: Iterable[RelationSchema]):
+        self.name = name
+        self.relations: dict[str, RelationSchema] = {}
+        for relation in relations:
+            if relation.name in self.relations:
+                raise ValueError(f"duplicate relation {relation.name!r} in schema {name!r}")
+            self.relations[relation.name] = relation
+        self._attribute_index: dict[str, Attribute] = {}
+        for relation in self.relations.values():
+            for attribute in relation:
+                self._attribute_index[attribute.qualified] = attribute
+
+    @property
+    def relation_names(self) -> list[str]:
+        """Relation names in insertion order."""
+        return list(self.relations)
+
+    @property
+    def attributes(self) -> list[Attribute]:
+        """All attributes of all relations, in declaration order."""
+        return [
+            attribute for relation in self.relations.values() for attribute in relation
+        ]
+
+    @property
+    def attribute_count(self) -> int:
+        """Total number of attributes across all relations."""
+        return len(self._attribute_index)
+
+    def relation(self, name: str) -> RelationSchema:
+        """Return the relation schema called ``name``."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError(f"schema {self.name!r} has no relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        """True when the schema declares a relation called ``name``."""
+        return name in self.relations
+
+    def attribute(self, qualified: str) -> Attribute:
+        """Return the attribute identified by its qualified name."""
+        try:
+            return self._attribute_index[qualified]
+        except KeyError:
+            raise KeyError(
+                f"schema {self.name!r} has no attribute {qualified!r}"
+            ) from None
+
+    def has_attribute(self, qualified: str) -> bool:
+        """True when ``qualified`` identifies an attribute of this schema."""
+        return qualified in self._attribute_index
+
+    def owning_relation(self, qualified: str) -> RelationSchema:
+        """Return the relation schema that owns the qualified attribute."""
+        attribute = self.attribute(qualified)
+        return self.relations[attribute.relation]
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DatabaseSchema({self.name!r}, {len(self.relations)} relations, "
+            f"{self.attribute_count} attributes)"
+        )

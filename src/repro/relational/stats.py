@@ -1,0 +1,115 @@
+"""Execution statistics collected by the engine and the evaluators.
+
+The paper's evaluation reports two kinds of cost: wall-clock time split into
+phases (query rewriting, query evaluation, answer aggregation) and the number
+of *source operators* executed (Table IV).  :class:`ExecutionStats` collects
+both, plus row counters that are useful when debugging the evaluators.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class ExecutionStats:
+    """Mutable accumulator of execution counters.
+
+    All evaluators accept (or create) one of these; the benchmark harness
+    reads it back to populate the per-figure tables.
+    """
+
+    #: number of executed operators, keyed by operator class name
+    operators: Counter = field(default_factory=Counter)
+    #: number of complete source queries executed (basic/e-basic/e-MQO/q-sharing)
+    source_queries: int = 0
+    #: number of source-level operators executed (o-sharing counts these directly)
+    source_operators: int = 0
+    #: number of source queries *rewritten* (translation effort)
+    reformulations: int = 0
+    #: number of mapping partitions produced by partition()/next()
+    partitions_created: int = 0
+    #: rows read from base relations
+    rows_scanned: int = 0
+    #: rows produced by the root operators of executed plans
+    rows_output: int = 0
+    #: per-phase wall-clock seconds
+    phase_seconds: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def count_operator(self, name: str, rows_in: int = 0, rows_out: int = 0) -> None:
+        """Record the execution of one operator."""
+        self.operators[name] += 1
+        self.source_operators += 1
+        self.rows_scanned += rows_in
+        self.rows_output += rows_out
+
+    def count_source_query(self) -> None:
+        """Record the execution of one complete source query."""
+        self.source_queries += 1
+
+    def count_reformulation(self, amount: int = 1) -> None:
+        """Record query/operator rewriting work."""
+        self.reformulations += amount
+
+    def count_partitions(self, amount: int) -> None:
+        """Record mapping partitions produced."""
+        self.partitions_created += amount
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager accumulating wall-clock time into ``phase_seconds[name]``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_operators(self) -> int:
+        """Total number of operators executed."""
+        return sum(self.operators.values())
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time across all recorded phases."""
+        return sum(self.phase_seconds.values())
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Fold another stats object into this one."""
+        self.operators.update(other.operators)
+        self.source_queries += other.source_queries
+        self.source_operators += other.source_operators
+        self.reformulations += other.reformulations
+        self.partitions_created += other.partitions_created
+        self.rows_scanned += other.rows_scanned
+        self.rows_output += other.rows_output
+        for name, seconds in other.phase_seconds.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot used by the benchmark reporting layer."""
+        return {
+            "operators": dict(self.operators),
+            "source_queries": self.source_queries,
+            "source_operators": self.source_operators,
+            "reformulations": self.reformulations,
+            "partitions_created": self.partitions_created,
+            "rows_scanned": self.rows_scanned,
+            "rows_output": self.rows_output,
+            "phase_seconds": dict(self.phase_seconds),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        phases = ", ".join(f"{name}={seconds:.3f}s" for name, seconds in self.phase_seconds.items())
+        return (
+            f"ExecutionStats(source_queries={self.source_queries}, "
+            f"source_operators={self.source_operators}, "
+            f"reformulations={self.reformulations}, phases=[{phases}])"
+        )

@@ -1,0 +1,119 @@
+"""Value domains used by the relational engine.
+
+The engine is dynamically typed (rows hold plain Python values), but schemas
+carry a declared :class:`DataType` per attribute so that generators can
+produce appropriate values and so that comparisons can coerce literals
+consistently (e.g. a selection constant ``"42"`` compared against an INTEGER
+column).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+
+class DataType(enum.Enum):
+    """Declared type of an attribute."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` into this domain.
+
+        ``None`` is passed through unchanged (SQL-style missing value).
+        Raises :class:`ValueError` when the value cannot be represented in
+        the domain.
+        """
+        if value is None:
+            return None
+        if self is DataType.INTEGER:
+            return int(value)
+        if self is DataType.FLOAT:
+            return float(value)
+        if self is DataType.STRING:
+            return str(value)
+        if self is DataType.DATE:
+            return str(value)
+        if self is DataType.BOOLEAN:
+            if isinstance(value, str):
+                lowered = value.strip().lower()
+                if lowered in ("true", "t", "1", "yes"):
+                    return True
+                if lowered in ("false", "f", "0", "no"):
+                    return False
+                raise ValueError(f"cannot coerce {value!r} to BOOLEAN")
+            return bool(value)
+        raise ValueError(f"unknown data type {self!r}")  # pragma: no cover
+
+    @property
+    def python_type(self) -> type:
+        """The Python type used to store values of this domain."""
+        return {
+            DataType.INTEGER: int,
+            DataType.FLOAT: float,
+            DataType.STRING: str,
+            DataType.DATE: str,
+            DataType.BOOLEAN: bool,
+        }[self]
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the :class:`DataType` of a Python value.
+
+    Used by CSV import and by :meth:`Relation.from_rows` when no schema is
+    supplied.
+    """
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    return DataType.STRING
+
+
+def comparable(left: Any, right: Any) -> tuple[Any, Any]:
+    """Return a pair of values coerced so they can be compared.
+
+    The engine compares heterogeneous values that arise when a query constant
+    is written as a string but the column is numeric (and vice versa).  The
+    rules are deliberately small:
+
+    * identical types compare directly;
+    * int/float compare numerically;
+    * a numeric value and a string compare by parsing the string as a number
+      when possible, otherwise both sides compare as strings.
+    """
+    if type(left) is type(right):
+        return left, right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left, right
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        parsed = _try_parse_number(right)
+        if parsed is not None:
+            return left, parsed
+        return str(left), right
+    if isinstance(right, (int, float)) and isinstance(left, str):
+        parsed = _try_parse_number(left)
+        if parsed is not None:
+            return parsed, right
+        return left, str(right)
+    return str(left), str(right)
+
+
+def _try_parse_number(text: str) -> float | int | None:
+    """Parse ``text`` as an int or float, returning ``None`` on failure."""
+    stripped = text.strip()
+    try:
+        return int(stripped)
+    except ValueError:
+        pass
+    try:
+        return float(stripped)
+    except ValueError:
+        return None

@@ -1,0 +1,25 @@
+"""Query workloads: the paper's Table III queries and parameterised generators."""
+
+from repro.workloads.generators import (
+    product_query,
+    selection_attributes,
+    selection_query,
+)
+from repro.workloads.queries import (
+    PAPER_QUERIES,
+    QuerySpec,
+    paper_queries,
+    paper_query,
+    queries_for_target,
+)
+
+__all__ = [
+    "PAPER_QUERIES",
+    "QuerySpec",
+    "paper_queries",
+    "paper_query",
+    "queries_for_target",
+    "selection_query",
+    "selection_attributes",
+    "product_query",
+]

@@ -1,0 +1,71 @@
+"""Parameterised workload generators (Figures 11(d) and 11(e)).
+
+The paper studies how the evaluators scale with query size using two synthetic
+workloads over the Excel target schema:
+
+* queries with 1-5 *selection* operators on different ``PO`` attributes
+  (Figure 11(d));
+* queries with 1-3 *Cartesian product* operators, i.e. self-joins of ``PO``
+  (Figure 11(e)).
+
+Both generators are deterministic so that benchmark runs are repeatable.
+"""
+
+from __future__ import annotations
+
+from repro.core.target_query import TargetQuery
+from repro.relational.algebra import PlanNode, Product, Scan, Select
+from repro.relational.expressions import col
+from repro.relational.predicates import ColumnEquals, Equals
+from repro.relational.schema import DatabaseSchema
+from repro.workloads.queries import COMPANY, PERSON, PHONE, STREET
+
+#: Selection attribute/constant pairs used (in order) by :func:`selection_query`.
+#: Chosen so that the attributes span several source relations and carry the
+#: kind of matching ambiguity the paper's queries rely on.
+SELECTION_CONDITIONS: tuple[tuple[str, object], ...] = (
+    ("telephone", PHONE),
+    ("invoiceTo", PERSON),
+    ("priority", 2),
+    ("company", COMPANY),
+    ("deliverToStreet", STREET),
+)
+
+
+def selection_attributes(count: int) -> list[str]:
+    """The ``PO`` attributes used by a ``count``-selection query."""
+    if not 1 <= count <= len(SELECTION_CONDITIONS):
+        raise ValueError(f"count must be in 1..{len(SELECTION_CONDITIONS)}, got {count}")
+    return [attribute for attribute, _ in SELECTION_CONDITIONS[:count]]
+
+
+def selection_query(count: int, schema: DatabaseSchema, alias: str = "PO") -> TargetQuery:
+    """A query with ``count`` stacked selection operators on ``PO`` (Figure 11(d))."""
+    if not 1 <= count <= len(SELECTION_CONDITIONS):
+        raise ValueError(f"count must be in 1..{len(SELECTION_CONDITIONS)}, got {count}")
+    plan: PlanNode = Scan("PO", alias=alias)
+    for attribute, constant in reversed(SELECTION_CONDITIONS[:count]):
+        plan = Select(plan, Equals(col(f"{alias}.{attribute}"), constant))
+    return TargetQuery(plan, schema, name=f"sel-{count}")
+
+
+def product_query(products: int, schema: DatabaseSchema) -> TargetQuery:
+    """A query with ``products`` Cartesian products (self-joins of ``PO``, Figure 11(e)).
+
+    ``products`` Cartesian product operators combine ``products + 1`` scans of
+    ``PO``; consecutive scans are related through an ``orderNum`` equality
+    selection (the paper's self-join pattern).  Each scan additionally carries
+    a selection on a *different* PO attribute, which reproduces the paper's
+    observation that queries over more relations handle more target attributes
+    and therefore yield more distinct source queries and operators.
+    """
+    if products < 1:
+        raise ValueError("products must be at least 1")
+    plan: PlanNode = Scan("PO", alias="PO1")
+    for index in range(2, products + 2):
+        plan = Product(plan, Scan("PO", alias=f"PO{index}"))
+        plan = Select(plan, ColumnEquals(col("PO1.orderNum"), col(f"PO{index}.orderNum")))
+        attribute, constant = SELECTION_CONDITIONS[(index - 1) % len(SELECTION_CONDITIONS)]
+        plan = Select(plan, Equals(col(f"PO{index}.{attribute}"), constant))
+    plan = Select(plan, Equals(col("PO1.telephone"), PHONE))
+    return TargetQuery(plan, schema, name=f"prod-{products}")

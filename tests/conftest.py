@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+The expensive artefacts (matching scenarios, the paper running example) are
+session-scoped: they are deterministic, read-only in the tests, and rebuilding
+them per test would dominate the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.paper_example import PaperExample, build_paper_example
+from repro.datagen.scenario import MatchingScenario, build_scenario
+
+
+@pytest.fixture(scope="session")
+def paper_example() -> PaperExample:
+    """The running example of Figures 1-3 (Customer/Person, five mappings)."""
+    return build_paper_example()
+
+
+@pytest.fixture(scope="session")
+def excel_scenario() -> MatchingScenario:
+    """A small Excel scenario used by the integration tests."""
+    return build_scenario(target="Excel", h=16, scale=0.01, seed=3)
+
+
+@pytest.fixture(scope="session")
+def noris_scenario() -> MatchingScenario:
+    """A small Noris scenario used by the integration tests."""
+    return build_scenario(target="Noris", h=16, scale=0.01, seed=3)
+
+
+@pytest.fixture(scope="session")
+def paragon_scenario() -> MatchingScenario:
+    """A small Paragon scenario used by the integration tests."""
+    return build_scenario(target="Paragon", h=16, scale=0.01, seed=3)
+
+
+@pytest.fixture(scope="session")
+def scenarios(excel_scenario, noris_scenario, paragon_scenario) -> dict[str, MatchingScenario]:
+    """All three scenarios keyed by target schema name."""
+    return {
+        "Excel": excel_scenario,
+        "Noris": noris_scenario,
+        "Paragon": paragon_scenario,
+    }

@@ -1,0 +1,98 @@
+"""Unit tests for the basic evaluator, anchored on the paper's worked examples."""
+
+import pytest
+
+from repro.core.evaluators.basic import BasicEvaluator
+
+
+@pytest.fixture()
+def evaluator(paper_example):
+    return BasicEvaluator(links=paper_example.links)
+
+
+class TestPaperExamples:
+    def test_section_iii_example(self, paper_example, evaluator):
+        """π_phone σ_addr='aaa' Person → {(123, 0.5), (456, 0.8), (789, 0.2)}."""
+        result = evaluator.evaluate(
+            paper_example.q_phone_by_addr(), paper_example.mappings, paper_example.database
+        )
+        answers = result.answers
+        assert answers.probability(("123",)) == pytest.approx(0.5)
+        assert answers.probability(("456",)) == pytest.approx(0.8)
+        assert answers.probability(("789",)) == pytest.approx(0.2)
+        assert len(answers) == 3
+        assert answers.empty_probability == pytest.approx(0.0)
+
+    def test_introduction_query_q0(self, paper_example, evaluator):
+        """π_addr σ_phone='123' Person → {(aaa, 0.5), (hk, 0.5)}."""
+        result = evaluator.evaluate(
+            paper_example.q0(), paper_example.mappings, paper_example.database
+        )
+        assert result.answers.probability(("aaa",)) == pytest.approx(0.5)
+        assert result.answers.probability(("hk",)) == pytest.approx(0.5)
+
+    def test_unsatisfiable_selection_yields_null_answer(self, paper_example, evaluator):
+        result = evaluator.evaluate(
+            paper_example.q1(), paper_example.mappings, paper_example.database
+        )
+        # No customer has address 'abc', and m5 cannot answer (pname unmatched):
+        # all probability mass becomes the null answer.
+        assert len(result.answers) == 0
+        assert result.answers.empty_probability == pytest.approx(1.0)
+
+    def test_total_probability_conserved_for_single_tuple_queries(self, paper_example, evaluator):
+        # q0 and q1 yield at most one answer tuple per mapping, so the answer
+        # probabilities plus the null-answer mass sum to one.
+        for query in (paper_example.q0(), paper_example.q1()):
+            result = evaluator.evaluate(query, paper_example.mappings, paper_example.database)
+            assert result.answers.total_probability == pytest.approx(1.0)
+
+    def test_tuple_probabilities_are_marginals(self, paper_example, evaluator):
+        # The Section III-B example: one mapping returns two tuples, so the
+        # per-tuple probabilities sum to more than one — each is the marginal
+        # probability that the tuple is a correct answer.
+        result = evaluator.evaluate(
+            paper_example.q_phone_by_addr(), paper_example.mappings, paper_example.database
+        )
+        assert result.answers.total_probability == pytest.approx(1.5)
+        assert all(p <= 1.0 for _, p in result.answers.items())
+
+
+class TestMechanics:
+    def test_one_source_query_per_answerable_mapping(self, paper_example, evaluator):
+        result = evaluator.evaluate(
+            paper_example.q0(), paper_example.mappings, paper_example.database
+        )
+        assert result.stats.source_queries == 5
+        assert result.stats.reformulations == 5
+        assert result.details["evaluated_source_queries"] == 5
+
+    def test_unmatched_mappings_skip_execution(self, paper_example, evaluator):
+        result = evaluator.evaluate(
+            paper_example.q1(), paper_example.mappings, paper_example.database
+        )
+        # m5 cannot be reformulated, so only four source queries run.
+        assert result.stats.source_queries == 4
+
+    def test_phases_are_recorded(self, paper_example, evaluator):
+        result = evaluator.evaluate(
+            paper_example.q0(), paper_example.mappings, paper_example.database
+        )
+        assert {"rewriting", "evaluation", "aggregation"} <= set(result.stats.phase_seconds)
+
+    def test_evaluate_mappings_accepts_plain_lists(self, paper_example, evaluator):
+        subset = list(paper_example.mappings)[:2]
+        result = evaluator.evaluate_mappings(
+            paper_example.q0(), subset, paper_example.database
+        )
+        assert result.answers.total_probability == pytest.approx(0.5)
+
+    def test_result_summary_fields(self, paper_example, evaluator):
+        result = evaluator.evaluate(
+            paper_example.q0(), paper_example.mappings, paper_example.database
+        )
+        summary = result.summary()
+        assert summary["evaluator"] == "basic"
+        assert summary["query"] == "q0"
+        assert summary["source_queries"] == 5
+        assert result.source_operators > 0

@@ -1,0 +1,86 @@
+"""Unit tests for the e-MQO evaluator."""
+
+import pytest
+
+from repro.core.evaluators.basic import BasicEvaluator
+from repro.core.evaluators.ebasic import EBasicEvaluator
+from repro.core.evaluators.emqo import EMQOEvaluator, MemoizingExecutor, build_global_plan
+from repro.core.reformulation import reformulate_query
+from repro.relational.algebra import Scan, Select
+from repro.relational.expressions import col
+from repro.relational.predicates import Equals
+from repro.relational.stats import ExecutionStats
+
+
+@pytest.fixture()
+def evaluator(paper_example):
+    return EMQOEvaluator(links=paper_example.links)
+
+
+class TestGlobalPlan:
+    def test_shared_subexpressions_found(self, paper_example):
+        query = paper_example.q2()
+        plans = [
+            reformulate_query(query, mapping, paper_example.links)
+            for mapping in paper_example.mappings
+        ]
+        global_plan = build_global_plan(plans)
+        assert global_plan.materialisation_points >= 1
+        assert global_plan.comparisons > 0
+        # Benefits are sorted in decreasing order.
+        benefits = [expression.benefit for expression in global_plan.shared]
+        assert benefits == sorted(benefits, reverse=True)
+
+    def test_disjoint_queries_share_nothing(self, paper_example):
+        plans = [
+            Select(Scan("Customer"), Equals(col("Customer.cname"), "Alice")),
+            Select(Scan("Nation"), Equals(col("Nation.name"), "China")),
+        ]
+        global_plan = build_global_plan(plans)
+        assert global_plan.materialisation_points == 0
+
+    def test_comparisons_grow_quadratically(self, paper_example):
+        query = paper_example.q2()
+        plans = [
+            reformulate_query(query, mapping, paper_example.links)
+            for mapping in paper_example.mappings
+        ]
+        few = build_global_plan(plans[:2]).comparisons
+        many = build_global_plan(plans).comparisons
+        assert many > few
+
+
+class TestMemoizingExecutor:
+    def test_repeated_subplans_execute_once(self, paper_example):
+        stats = ExecutionStats()
+        executor = MemoizingExecutor(paper_example.database, stats)
+        plan = Select(Scan("Customer"), Equals(col("Customer.oaddr"), "aaa"))
+        first = executor.execute_query(plan)
+        operators_after_first = stats.source_operators
+        second = executor.execute_query(plan)
+        assert first.rows == second.rows
+        assert stats.source_operators == operators_after_first
+        assert executor.cache_size >= 1
+
+
+class TestEvaluation:
+    def test_matches_basic_and_ebasic(self, paper_example, evaluator):
+        basic = BasicEvaluator(links=paper_example.links)
+        for query in (paper_example.q0(), paper_example.q_phone_by_addr(), paper_example.q2()):
+            expected = basic.evaluate(query, paper_example.mappings, paper_example.database)
+            actual = evaluator.evaluate(query, paper_example.mappings, paper_example.database)
+            assert expected.answers.equals(actual.answers)
+
+    def test_minimal_operator_count(self, paper_example, evaluator):
+        ebasic = EBasicEvaluator(links=paper_example.links)
+        query = paper_example.q2()
+        shared = evaluator.evaluate(query, paper_example.mappings, paper_example.database)
+        unshared = ebasic.evaluate(query, paper_example.mappings, paper_example.database)
+        assert shared.stats.source_operators <= unshared.stats.source_operators
+
+    def test_planning_phase_recorded(self, paper_example, evaluator):
+        result = evaluator.evaluate(
+            paper_example.q0(), paper_example.mappings, paper_example.database
+        )
+        assert "planning" in result.stats.phase_seconds
+        assert "plan_comparisons" in result.details

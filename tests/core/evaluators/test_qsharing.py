@@ -1,0 +1,67 @@
+"""Unit tests for the q-sharing evaluator (Algorithm 1)."""
+
+import pytest
+
+from repro.core.evaluators.basic import BasicEvaluator
+from repro.core.evaluators.qsharing import QSharingEvaluator
+
+
+@pytest.fixture()
+def evaluator(paper_example):
+    return QSharingEvaluator(links=paper_example.links)
+
+
+class TestQSharing:
+    def test_matches_basic_answers(self, paper_example, evaluator):
+        basic = BasicEvaluator(links=paper_example.links)
+        for query in (
+            paper_example.q0(),
+            paper_example.q_phone_by_addr(),
+            paper_example.q1(),
+            paper_example.q2(),
+        ):
+            expected = basic.evaluate(query, paper_example.mappings, paper_example.database)
+            actual = evaluator.evaluate(query, paper_example.mappings, paper_example.database)
+            assert expected.answers.equals(actual.answers), expected.answers.difference(
+                actual.answers
+            )
+
+    def test_q1_uses_three_representative_mappings(self, paper_example, evaluator):
+        """Section IV's example: q1 partitions the five mappings into three groups."""
+        result = evaluator.evaluate(
+            paper_example.q1(), paper_example.mappings, paper_example.database
+        )
+        assert result.details["partitions"] == 3
+        assert result.details["representative_mappings"] == 3
+
+    def test_fewer_reformulations_than_basic(self, paper_example, evaluator):
+        basic = BasicEvaluator(links=paper_example.links)
+        query = paper_example.q0()
+        shared = evaluator.evaluate(query, paper_example.mappings, paper_example.database)
+        unshared = basic.evaluate(query, paper_example.mappings, paper_example.database)
+        # q-sharing rewrites one query per representative mapping only.
+        assert shared.stats.reformulations < unshared.stats.reformulations
+        assert shared.stats.source_queries < unshared.stats.source_queries
+
+    def test_partition_probability_flows_to_answers(self, paper_example, evaluator):
+        result = evaluator.evaluate(
+            paper_example.q_phone_by_addr(), paper_example.mappings, paper_example.database
+        )
+        assert result.answers.probability(("456",)) == pytest.approx(0.8)
+
+    def test_scenario_query_matches_basic(self, excel_scenario):
+        from repro.workloads import paper_query
+
+        query = paper_query("Q1", excel_scenario.target_schema)
+        basic = BasicEvaluator(links=excel_scenario.links)
+        shared = QSharingEvaluator(links=excel_scenario.links)
+        expected = basic.evaluate(query, excel_scenario.mappings, excel_scenario.database)
+        actual = shared.evaluate(query, excel_scenario.mappings, excel_scenario.database)
+        assert expected.answers.equals(actual.answers)
+
+    def test_stats_include_partition_phase(self, paper_example, evaluator):
+        result = evaluator.evaluate(
+            paper_example.q0(), paper_example.mappings, paper_example.database
+        )
+        assert result.stats.partitions_created >= 1
+        assert "rewriting" in result.stats.phase_seconds

@@ -1,0 +1,125 @@
+"""Unit tests for the probabilistic top-k evaluator (Algorithm 4)."""
+
+import pytest
+
+from repro.core.evaluators.osharing import OSharingEvaluator
+from repro.core.evaluators.topk import TopKEvaluator, _TopKState
+
+
+def exact_top_k(paper_example, query, k):
+    """Reference top-k computed from the exact o-sharing answer."""
+    exact = OSharingEvaluator(links=paper_example.links).evaluate(
+        query, paper_example.mappings, paper_example.database
+    )
+    return exact.answers.top_k(k)
+
+
+class TestTopKState:
+    def test_decide_inserts_and_updates_bounds(self):
+        state = _TopKState(k=1, ub=1.0)
+        done = state.decide(0.5, [])
+        assert not done
+        assert state.UB == pytest.approx(0.5)
+        done = state.decide(0.2, [("a",)])
+        assert state.entries[("a",)].lb == pytest.approx(0.2)
+        assert state.entries[("a",)].ub == pytest.approx(0.5)
+        assert not done
+        done = state.decide(0.2, [("a",), ("b",), ("c",)])
+        # The paper's Table II walk-through: after the third unit the top-1
+        # answer is decided without visiting the last e-unit.
+        assert state.entries[("a",)].lb == pytest.approx(0.4)
+        assert done
+
+    def test_new_tuples_rejected_once_ub_below_lb(self):
+        state = _TopKState(k=1, ub=1.0)
+        state.decide(0.8, [("winner",)])
+        state.decide(0.1, [("late",)])
+        # 'late' cannot beat 'winner' (UB was 0.2 < LB 0.8): not inserted.
+        assert ("late",) not in state.entries
+
+    def test_ranked_orders_by_lower_bound(self):
+        state = _TopKState(k=2, ub=1.0)
+        state.decide(0.3, [("a",)])
+        state.decide(0.5, [("b",)])
+        assert [entry.values for entry in state.ranked()] == [("b",), ("a",)]
+        assert [entry.values for entry in state.top_k()] == [("b",), ("a",)]
+
+
+class TestTopKEvaluator:
+    def test_k_must_be_positive(self, paper_example):
+        with pytest.raises(ValueError):
+            TopKEvaluator(k=0, links=paper_example.links)
+
+    def test_top1_matches_exact_ranking(self, paper_example):
+        query = paper_example.q_phone_by_addr()
+        result = TopKEvaluator(k=1, links=paper_example.links).evaluate(
+            query, paper_example.mappings, paper_example.database
+        )
+        expected = exact_top_k(paper_example, query, 1)
+        assert result.answers.tuples == [expected[0].values]
+        assert result.answers.tuples == [("456",)]
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_topk_set_matches_exact_answers(self, paper_example, k):
+        query = paper_example.q_phone_by_addr()
+        result = TopKEvaluator(k=k, links=paper_example.links).evaluate(
+            query, paper_example.mappings, paper_example.database
+        )
+        expected = {answer.values for answer in exact_top_k(paper_example, query, k)}
+        assert set(result.answers.tuples) == expected
+
+    def test_lower_bounds_never_exceed_exact_probability(self, paper_example):
+        query = paper_example.q_phone_by_addr()
+        exact = OSharingEvaluator(links=paper_example.links).evaluate(
+            query, paper_example.mappings, paper_example.database
+        )
+        result = TopKEvaluator(k=3, links=paper_example.links).evaluate(
+            query, paper_example.mappings, paper_example.database
+        )
+        for values, lower_bound in result.answers.items():
+            assert lower_bound <= exact.answers.probability(values) + 1e-9
+
+    def test_details_reported(self, paper_example):
+        query = paper_example.q_phone_by_addr()
+        result = TopKEvaluator(k=2, links=paper_example.links).evaluate(
+            query, paper_example.mappings, paper_example.database
+        )
+        assert result.details["k"] == 2
+        assert "stopped_early" in result.details
+        assert result.details["candidate_tuples"] >= 2
+
+    def test_small_k_explores_no_more_than_exact(self, paper_example):
+        query = paper_example.q_phone_by_addr()
+        exact = OSharingEvaluator(links=paper_example.links).evaluate(
+            query, paper_example.mappings, paper_example.database
+        )
+        topk = TopKEvaluator(k=1, links=paper_example.links).evaluate(
+            query, paper_example.mappings, paper_example.database
+        )
+        assert topk.stats.source_operators <= exact.stats.source_operators
+
+    def test_scenario_topk_agrees_with_exact(self, excel_scenario):
+        from repro.workloads import paper_query
+
+        query = paper_query("Q4", excel_scenario.target_schema)
+        exact = OSharingEvaluator(links=excel_scenario.links).evaluate(
+            query, excel_scenario.mappings, excel_scenario.database
+        )
+        k = 3
+        result = TopKEvaluator(k=k, links=excel_scenario.links).evaluate(
+            query, excel_scenario.mappings, excel_scenario.database
+        )
+        expected_probabilities = sorted(
+            (answer.probability for answer in exact.answers.top_k(k)), reverse=True
+        )
+        # The returned set may differ on ties, but the k-th probability and the
+        # number of answers must agree with the exact ranking.
+        assert len(result.answers) == len(exact.answers.top_k(k))
+        exact_by_tuple = {a.values: a.probability for a in exact.answers.ranked()}
+        for values, lower_bound in result.answers.items():
+            assert values in exact_by_tuple
+            assert lower_bound <= exact_by_tuple[values] + 1e-9
+        if expected_probabilities:
+            threshold = expected_probabilities[-1]
+            for values in result.answers.tuples:
+                assert exact_by_tuple[values] >= threshold - 1e-9

@@ -1,0 +1,154 @@
+"""Unit tests for probabilistic answers."""
+
+import pytest
+
+from repro.core.answer import ProbabilisticAnswer
+
+
+class TestConstruction:
+    def test_add_and_probability(self):
+        answer = ProbabilisticAnswer()
+        answer.add(("x",), 0.3)
+        answer.add(("x",), 0.2)
+        answer.add(("y",), 0.1)
+        assert answer.probability(("x",)) == pytest.approx(0.5)
+        assert answer.probability(("y",)) == pytest.approx(0.1)
+        assert answer.probability(("z",)) == 0.0
+
+    def test_from_pairs(self):
+        answer = ProbabilisticAnswer.from_pairs([(("a",), 0.4), (("a",), 0.1), (("b",), 0.5)])
+        assert answer.probability(("a",)) == pytest.approx(0.5)
+        assert len(answer) == 2
+
+    def test_add_tuples_shares_probability(self):
+        answer = ProbabilisticAnswer()
+        answer.add_tuples([("a",), ("b",)], 0.3)
+        assert answer.probability(("a",)) == 0.3
+        assert answer.probability(("b",)) == 0.3
+
+    def test_negative_probability_rejected(self):
+        answer = ProbabilisticAnswer()
+        with pytest.raises(ValueError):
+            answer.add(("a",), -0.1)
+        with pytest.raises(ValueError):
+            answer.add_empty(-0.1)
+
+    def test_empty_probability_accumulates(self):
+        answer = ProbabilisticAnswer()
+        answer.add_empty(0.2)
+        answer.add_empty(0.3)
+        assert answer.empty_probability == pytest.approx(0.5)
+
+    def test_total_probability_includes_empty(self):
+        answer = ProbabilisticAnswer()
+        answer.add(("a",), 0.6)
+        answer.add_empty(0.4)
+        assert answer.total_probability == pytest.approx(1.0)
+
+    def test_merge(self):
+        left = ProbabilisticAnswer.from_pairs([(("a",), 0.3)])
+        left.add_empty(0.1)
+        right = ProbabilisticAnswer.from_pairs([(("a",), 0.2), (("b",), 0.4)])
+        left.merge(right)
+        assert left.probability(("a",)) == pytest.approx(0.5)
+        assert left.probability(("b",)) == pytest.approx(0.4)
+        assert left.empty_probability == pytest.approx(0.1)
+
+
+class TestRankingAndTopK:
+    def build(self):
+        return ProbabilisticAnswer.from_pairs(
+            [(("low",), 0.1), (("high",), 0.8), (("mid",), 0.4), (("zero",), 0.0)]
+        )
+
+    def test_ranked_order(self):
+        ranked = self.build().ranked()
+        assert [answer.values for answer in ranked[:3]] == [("high",), ("mid",), ("low",)]
+        assert [answer.rank for answer in ranked] == [1, 2, 3, 4]
+
+    def test_rank_ties_are_deterministic(self):
+        answer = ProbabilisticAnswer.from_pairs([(("b",), 0.5), (("a",), 0.5)])
+        assert [a.values for a in answer.ranked()] == [("a",), ("b",)]
+
+    def test_top_k_excludes_zero_probability(self):
+        top = self.build().top_k(10)
+        assert all(answer.probability > 0 for answer in top)
+        assert len(top) == 3
+
+    def test_top_k_limits(self):
+        top = self.build().top_k(2)
+        assert [answer.values for answer in top] == [("high",), ("mid",)]
+
+    def test_top_k_invalid_k(self):
+        with pytest.raises(ValueError):
+            self.build().top_k(0)
+
+    def test_above_threshold(self):
+        answers = self.build().above_threshold(0.4)
+        assert [answer.values for answer in answers] == [("high",), ("mid",)]
+
+    def test_above_threshold_includes_exact_matches(self):
+        answers = self.build().above_threshold(0.8)
+        assert [answer.values for answer in answers] == [("high",)]
+
+    def test_above_threshold_invalid(self):
+        with pytest.raises(ValueError):
+            self.build().above_threshold(0.0)
+        with pytest.raises(ValueError):
+            self.build().above_threshold(1.5)
+
+
+class TestComparison:
+    def test_equals_within_tolerance(self):
+        left = ProbabilisticAnswer.from_pairs([(("a",), 0.1 + 0.2)])
+        right = ProbabilisticAnswer.from_pairs([(("a",), 0.3)])
+        assert left.equals(right)
+
+    def test_not_equal_different_tuples(self):
+        left = ProbabilisticAnswer.from_pairs([(("a",), 0.3)])
+        right = ProbabilisticAnswer.from_pairs([(("b",), 0.3)])
+        assert not left.equals(right)
+        assert left.difference(right)
+
+    def test_not_equal_different_probability(self):
+        left = ProbabilisticAnswer.from_pairs([(("a",), 0.3)])
+        right = ProbabilisticAnswer.from_pairs([(("a",), 0.4)])
+        assert not left.equals(right)
+        assert any("0.3" in problem for problem in left.difference(right))
+
+    def test_not_equal_different_empty_probability(self):
+        left = ProbabilisticAnswer.from_pairs([(("a",), 0.3)])
+        right = ProbabilisticAnswer.from_pairs([(("a",), 0.3)])
+        right.add_empty(0.2)
+        assert not left.equals(right)
+
+    def test_difference_empty_when_equal(self):
+        left = ProbabilisticAnswer.from_pairs([(("a",), 0.3)])
+        right = ProbabilisticAnswer.from_pairs([(("a",), 0.3)])
+        assert left.difference(right) == []
+
+
+class TestDunder:
+    def test_contains_and_iter(self):
+        answer = ProbabilisticAnswer.from_pairs([(("a", 1), 0.5)])
+        assert ("a", 1) in answer
+        assert "not-a-tuple" not in answer
+        assert list(answer) == [("a", 1)]
+
+    def test_tuples_property(self):
+        answer = ProbabilisticAnswer.from_pairs([(("a",), 0.5), (("b",), 0.2)])
+        assert answer.tuples == [("a",), ("b",)]
+
+    def test_pretty_renders_ranked_answers(self):
+        answer = ProbabilisticAnswer.from_pairs([(("a",), 0.5)])
+        answer.add_empty(0.5)
+        text = answer.pretty()
+        assert "p=0.5000" in text
+        assert "(no answer)" in text
+
+    def test_pretty_empty_answer(self):
+        assert "no answers" in ProbabilisticAnswer().pretty()
+
+    def test_ranked_handles_mixed_value_types(self):
+        answer = ProbabilisticAnswer.from_pairs([((1,), 0.5), (("a",), 0.5), ((None,), 0.5)])
+        assert len(answer.ranked()) == 3

@@ -1,0 +1,120 @@
+"""Unit tests for schema links and the cover-combination rules."""
+
+import pytest
+
+from repro.core.links import RelationLink, SchemaLinks, attach_with_links, combine_cover, scan_alias
+from repro.relational.algebra import Join, Materialized, Product, Scan
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def links():
+    return SchemaLinks.from_pairs(
+        [
+            ("orders", "o_custkey", "customer", "c_custkey"),
+            ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ]
+    )
+
+
+class TestSchemaLinks:
+    def test_links_are_bidirectional(self, links):
+        assert links.between("orders", "customer")
+        assert links.between("customer", "orders")
+        assert links.between("customer", "lineitem") == []
+
+    def test_linked_to_any(self, links):
+        assert links.linked_to_any("lineitem", ["customer", "orders"])
+        assert not links.linked_to_any("lineitem", ["customer"])
+
+    def test_len_counts_undirected_links(self, links):
+        assert len(links) == 2
+
+    def test_iteration_yields_each_link_once(self, links):
+        assert len(list(links)) == 2
+
+    def test_reversed_link(self):
+        link = RelationLink("a", "x", "b", "y")
+        assert link.reversed == RelationLink("b", "y", "a", "x")
+
+    def test_empty_catalogue(self):
+        assert len(SchemaLinks.empty()) == 0
+
+
+class TestScanAlias:
+    def test_format(self):
+        assert scan_alias("PO1", "orders") == "PO1@orders"
+
+
+class TestCombineCover:
+    def test_single_relation(self, links):
+        plan = combine_cover("PO", ["orders"], links)
+        assert isinstance(plan, Scan)
+        assert plan.label == "PO@orders"
+
+    def test_empty_cover_rejected(self, links):
+        with pytest.raises(ValueError):
+            combine_cover("PO", [], links)
+
+    def test_linked_relations_become_join(self, links):
+        plan = combine_cover("PO", ["orders", "customer"], links)
+        assert isinstance(plan, Join)
+        canonical = plan.canonical()
+        assert "PO@orders.o_custkey" in canonical
+        assert "PO@customer.c_custkey" in canonical
+
+    def test_unlinked_relations_become_product(self, links):
+        plan = combine_cover("PO", ["customer", "lineitem"], links)
+        assert isinstance(plan, Product)
+
+    def test_link_aware_ordering_joins_when_possible(self, links):
+        # customer and lineitem are not directly linked, but both link through
+        # orders; the combiner reorders so that at most one product is needed.
+        plan = combine_cover("PO", ["customer", "lineitem", "orders"], links)
+        kinds = [type(node).__name__ for node in plan.walk() if node.children()]
+        assert kinds.count("Product") == 0
+        assert kinds.count("Join") == 2
+
+    def test_duplicate_relations_collapse(self, links):
+        plan = combine_cover("PO", ["orders", "orders"], links)
+        assert isinstance(plan, Scan)
+
+    def test_no_links_catalogue(self):
+        plan = combine_cover("PO", ["orders", "customer"], None)
+        assert isinstance(plan, Product)
+
+
+class TestAttachWithLinks:
+    def test_attach_with_available_column(self, links):
+        base = Materialized(Relation(["PO@orders.o_orderkey", "PO@orders.o_custkey"], []))
+        plan = attach_with_links(
+            base,
+            ["orders"],
+            "PO",
+            "customer",
+            Scan("customer", alias="PO@customer"),
+            links,
+            available_columns=base.relation.columns,
+        )
+        assert isinstance(plan, Join)
+
+    def test_attach_falls_back_to_product_when_column_missing(self, links):
+        # The intermediate no longer carries o_custkey, so the join link is unusable.
+        base = Materialized(Relation(["PO@orders.o_orderkey"], []))
+        plan = attach_with_links(
+            base,
+            ["orders"],
+            "PO",
+            "customer",
+            Scan("customer", alias="PO@customer"),
+            links,
+            available_columns=base.relation.columns,
+        )
+        assert isinstance(plan, Product)
+
+    def test_attach_without_column_filter_uses_link(self, links):
+        base = Materialized(Relation(["PO@orders.o_orderkey", "PO@orders.o_custkey"], []))
+        plan = attach_with_links(
+            base, ["orders"], "PO", "customer", Scan("customer", alias="PO@customer"), links
+        )
+        assert isinstance(plan, Join)

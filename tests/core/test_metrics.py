@@ -1,0 +1,71 @@
+"""Unit tests for the mapping-overlap metrics (Section VIII-B.1)."""
+
+import pytest
+
+from repro.core.metrics import (
+    correspondence_frequencies,
+    o_ratio,
+    o_ratio_pair,
+    overlap_series,
+    pairwise_o_ratios,
+    shared_correspondence_fraction,
+)
+from repro.matching.mappings import Mapping, MappingSet
+
+
+def mapping(mapping_id, correspondences):
+    return Mapping(mapping_id, correspondences, score=1.0, probability=1.0 / 4)
+
+
+class TestORatio:
+    def test_pairwise_definition(self):
+        left = mapping(1, {"T.a": "S.x", "T.b": "S.y"})
+        right = mapping(2, {"T.a": "S.x", "T.b": "S.z"})
+        assert o_ratio_pair(left, right) == pytest.approx(1 / 3)
+
+    def test_set_average(self, paper_example):
+        mappings = paper_example.mappings
+        ratios = pairwise_o_ratios(mappings)
+        assert o_ratio(mappings) == pytest.approx(sum(ratios) / len(ratios))
+
+    def test_single_mapping_is_one(self):
+        assert o_ratio([mapping(1, {"T.a": "S.x"})]) == 1.0
+
+    def test_accepts_plain_sequences(self, paper_example):
+        as_list = list(paper_example.mappings)
+        assert o_ratio(as_list) == pytest.approx(paper_example.mappings.o_ratio())
+
+    def test_paper_example_overlaps_heavily(self, paper_example):
+        assert o_ratio(paper_example.mappings) > 0.5
+
+
+class TestOtherMetrics:
+    def test_pairwise_count(self, paper_example):
+        assert len(pairwise_o_ratios(paper_example.mappings)) == 10  # C(5,2)
+
+    def test_shared_correspondence_fraction(self):
+        mappings = MappingSet(
+            [
+                mapping(1, {"T.a": "S.x", "T.b": "S.y"}),
+                mapping(2, {"T.a": "S.x", "T.b": "S.z"}),
+            ]
+        )
+        assert shared_correspondence_fraction(mappings) == pytest.approx(0.5)
+
+    def test_correspondence_frequencies(self, paper_example):
+        frequencies = correspondence_frequencies(paper_example.mappings)
+        assert frequencies[("Person.phone", "Customer.ophone")] == 4
+        assert frequencies[("Person.phone", "Customer.hphone")] == 1
+
+    def test_overlap_series_shape(self, excel_scenario):
+        series = overlap_series(excel_scenario.mappings, [2, 4, 8, 16])
+        assert [point.h for point in series] == [2, 4, 8, 16]
+        assert all(0.0 <= point.o_ratio <= 1.0 for point in series)
+
+    def test_overlap_series_clamps_h(self, paper_example):
+        series = overlap_series(paper_example.mappings, [3, 50])
+        assert series[-1].h == 5
+
+    def test_overlap_series_rejects_non_positive_h(self, paper_example):
+        with pytest.raises(ValueError):
+            overlap_series(paper_example.mappings, [0])

@@ -1,0 +1,141 @@
+"""Unit tests for the Random / SNF / SEF operator-selection strategies."""
+
+import math
+
+import pytest
+
+from repro.core.eunit import EUnit, candidate_operators
+from repro.core.partition_tree import CoverKey
+from repro.relational.algebra import Materialized
+from repro.relational.relation import Relation
+from repro.core.operator_selection import (
+    STRATEGIES,
+    OperatorChoice,
+    RandomStrategy,
+    SEFStrategy,
+    SNFStrategy,
+    entropy,
+    make_strategy,
+    partition_attributes,
+    partition_for,
+)
+from repro.matching.mappings import Mapping
+
+
+def synthetic_choice(sizes):
+    """An OperatorChoice whose partitions have the given sizes (content irrelevant)."""
+    partitions = []
+    counter = 1
+    for size in sizes:
+        group = tuple(
+            Mapping(counter + index, {"T.a": f"S.x{counter + index}"}, 1.0, 0.1)
+            for index in range(size)
+        )
+        counter += size
+        partitions.append(group)
+    from repro.core.eunit import CandidateOperator
+    from repro.relational.algebra import Scan
+
+    return OperatorChoice(
+        candidate=CandidateOperator(operator=Scan("T")),
+        attributes=("T.a",),
+        partitions=tuple(partitions),
+    )
+
+
+class TestEntropy:
+    def test_single_partition_has_zero_entropy(self):
+        assert entropy(synthetic_choice([10])) == 0.0
+
+    def test_uniform_partitions_have_log_entropy(self):
+        assert entropy(synthetic_choice([5, 5])) == pytest.approx(1.0)
+        assert entropy(synthetic_choice([3, 3, 3])) == pytest.approx(math.log2(3))
+
+    def test_paper_figure_7_values(self):
+        """Figure 7: o1 splits 40/30/30 (E=1.57), o2 splits 10/70/10/10 (E=1.36)."""
+        o1 = entropy(synthetic_choice([4, 3, 3]))
+        o2 = entropy(synthetic_choice([1, 7, 1, 1]))
+        assert o1 == pytest.approx(1.571, abs=0.01)
+        assert o2 == pytest.approx(1.357, abs=0.01)
+        assert o2 < o1
+
+    def test_empty_choice(self):
+        assert entropy(synthetic_choice([])) == 0.0
+
+
+class TestPartitionAttributes:
+    def test_selection_uses_only_its_attributes(self, paper_example):
+        query = paper_example.q2()
+        candidates = candidate_operators(query.plan, query)
+        inner = next(c for c in candidates if c.operator is query.plan.left.child)
+        assert partition_attributes(query, inner) == ["Person.phone"]
+
+    def test_product_includes_cover_key_of_scan_children(self, paper_example):
+        query = paper_example.q2()
+        plan = query.plan.replace(
+            query.plan.left,
+            Materialized(Relation(["Person@Customer.ophone"], [])),
+        )
+        candidates = candidate_operators(plan, query)
+        product = next(c for c in candidates if type(c.operator).__name__ == "Product")
+        keys = partition_attributes(query, product)
+        assert any(isinstance(key, CoverKey) and key.alias == "Order" for key in keys)
+
+    def test_partition_for_groups_mappings(self, paper_example):
+        query = paper_example.q2()
+        candidates = candidate_operators(query.plan, query)
+        inner = next(c for c in candidates if c.operator is query.plan.left.child)
+        choice = partition_for(query, inner, list(paper_example.mappings))
+        # phone maps to ophone for m1,m2,m3,m5 and hphone for m4.
+        assert choice.partition_count == 2
+        sizes = sorted(len(group) for group in choice.partitions)
+        assert sizes == [1, 4]
+
+
+class TestStrategies:
+    @pytest.fixture()
+    def unit_and_candidates(self, paper_example):
+        query = paper_example.q2()
+        unit = EUnit(plan=query.plan, mappings=list(paper_example.mappings))
+        return query, unit, candidate_operators(query.plan, query)
+
+    def test_snf_picks_fewest_partitions(self, unit_and_candidates):
+        query, unit, candidates = unit_and_candidates
+        choice = SNFStrategy().choose(unit, candidates, query)
+        minimal = min(
+            partition_for(query, candidate, unit.mappings).partition_count
+            for candidate in candidates
+        )
+        assert choice.partition_count == minimal
+
+    def test_sef_picks_lowest_entropy(self, unit_and_candidates):
+        query, unit, candidates = unit_and_candidates
+        choice = SEFStrategy().choose(unit, candidates, query)
+        lowest = min(
+            entropy(partition_for(query, candidate, unit.mappings)) for candidate in candidates
+        )
+        assert entropy(choice) == pytest.approx(lowest)
+
+    def test_sef_prefers_concentrated_partitions_over_fewer(self, paper_example):
+        """The Figure 7 situation: SNF and SEF can disagree."""
+        few_but_even = synthetic_choice([4, 3, 3])
+        many_but_concentrated = synthetic_choice([1, 7, 1, 1])
+        assert few_but_even.partition_count < many_but_concentrated.partition_count
+        assert entropy(many_but_concentrated) < entropy(few_but_even)
+
+    def test_random_is_seeded_and_valid(self, unit_and_candidates):
+        query, unit, candidates = unit_and_candidates
+        first = RandomStrategy(seed=5).choose(unit, candidates, query)
+        second = RandomStrategy(seed=5).choose(unit, candidates, query)
+        assert first.candidate.operator.canonical() == second.candidate.operator.canonical()
+        assert first.partition_count >= 1
+
+    def test_make_strategy_factory(self):
+        assert isinstance(make_strategy("SEF"), SEFStrategy)
+        assert isinstance(make_strategy("snf"), SNFStrategy)
+        assert isinstance(make_strategy("random", seed=3), RandomStrategy)
+        with pytest.raises(KeyError):
+            make_strategy("greedy")
+
+    def test_registry_names(self):
+        assert set(STRATEGIES) == {"random", "snf", "sef"}

@@ -1,0 +1,146 @@
+"""Unit tests for mapping partitioning (Algorithm 3)."""
+
+import pytest
+
+from repro.core.partition_tree import (
+    UNMATCHED,
+    AttributeKey,
+    CoverKey,
+    PartitionTree,
+    partition,
+    partition_and_represent,
+    partition_naive,
+    represent,
+)
+from repro.matching.mappings import Mapping
+
+
+def ids(partitions):
+    return sorted(sorted(m.mapping_id for m in bucket) for bucket in partitions)
+
+
+class TestPartitionKeys:
+    def test_attribute_key_label(self, paper_example):
+        key = AttributeKey("Person.addr")
+        assert key.label(paper_example.mappings[0]) == "Customer.oaddr"
+
+    def test_attribute_key_unmatched(self):
+        mapping = Mapping(1, {}, score=1.0, probability=1.0)
+        assert AttributeKey("T.x").label(mapping) == UNMATCHED
+
+    def test_cover_key_label_sorted_relations(self, paper_example):
+        key = CoverKey("Order", ("Order.total", "Order.item"))
+        assert key.label(paper_example.mappings[4]) == "C_Order,Nation"
+        assert key.label(paper_example.mappings[0]) == "C_Order"
+
+    def test_cover_key_unmatched(self):
+        mapping = Mapping(1, {}, score=1.0, probability=1.0)
+        assert CoverKey("Order", ("Order.total",)).label(mapping) == UNMATCHED
+
+
+class TestPaperPartitioning:
+    def test_q1_partitions_match_section_iv(self, paper_example):
+        """π_pname σ_addr='abc' Person partitions into {m1,m2}, {m3,m4}, {m5}."""
+        partitions = partition(["Person.pname", "Person.addr"], paper_example.mappings)
+        assert ids(partitions) == [[1, 2], [3, 4], [5]]
+
+    def test_phone_attribute_partitions(self, paper_example):
+        partitions = partition(["Person.phone"], paper_example.mappings)
+        assert ids(partitions) == [[1, 2, 3, 5], [4]]
+
+    def test_representatives_carry_partition_probability(self, paper_example):
+        partitions = partition(["Person.pname", "Person.addr"], paper_example.mappings)
+        representatives = represent(partitions)
+        probabilities = sorted(round(m.probability, 6) for m in representatives)
+        assert probabilities == [0.1, 0.4, 0.5]
+        assert sum(m.probability for m in representatives) == pytest.approx(1.0)
+
+    def test_partition_and_represent_composition(self, paper_example):
+        representatives = partition_and_represent(
+            ["Person.pname", "Person.addr"], paper_example.mappings
+        )
+        assert len(representatives) == 3
+
+
+class TestPartitionTree:
+    def test_requires_attributes(self):
+        with pytest.raises(ValueError):
+            PartitionTree([])
+
+    def test_node_count_grows_with_distinct_branches(self, paper_example):
+        tree = PartitionTree(["Person.pname", "Person.addr"])
+        tree.extend(paper_example.mappings)
+        # root + 2 pname branches + 3 addr branches/buckets
+        assert tree.node_count >= 5
+        assert tree.depth == 3
+
+    def test_buckets_in_insertion_order(self, paper_example):
+        tree = PartitionTree(["Person.addr"])
+        tree.extend(paper_example.mappings)
+        buckets = tree.buckets()
+        assert [m.mapping_id for m in buckets[0]] == [1, 2]
+        assert [m.mapping_id for m in buckets[1]] == [3, 4, 5]
+
+    def test_iteration_yields_buckets(self, paper_example):
+        tree = PartitionTree(["Person.addr"])
+        tree.extend(paper_example.mappings)
+        assert len(list(tree)) == 2
+
+    def test_unmatched_attribute_forms_its_own_bucket(self, paper_example):
+        # m5 does not match pname, so it must not be grouped with m1-m4.
+        partitions = partition(["Person.pname"], paper_example.mappings)
+        assert ids(partitions) == [[1, 2, 3, 4], [5]]
+
+
+class TestPartitionHelpers:
+    def test_empty_attribute_list_is_single_partition(self, paper_example):
+        partitions = partition([], paper_example.mappings)
+        assert len(partitions) == 1
+        assert len(partitions[0]) == 5
+
+    def test_empty_mapping_list(self):
+        assert partition(["T.a"], []) == []
+        assert partition([], []) == []
+
+    def test_naive_partition_agrees_with_tree(self, paper_example):
+        for attributes in (
+            ["Person.pname"],
+            ["Person.addr", "Person.phone"],
+            ["Person.pname", "Person.addr", "Person.phone", "Person.nation"],
+        ):
+            assert ids(partition(attributes, paper_example.mappings)) == ids(
+                partition_naive(attributes, paper_example.mappings)
+            )
+
+    def test_naive_partition_supports_cover_keys(self, paper_example):
+        keys = [CoverKey("Order", ("Order.total", "Order.item"))]
+        assert ids(partition(keys, paper_example.mappings)) == ids(
+            partition_naive(keys, paper_example.mappings)
+        )
+
+    def test_represent_skips_empty_groups(self):
+        assert represent([[]]) == []
+
+    def test_represent_preserves_correspondences(self, paper_example):
+        partitions = partition(["Person.addr"], paper_example.mappings)
+        representatives = represent(partitions)
+        assert representatives[0].correspondences == paper_example.mappings[0].correspondences
+
+
+class TestScenarioPartitioning:
+    def test_partitions_cover_all_mappings_exactly_once(self, excel_scenario):
+        attributes = ["PO.telephone", "PO.company", "Item.quantity"]
+        partitions = partition(attributes, excel_scenario.mappings)
+        seen = [m.mapping_id for bucket in partitions for m in bucket]
+        assert sorted(seen) == sorted(m.mapping_id for m in excel_scenario.mappings)
+
+    def test_partition_count_bounded_by_mappings(self, excel_scenario):
+        attributes = [a.qualified for a in excel_scenario.target_schema.attributes][:10]
+        partitions = partition(attributes, excel_scenario.mappings)
+        assert 1 <= len(partitions) <= excel_scenario.h
+
+    def test_same_partition_means_same_signature(self, excel_scenario):
+        attributes = ["PO.telephone", "PO.invoiceTo"]
+        for bucket in partition(attributes, excel_scenario.mappings):
+            signatures = {m.signature(attributes) for m in bucket}
+            assert len(signatures) == 1

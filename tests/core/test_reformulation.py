@@ -1,0 +1,274 @@
+"""Unit tests for query and operator reformulation (Section VI-B)."""
+
+import pytest
+
+from repro.core.reformulation import (
+    UnmatchedAttributeError,
+    build_scan_plan,
+    cover_relations,
+    extract_answers,
+    reformulate_operator,
+    reformulate_query,
+    source_attribute,
+    source_label,
+    source_reference,
+)
+from repro.core.target_query import TargetQuery
+from repro.relational.algebra import (
+    Aggregate,
+    Join,
+    Materialized,
+    Product,
+    Project,
+    Scan,
+    Select,
+    plan_scans,
+)
+from repro.relational.executor import execute
+from repro.relational.expressions import col
+from repro.relational.predicates import Equals
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def example(paper_example):
+    return paper_example
+
+
+def m(example, mapping_id):
+    return example.mappings.mapping(mapping_id)
+
+
+class TestAttributeTranslation:
+    def test_source_attribute(self, example):
+        query = example.q0()
+        attribute = next(a for a in query.referenced_attributes if a.name == "phone")
+        assert source_attribute(m(example, 1), attribute) == ("Customer", "ophone")
+
+    def test_source_reference_label(self, example):
+        query = example.q0()
+        attribute = next(a for a in query.referenced_attributes if a.name == "phone")
+        reference = source_reference(m(example, 1), attribute)
+        assert reference.qualifier == "Person@Customer"
+        assert reference.name == "ophone"
+        assert source_label(m(example, 1), attribute) == "Person@Customer.ophone"
+
+    def test_unmatched_attribute_raises(self, example):
+        query = example.q1()  # references pname, unmatched by m5
+        attribute = next(a for a in query.referenced_attributes if a.name == "pname")
+        with pytest.raises(UnmatchedAttributeError) as info:
+            source_attribute(m(example, 5), attribute)
+        assert "m5" in str(info.value)
+        assert info.value.attribute is attribute
+
+
+class TestCoverRelations:
+    def test_referenced_alias_single_relation(self, example):
+        query = example.q0()
+        assert cover_relations(query, m(example, 1), "Person") == ["Customer"]
+
+    def test_bare_alias_uses_matched_attributes(self, example):
+        query = example.q2()
+        assert cover_relations(query, m(example, 1), "Order") == ["C_Order"]
+        assert sorted(cover_relations(query, m(example, 5), "Order")) == ["C_Order", "Nation"]
+
+    def test_referenced_alias_unmatched_attribute_raises(self, example):
+        query = example.q1()
+        with pytest.raises(UnmatchedAttributeError):
+            cover_relations(query, m(example, 5), "Person")
+
+    def test_explicit_attribute_list(self, example):
+        query = example.q2()
+        attributes = [a for a in query.referenced_attributes if a.name == "phone"]
+        assert cover_relations(query, m(example, 4), "Person", attributes) == ["Customer"]
+
+    def test_build_scan_plan_single_scan(self, example):
+        query = example.q0()
+        plan = build_scan_plan(query, m(example, 1), "Person", example.links)
+        assert isinstance(plan, Scan)
+        assert plan.label == "Person@Customer"
+
+    def test_build_scan_plan_multi_relation_cover_is_product(self, example):
+        query = example.q2()
+        plan = build_scan_plan(query, m(example, 5), "Order", example.links)
+        # C_Order and Nation have no link, so the cover is a Cartesian product
+        # (the paper's Figure 8(d)).
+        assert isinstance(plan, Product)
+
+
+class TestQueryReformulation:
+    def test_q0_through_m1(self, example):
+        query = example.q0()
+        plan = reformulate_query(query, m(example, 1), example.links)
+        scans = plan_scans(plan)
+        assert [scan.relation for scan in scans] == ["Customer"]
+        canonical = plan.canonical()
+        assert "ophone" in canonical and "oaddr" in canonical
+
+    def test_q0_through_m4_uses_home_attributes(self, example):
+        query = example.q0()
+        canonical = reformulate_query(query, m(example, 4), example.links).canonical()
+        assert "hphone" in canonical and "haddr" in canonical
+
+    def test_identical_reformulations_share_canonical_form(self, example):
+        query = example.q0()
+        first = reformulate_query(query, m(example, 1), example.links).canonical()
+        second = reformulate_query(query, m(example, 2), example.links).canonical()
+        assert first == second
+
+    def test_executing_reformulated_query_gives_paper_answer(self, example):
+        query = example.q_phone_by_addr()
+        plan = reformulate_query(query, m(example, 1), example.links)
+        result = execute(plan, example.database)
+        assert sorted(row[0] for row in result) == ["123", "456"]
+
+    def test_unmatched_projection_attribute_raises(self, example):
+        query = example.q1()
+        with pytest.raises(UnmatchedAttributeError):
+            reformulate_query(query, m(example, 5), example.links)
+
+    def test_self_join_aliases_stay_disjoint(self, example):
+        schema = example.target_schema
+        plan = Select(
+            Product(Scan("Person", alias="P1"), Scan("Person", alias="P2")),
+            Equals(col("P1.phone"), "123"),
+        )
+        query = TargetQuery(plan, schema)
+        source_plan = reformulate_query(query, m(example, 1), example.links)
+        labels = {scan.label for scan in plan_scans(source_plan)}
+        # P1 is constrained (phone), so it covers Customer only; P2 is a bare
+        # alias, so it covers every source relation its attributes map to.
+        assert "P1@Customer" in labels and "P2@Customer" in labels
+        assert all(label.startswith(("P1@", "P2@")) for label in labels)
+
+
+class TestOperatorReformulation:
+    def test_unary_over_target_scan(self, example):
+        query = example.q2()
+        select = query.plan.left.child  # σ phone='123' over Person scan
+        source_plan = reformulate_operator(query, m(example, 1), select, example.links)
+        assert isinstance(source_plan, Select)
+        assert isinstance(source_plan.child, Scan)
+        assert source_plan.child.relation == "Customer"
+
+    def test_unary_over_materialized_case1(self, example):
+        query = example.q2()
+        select = query.plan.left  # σ addr='hk'
+        intermediate = Relation(
+            ["Person@Customer.oaddr", "Person@Customer.haddr"], [("aaa", "hk")]
+        )
+        rewritten_leaf = Materialized(intermediate)
+        patched = query.plan.replace(select.child, rewritten_leaf)
+        patched_select = patched.left
+        source_plan = reformulate_operator(query, m(example, 3), patched_select, example.links)
+        assert isinstance(source_plan, Select)
+        assert source_plan.child is rewritten_leaf
+        result = execute(source_plan, example.database)
+        assert len(result) == 1
+
+    def test_unary_case2_joins_in_missing_relation(self, example):
+        # The intermediate holds only C_Order columns but the selection needs
+        # a Customer attribute, so the input becomes an extended plan.
+        schema = example.target_schema
+        plan = Select(Scan("Person"), Equals(col("phone"), "123"))
+        query = TargetQuery(Select(plan, Equals(col("nation"), "China")), schema)
+        intermediate = Materialized(Relation(["Person@Customer.ophone"], [("123",)]))
+        outer = query.plan
+        patched_query_plan = outer.replace(outer.child, intermediate)
+        source_plan = reformulate_operator(
+            query, m(example, 1), patched_query_plan, example.links
+        )
+        # nation maps to Nation.name, which is not in the intermediate.
+        assert isinstance(source_plan, Select)
+        assert isinstance(source_plan.child, Product)
+
+    def test_binary_product_with_scan_side(self, example):
+        query = example.q2()
+        product = query.plan
+        intermediate = Materialized(
+            Relation(["Person@Customer.ophone", "Person@Customer.haddr"], [("123", "hk")])
+        )
+        patched = product.replace(product.left, intermediate)
+        source_plan = reformulate_operator(query, m(example, 3), patched, example.links)
+        assert isinstance(source_plan, Product)
+        result = execute(source_plan, example.database)
+        assert len(result) == 2  # 1 row x 2 C_Order rows
+
+    def test_binary_with_multi_relation_cover(self, example):
+        query = example.q2()
+        product = query.plan
+        intermediate = Materialized(Relation(["Person@Customer.ophone"], [("123",)]))
+        patched = product.replace(product.left, intermediate)
+        source_plan = reformulate_operator(query, m(example, 5), patched, example.links)
+        result = execute(source_plan, example.database)
+        # 1 row x 2 C_Order rows x 2 Nation rows (Figure 8(d)).
+        assert len(result) == 4
+
+    def test_aggregate_reformulation(self, example):
+        schema = example.target_schema
+        query = TargetQuery(
+            Aggregate(Select(Scan("Person"), Equals(col("addr"), "aaa")), "COUNT"),
+            schema,
+        )
+        aggregate = query.plan
+        intermediate = Materialized(Relation(["Person@Customer.oaddr"], [("aaa",), ("aaa",)]))
+        patched = aggregate.replace(aggregate.child, intermediate)
+        source_plan = reformulate_operator(query, m(example, 1), patched, example.links)
+        result = execute(source_plan, example.database)
+        assert result.rows == [(2,)]
+
+    def test_unmatched_operator_attribute_raises(self, example):
+        query = example.q1()
+        project = query.plan  # π pname
+        intermediate = Materialized(Relation(["Person@Customer.haddr"], [("abc",)]))
+        patched = project.replace(project.child, intermediate)
+        with pytest.raises(UnmatchedAttributeError):
+            reformulate_operator(query, m(example, 5), patched, example.links)
+
+    def test_non_operator_rejected(self, example):
+        query = example.q0()
+        with pytest.raises(TypeError):
+            reformulate_operator(query, m(example, 1), Scan("Person"), example.links)
+
+    def test_pushdown_leaf_only_for_unary(self, example):
+        query = example.q2()
+        with pytest.raises(ValueError):
+            reformulate_operator(
+                query,
+                m(example, 1),
+                query.plan,
+                example.links,
+                pushdown_leaf=Scan("Order"),
+            )
+
+
+class TestExtractAnswers:
+    def test_projection_output(self, example):
+        query = example.q0()
+        plan = reformulate_query(query, m(example, 1), example.links)
+        result = execute(plan, example.database)
+        assert extract_answers(query, m(example, 1), result) == [("aaa",)]
+
+    def test_duplicates_removed(self, example):
+        query = example.q_phone_by_addr()
+        relation = Relation(["Person@Customer.ophone"], [("123",), ("123",), ("456",)])
+        assert extract_answers(query, m(example, 1), relation) == [("123",), ("456",)]
+
+    def test_empty_relation_gives_no_answers(self, example):
+        query = example.q0()
+        relation = Relation(["Person@Customer.oaddr"], [])
+        assert extract_answers(query, m(example, 1), relation) == []
+
+    def test_aggregate_rows_returned_directly(self, example):
+        schema = example.target_schema
+        query = TargetQuery(Aggregate(Scan("Person"), "COUNT"), schema)
+        relation = Relation(["COUNT(*)"], [(3,)])
+        assert extract_answers(query, m(example, 1), relation) == [(3,)]
+
+    def test_multi_attribute_output_order(self, example):
+        query = example.q2()
+        relation = Relation(
+            ["Person@Customer.haddr", "Person@Customer.ophone", "Order@C_Order.amount"],
+            [("hk", "123", 120.0)],
+        )
+        assert extract_answers(query, m(example, 3), relation) == [("hk", "123")]

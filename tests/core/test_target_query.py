@@ -1,0 +1,149 @@
+"""Unit tests for TargetQuery."""
+
+import pytest
+
+from repro.core.partition_tree import CoverKey
+from repro.core.target_query import TargetQuery, TargetQueryError, target_attribute_names
+from repro.relational.algebra import Aggregate, Product, Project, Scan, Select
+from repro.relational.expressions import col
+from repro.relational.predicates import ColumnEquals, Equals
+
+
+@pytest.fixture()
+def schema(paper_example):
+    return paper_example.target_schema
+
+
+class TestConstruction:
+    def test_unknown_relation_rejected(self, schema):
+        with pytest.raises(TargetQueryError, match="unknown target relation"):
+            TargetQuery(Scan("Nowhere"), schema)
+
+    def test_duplicate_alias_rejected(self, schema):
+        plan = Product(Scan("Person"), Scan("Person"))
+        with pytest.raises(TargetQueryError, match="duplicate scan alias"):
+            TargetQuery(plan, schema)
+
+    def test_self_join_with_aliases_allowed(self, schema):
+        plan = Product(Scan("Person", alias="P1"), Scan("Person", alias="P2"))
+        query = TargetQuery(plan, schema)
+        assert query.aliases == {"P1": "Person", "P2": "Person"}
+
+    def test_requires_at_least_one_scan(self, schema):
+        from repro.relational.algebra import Materialized
+        from repro.relational.relation import Relation
+
+        with pytest.raises(TargetQueryError, match="at least one"):
+            TargetQuery(Materialized(Relation(["x"], [])), schema)
+
+    def test_unqualified_references_resolved(self, schema):
+        plan = Select(Scan("Person"), Equals(col("phone"), "123"))
+        query = TargetQuery(plan, schema)
+        assert query.referenced_attributes[0].qualified == "Person.phone"
+        assert query.referenced_attributes[0].alias == "Person"
+
+    def test_unknown_attribute_rejected(self, schema):
+        plan = Select(Scan("Person"), Equals(col("salary"), 1))
+        with pytest.raises(TargetQueryError, match="does not match any"):
+            TargetQuery(plan, schema)
+
+    def test_unknown_alias_qualifier_rejected(self, schema):
+        plan = Select(Scan("Person"), Equals(col("X.phone"), "1"))
+        with pytest.raises(TargetQueryError, match="unknown alias"):
+            TargetQuery(plan, schema)
+
+    def test_ambiguous_unqualified_reference_rejected(self, schema):
+        plan = Select(
+            Product(Scan("Person", alias="P1"), Scan("Person", alias="P2")),
+            Equals(col("phone"), "1"),
+        )
+        with pytest.raises(TargetQueryError, match="ambiguous"):
+            TargetQuery(plan, schema)
+
+    def test_default_name(self, schema):
+        assert TargetQuery(Scan("Person"), schema).name == "target-query"
+
+
+class TestIntrospection:
+    def test_referenced_attributes_in_first_use_order(self, paper_example):
+        query = paper_example.q2()
+        assert target_attribute_names(query.referenced_attributes) == [
+            "Person.addr",
+            "Person.phone",
+        ]
+
+    def test_attributes_for_alias(self, paper_example):
+        query = paper_example.q2()
+        assert len(query.attributes_for_alias("Person")) == 2
+        assert query.attributes_for_alias("Order") == []
+
+    def test_needed_attributes_for_bare_alias_is_whole_relation(self, paper_example):
+        query = paper_example.q2()
+        needed = query.needed_attributes("Order")
+        assert len(needed) == 5  # all Order attributes
+
+    def test_partition_attributes_exclude_bare_alias(self, paper_example):
+        query = paper_example.q2()
+        assert query.partition_attributes == ["Person.addr", "Person.phone"]
+
+    def test_partition_keys_add_cover_key_for_bare_alias(self, paper_example):
+        query = paper_example.q2()
+        keys = query.partition_keys
+        assert keys[:2] == ["Person.addr", "Person.phone"]
+        assert isinstance(keys[2], CoverKey)
+        assert keys[2].alias == "Order"
+
+    def test_alias_relation_lookup(self, paper_example):
+        query = paper_example.q2()
+        assert query.alias_relation("Order") == "Order"
+        with pytest.raises(KeyError):
+            query.alias_relation("Nope")
+
+    def test_operator_and_attribute_counts(self, paper_example):
+        query = paper_example.q0()
+        assert query.operator_count == 2
+        assert query.attribute_count == 2
+
+    def test_operator_attributes(self, paper_example):
+        query = paper_example.q0()
+        select = query.plan.child
+        assert target_attribute_names(query.operator_attributes(select)) == ["Person.phone"]
+
+    def test_describe_mentions_name(self, paper_example):
+        assert "q0" in paper_example.q0().describe()
+
+
+class TestOutputSemantics:
+    def test_projection_output(self, paper_example):
+        query = paper_example.q0()
+        assert target_attribute_names(query.output_attributes) == ["Person.addr"]
+        assert not query.is_aggregate
+
+    def test_aggregate_output_is_empty(self, schema):
+        plan = Aggregate(Select(Scan("Person"), Equals(col("phone"), "1")), "COUNT")
+        query = TargetQuery(plan, schema)
+        assert query.is_aggregate
+        assert query.output_attributes == []
+
+    def test_no_projection_outputs_all_referenced(self, paper_example):
+        query = paper_example.q2()
+        assert target_attribute_names(query.output_attributes) == [
+            "Person.addr",
+            "Person.phone",
+        ]
+
+    def test_projection_order_preserved(self, schema):
+        plan = Project(Scan("Person"), [col("addr"), col("pname")])
+        query = TargetQuery(plan, schema)
+        assert target_attribute_names(query.output_attributes) == ["Person.addr", "Person.pname"]
+
+    def test_join_predicate_attributes_are_referenced(self, schema):
+        plan = Select(
+            Product(Scan("Person", alias="P1"), Scan("Person", alias="P2")),
+            ColumnEquals(col("P1.pname"), col("P2.pname")),
+        )
+        query = TargetQuery(plan, schema)
+        qualified = target_attribute_names(query.referenced_attributes)
+        # pname is referenced through both aliases: one TargetAttribute per alias.
+        assert qualified == ["Person.pname", "Person.pname"]
+        assert query.attributes_for_alias("P1") and query.attributes_for_alias("P2")

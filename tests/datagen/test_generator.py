@@ -1,0 +1,80 @@
+"""Unit tests for the deterministic data generator."""
+
+import pytest
+
+from repro.datagen.generator import GeneratorConfig, approximate_size_mb, generate_source_instance
+from repro.datagen.names import PERSON_NAMES, PHONE_NUMBERS
+from repro.datagen.source_schema import source_schema
+
+
+class TestGeneratorConfig:
+    def test_cardinalities_scale_linearly(self):
+        config = GeneratorConfig()
+        small = config.cardinalities(0.1)
+        large = config.cardinalities(0.2)
+        assert large["orders"] == pytest.approx(2 * small["orders"], rel=0.1)
+        assert large["lineitem"] == large["orders"] * config.lineitems_per_order
+
+    def test_minimum_cardinalities(self):
+        cards = GeneratorConfig().cardinalities(0.0001)
+        assert cards["orders"] >= 10
+        assert cards["customer"] >= 5
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig().cardinalities(0)
+
+
+class TestGenerateSourceInstance:
+    def test_all_relations_populated(self):
+        database = generate_source_instance(scale=0.02)
+        assert set(database.relation_names) == set(source_schema().relation_names)
+        for _, relation in database:
+            assert len(relation) > 0
+
+    def test_deterministic_for_same_seed(self):
+        first = generate_source_instance(scale=0.02, config=GeneratorConfig(seed=11))
+        second = generate_source_instance(scale=0.02, config=GeneratorConfig(seed=11))
+        assert first.relation("orders").rows == second.relation("orders").rows
+
+    def test_different_seeds_differ(self):
+        first = generate_source_instance(scale=0.02, config=GeneratorConfig(seed=1))
+        second = generate_source_instance(scale=0.02, config=GeneratorConfig(seed=2))
+        assert first.relation("orders").rows != second.relation("orders").rows
+
+    def test_row_counts_match_config(self):
+        config = GeneratorConfig()
+        database = generate_source_instance(scale=0.05, config=config)
+        cards = config.cardinalities(0.05)
+        assert len(database.relation("orders")) == cards["orders"]
+        assert len(database.relation("lineitem")) == cards["lineitem"]
+
+    def test_foreign_keys_reference_existing_rows(self):
+        database = generate_source_instance(scale=0.02)
+        customer_keys = {row[0] for row in database.relation("customer")}
+        for row in database.relation("orders"):
+            assert row[1] in customer_keys
+        order_keys = {row[0] for row in database.relation("orders")}
+        for row in database.relation("lineitem"):
+            assert row[0] in order_keys
+
+    def test_query_constants_occur_in_the_data(self):
+        # The Table III constants must be satisfiable, otherwise the paper's
+        # queries degenerate to empty answers for every mapping.
+        database = generate_source_instance(scale=0.05)
+        invoice_names = {row[6] for row in database.relation("orders")}
+        assert PERSON_NAMES[0] in invoice_names
+        phones = {row[3] for row in database.relation("customer")}
+        assert PHONE_NUMBERS[0] in phones
+        item_numbers = {row[1] for row in database.relation("lineitem")}
+        assert "00001" in item_numbers
+
+    def test_scaling_grows_the_instance(self):
+        small = generate_source_instance(scale=0.02)
+        large = generate_source_instance(scale=0.08)
+        assert large.total_rows > small.total_rows
+
+    def test_approximate_size_is_monotonic(self):
+        small = generate_source_instance(scale=0.02)
+        large = generate_source_instance(scale=0.08)
+        assert approximate_size_mb(large) > approximate_size_mb(small)

@@ -1,0 +1,52 @@
+"""Unit tests for the one-call scenario builder."""
+
+import pytest
+
+from repro.datagen.scenario import build_scenario
+
+
+class TestBuildScenario:
+    def test_scenario_components(self, excel_scenario):
+        assert excel_scenario.source_schema.name == "SourcePO"
+        assert excel_scenario.target_schema.name == "Excel"
+        assert excel_scenario.database.total_rows > 0
+        assert excel_scenario.h == 16
+        assert excel_scenario.links is not None
+
+    def test_mapping_probabilities_sum_to_one(self, excel_scenario):
+        assert excel_scenario.mappings.total_probability == pytest.approx(1.0)
+
+    def test_with_mappings_restricts_and_renormalises(self, excel_scenario):
+        restricted = excel_scenario.with_mappings(5)
+        assert restricted.h == 5
+        assert restricted.mappings.total_probability == pytest.approx(1.0)
+        # The original scenario is unchanged (the matching is shared).
+        assert excel_scenario.h == 16
+
+    def test_with_database_swaps_instance(self, excel_scenario):
+        from repro.datagen.generator import generate_source_instance
+
+        database = generate_source_instance(scale=0.02)
+        resized = excel_scenario.with_database(database, 0.02)
+        assert resized.database is database
+        assert resized.scale == 0.02
+        assert resized.mappings is excel_scenario.mappings
+
+    def test_matching_is_cached_across_builds(self):
+        first = build_scenario(target="Excel", h=8, scale=0.01, seed=1)
+        second = build_scenario(target="Excel", h=8, scale=0.02, seed=1)
+        assert first.match_result is second.match_result
+        assert first.mappings is second.mappings
+
+    def test_describe_mentions_key_facts(self, excel_scenario):
+        text = excel_scenario.describe()
+        assert "Excel" in text
+        assert "h=16" in text
+
+    def test_target_choice(self, noris_scenario, paragon_scenario):
+        assert noris_scenario.target_schema.name == "Noris"
+        assert paragon_scenario.target_schema.name == "Paragon"
+
+    def test_mappings_overlap_heavily(self, excel_scenario):
+        # Figure 9: the o-ratio of real matchings sits around 70-80%.
+        assert excel_scenario.mappings.o_ratio() > 0.5

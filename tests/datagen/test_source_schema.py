@@ -1,0 +1,60 @@
+"""Unit tests for the purchase-order source schema."""
+
+from repro.datagen.source_schema import (
+    SOURCE_LINK_PAIRS,
+    source_attribute_count,
+    source_links,
+    source_schema,
+)
+
+
+class TestSourceSchema:
+    def test_has_eight_relations(self):
+        assert len(source_schema()) == 8
+
+    def test_attribute_count_matches_paper(self):
+        # The paper's TPC-H source schema has 46 attributes.
+        assert source_attribute_count() == 46
+
+    def test_expected_relations_present(self):
+        names = set(source_schema().relation_names)
+        assert names == {
+            "region",
+            "nation",
+            "customer",
+            "supplier",
+            "part",
+            "partsupp",
+            "orders",
+            "lineitem",
+        }
+
+    def test_ambiguous_phone_attributes_exist(self):
+        # The ambiguity the paper's Figure 1 illustrates (several phone-like
+        # attributes) must be present for possible mappings to differ.
+        schema = source_schema()
+        phones = [a.qualified for a in schema.attributes if "phone" in a.name]
+        assert len(phones) >= 2
+
+    def test_schema_is_cached(self):
+        assert source_schema() is source_schema()
+
+
+class TestSourceLinks:
+    def test_every_link_references_existing_attributes(self):
+        schema = source_schema()
+        for left_rel, left_attr, right_rel, right_attr in SOURCE_LINK_PAIRS:
+            assert schema.relation(left_rel).has_attribute(left_attr)
+            assert schema.relation(right_rel).has_attribute(right_attr)
+
+    def test_links_are_bidirectional(self):
+        links = source_links()
+        assert links.between("orders", "customer")
+        assert links.between("customer", "orders")
+
+    def test_unrelated_relations_have_no_link(self):
+        links = source_links()
+        assert links.between("region", "lineitem") == []
+
+    def test_link_count(self):
+        assert len(source_links()) == len(SOURCE_LINK_PAIRS)

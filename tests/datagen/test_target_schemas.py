@@ -1,0 +1,44 @@
+"""Unit tests for the Excel/Noris/Paragon target schemas."""
+
+import pytest
+
+from repro.datagen.target_schemas import TARGET_SCHEMA_NAMES, target_schema
+
+
+class TestTargetSchemas:
+    @pytest.mark.parametrize("name", TARGET_SCHEMA_NAMES)
+    def test_each_schema_has_po_and_item(self, name):
+        schema = target_schema(name)
+        assert schema.has_relation("PO")
+        assert schema.has_relation("Item")
+
+    def test_case_insensitive_lookup(self):
+        assert target_schema("excel").name == "Excel"
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(KeyError):
+            target_schema("Oracle")
+
+    def test_schemas_are_cached(self):
+        assert target_schema("Excel") is target_schema("Excel")
+
+    @pytest.mark.parametrize(
+        "name,attributes",
+        [
+            ("Excel", ["PO.telephone", "PO.priority", "PO.invoiceTo", "Item.quantity", "Item.itemNum", "PO.orderNum", "Item.orderNum", "PO.company", "PO.deliverToStreet"]),
+            ("Noris", ["PO.telephone", "PO.invoiceTo", "PO.deliverToStreet", "PO.deliverTo", "PO.orderNum", "Item.itemNum", "Item.unitPrice"]),
+            ("Paragon", ["PO.billTo", "PO.shipToAddress", "PO.shipToPhone", "PO.telephone", "PO.billToAddress", "Item.itemNum", "Item.price", "PO.invoiceTo"]),
+        ],
+    )
+    def test_table_iii_query_attributes_exist(self, name, attributes):
+        schema = target_schema(name)
+        for qualified in attributes:
+            assert schema.has_attribute(qualified), qualified
+
+    def test_schema_sizes_roughly_match_paper(self):
+        # The paper's Excel/Noris/Paragon schemas have 48/66/69 attributes;
+        # the look-alikes are smaller but keep the same ordering of sizes.
+        sizes = {name: target_schema(name).attribute_count for name in TARGET_SCHEMA_NAMES}
+        assert sizes["Excel"] >= 40
+        assert sizes["Noris"] >= 40
+        assert sizes["Paragon"] >= 40

@@ -1,0 +1,89 @@
+"""Unit tests for the maximum-weight assignment solver."""
+
+import itertools
+
+import pytest
+
+from repro.matching.hungarian import (
+    FORBIDDEN,
+    assignment_weight,
+    is_feasible,
+    max_weight_assignment,
+    scipy_assignment_solver,
+)
+
+
+def brute_force_best(weights):
+    rows = len(weights)
+    cols = len(weights[0])
+    best = None
+    for permutation in itertools.permutations(range(cols), rows):
+        weight = sum(weights[i][j] for i, j in enumerate(permutation))
+        if best is None or weight > best:
+            best = weight
+    return best
+
+
+class TestMaxWeightAssignment:
+    def test_empty(self):
+        assert max_weight_assignment([]) == []
+
+    def test_single_cell(self):
+        assert max_weight_assignment([[5.0]]) == [0]
+
+    def test_square_known_optimum(self):
+        weights = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [3.0, 6.0, 9.0]]
+        assignment = max_weight_assignment(weights)
+        assert sorted(assignment) == [0, 1, 2]
+        assert assignment_weight(weights, assignment) == brute_force_best(weights)
+
+    def test_rectangular(self):
+        weights = [[0.9, 0.1, 0.5], [0.2, 0.8, 0.7]]
+        assignment = max_weight_assignment(weights)
+        assert len(set(assignment)) == 2
+        assert assignment_weight(weights, assignment) == brute_force_best(weights)
+
+    def test_more_rows_than_columns_rejected(self):
+        with pytest.raises(ValueError, match="rows <= columns"):
+            max_weight_assignment([[1.0], [2.0]])
+
+    def test_ragged_matrix_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            max_weight_assignment([[1.0, 2.0], [1.0]])
+
+    def test_forbidden_pairs_avoided_when_possible(self):
+        weights = [[FORBIDDEN, 1.0], [1.0, FORBIDDEN]]
+        assignment = max_weight_assignment(weights)
+        assert is_feasible(weights, assignment)
+
+    def test_infeasible_detected(self):
+        weights = [[FORBIDDEN, FORBIDDEN], [1.0, 1.0]]
+        assignment = max_weight_assignment(weights)
+        assert not is_feasible(weights, assignment)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force_on_random_matrices(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        rows, cols = rng.randint(2, 4), rng.randint(4, 5)
+        weights = [[rng.random() for _ in range(cols)] for _ in range(rows)]
+        assignment = max_weight_assignment(weights)
+        assert assignment_weight(weights, assignment) == pytest.approx(brute_force_best(weights))
+
+
+class TestScipySolver:
+    def test_solver_available(self):
+        assert scipy_assignment_solver() is not None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_pure_python(self, seed):
+        import random
+
+        rng = random.Random(100 + seed)
+        rows, cols = rng.randint(2, 5), rng.randint(5, 6)
+        weights = [[rng.random() for _ in range(cols)] for _ in range(rows)]
+        scipy_solve = scipy_assignment_solver()
+        ours = assignment_weight(weights, max_weight_assignment(weights))
+        theirs = assignment_weight(weights, scipy_solve(weights))
+        assert ours == pytest.approx(theirs)

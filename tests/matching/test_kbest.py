@@ -1,0 +1,91 @@
+"""Unit tests for Murty's k-best assignment enumeration."""
+
+import itertools
+
+import pytest
+
+from repro.matching.hungarian import FORBIDDEN, scipy_assignment_solver
+from repro.matching.kbest import iter_best_assignments, k_best_assignments
+
+
+def brute_force_ranking(weights):
+    """All feasible assignments sorted by decreasing total weight."""
+    rows, cols = len(weights), len(weights[0])
+    ranking = []
+    for permutation in itertools.permutations(range(cols), rows):
+        if any(weights[i][j] <= FORBIDDEN / 2 for i, j in enumerate(permutation)):
+            continue
+        weight = sum(weights[i][j] for i, j in enumerate(permutation))
+        ranking.append((weight, permutation))
+    ranking.sort(key=lambda item: -item[0])
+    return ranking
+
+
+WEIGHTS = [
+    [0.9, 0.5, 0.1, 0.0],
+    [0.4, 0.8, 0.3, 0.0],
+    [0.2, 0.6, 0.7, 0.0],
+]
+
+
+class TestKBest:
+    def test_zero_k(self):
+        assert k_best_assignments(WEIGHTS, 0) == []
+
+    def test_empty_matrix(self):
+        assert k_best_assignments([], 3) == []
+
+    def test_first_assignment_is_optimal(self):
+        best = k_best_assignments(WEIGHTS, 1)[0]
+        expected_weight, _ = brute_force_ranking(WEIGHTS)[0]
+        assert best.weight == pytest.approx(expected_weight)
+        assert best.rank == 1
+
+    def test_weights_are_non_increasing(self):
+        ranked = k_best_assignments(WEIGHTS, 10)
+        weights = [assignment.weight for assignment in ranked]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_assignments_are_distinct(self):
+        ranked = k_best_assignments(WEIGHTS, 10)
+        assert len({assignment.assignment for assignment in ranked}) == len(ranked)
+
+    def test_matches_brute_force_prefix(self):
+        ranked = k_best_assignments(WEIGHTS, 6)
+        expected = brute_force_ranking(WEIGHTS)[: len(ranked)]
+        for mine, (weight, _) in zip(ranked, expected):
+            assert mine.weight == pytest.approx(weight)
+
+    def test_k_larger_than_solution_space(self):
+        weights = [[1.0, 0.5], [0.5, 1.0]]
+        ranked = k_best_assignments(weights, 10)
+        assert len(ranked) == 2
+
+    def test_forbidden_pairs_never_selected(self):
+        weights = [[FORBIDDEN, 1.0, 0.5], [0.7, FORBIDDEN, 0.6]]
+        for assignment in k_best_assignments(weights, 5):
+            assert weights[0][assignment.assignment[0]] > FORBIDDEN / 2
+            assert weights[1][assignment.assignment[1]] > FORBIDDEN / 2
+
+    def test_lazy_iteration(self):
+        iterator = iter_best_assignments(WEIGHTS, 3)
+        first = next(iterator)
+        assert first.rank == 1
+
+    def test_scipy_solver_gives_same_ranking(self):
+        plain = [a.weight for a in k_best_assignments(WEIGHTS, 8)]
+        scipy_based = [
+            a.weight for a in k_best_assignments(WEIGHTS, 8, solver=scipy_assignment_solver())
+        ]
+        assert plain == pytest.approx(scipy_based)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_matrices_match_brute_force(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        rows, cols = 3, 4
+        weights = [[round(rng.random(), 3) for _ in range(cols)] for _ in range(rows)]
+        ranked = k_best_assignments(weights, 5)
+        expected = brute_force_ranking(weights)[:5]
+        assert [a.weight for a in ranked] == pytest.approx([w for w, _ in expected])

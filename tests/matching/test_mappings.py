@@ -1,0 +1,166 @@
+"""Unit tests for the possible-mapping model."""
+
+import pytest
+
+from repro.datagen.source_schema import source_schema
+from repro.datagen.target_schemas import target_schema
+from repro.matching.mappings import Mapping, MappingSet, generate_possible_mappings
+from repro.matching.matcher import match_schemas
+
+
+def mapping(mapping_id, correspondences, probability=0.5, score=1.0):
+    return Mapping(
+        mapping_id=mapping_id,
+        correspondences=correspondences,
+        score=score,
+        probability=probability,
+    )
+
+
+class TestMapping:
+    def test_source_for(self):
+        m = mapping(1, {"T.a": "S.x"})
+        assert m.source_for("T.a") == "S.x"
+        assert m.source_for("T.b") is None
+
+    def test_size_and_pairs(self):
+        m = mapping(1, {"T.a": "S.x", "T.b": "S.y"})
+        assert m.size == 2
+        assert ("T.a", "S.x") in m.pairs
+
+    def test_covers(self):
+        m = mapping(1, {"T.a": "S.x", "T.b": "S.y"})
+        assert m.covers(["T.a", "T.b"])
+        assert not m.covers(["T.a", "T.c"])
+
+    def test_signature(self):
+        m = mapping(1, {"T.a": "S.x"})
+        assert m.signature(["T.a", "T.b"]) == ("S.x", None)
+
+    def test_with_probability(self):
+        m = mapping(1, {"T.a": "S.x"}, probability=0.2)
+        changed = m.with_probability(0.7)
+        assert changed.probability == 0.7
+        assert changed.correspondences == m.correspondences
+
+    def test_overlap_identical(self):
+        m = mapping(1, {"T.a": "S.x", "T.b": "S.y"})
+        assert m.overlap(m) == 1.0
+
+    def test_overlap_partial(self):
+        left = mapping(1, {"T.a": "S.x", "T.b": "S.y"})
+        right = mapping(2, {"T.a": "S.x", "T.b": "S.z"})
+        assert left.overlap(right) == pytest.approx(1 / 3)
+
+    def test_overlap_empty_mappings(self):
+        assert mapping(1, {}).overlap(mapping(2, {})) == 1.0
+
+
+class TestMappingSet:
+    def build(self):
+        return MappingSet(
+            [
+                mapping(1, {"T.a": "S.x"}, probability=0.5, score=3.0),
+                mapping(2, {"T.a": "S.y"}, probability=0.3, score=2.0),
+                mapping(3, {"T.a": "S.x", "T.b": "S.y"}, probability=0.2, score=1.0),
+            ]
+        )
+
+    def test_requires_at_least_one_mapping(self):
+        with pytest.raises(ValueError):
+            MappingSet([])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MappingSet([mapping(1, {}), mapping(1, {})])
+
+    def test_normalisation_from_scores(self):
+        normalised = MappingSet(
+            [mapping(1, {}, score=3.0), mapping(2, {}, score=1.0)], normalize=True
+        )
+        assert normalised[0].probability == pytest.approx(0.75)
+        assert normalised.total_probability == pytest.approx(1.0)
+
+    def test_normalisation_with_zero_scores_is_uniform(self):
+        normalised = MappingSet(
+            [mapping(1, {}, score=0.0), mapping(2, {}, score=0.0)], normalize=True
+        )
+        assert normalised[0].probability == pytest.approx(0.5)
+
+    def test_lookup_by_id(self):
+        mappings = self.build()
+        assert mappings.mapping(2).probability == 0.3
+        with pytest.raises(KeyError):
+            mappings.mapping(99)
+
+    def test_subset_renormalises(self):
+        subset = self.build().subset(2)
+        assert subset.size == 2
+        assert subset.total_probability == pytest.approx(1.0)
+
+    def test_subset_invalid(self):
+        with pytest.raises(ValueError):
+            self.build().subset(0)
+
+    def test_probability_of_group(self):
+        mappings = self.build()
+        assert mappings.probability_of([mappings[0], mappings[2]]) == pytest.approx(0.7)
+
+    def test_o_ratio_single_mapping(self):
+        assert MappingSet([mapping(1, {"T.a": "S.x"})]).o_ratio() == 1.0
+
+    def test_shared_correspondences(self):
+        shared = self.build().shared_correspondences()
+        assert shared == frozenset()
+        same = MappingSet([mapping(1, {"T.a": "S.x"}), mapping(2, {"T.a": "S.x"})])
+        assert same.shared_correspondences() == frozenset({("T.a", "S.x")})
+
+    def test_iteration_and_indexing(self):
+        mappings = self.build()
+        assert len(mappings) == 3
+        assert [m.mapping_id for m in mappings] == [1, 2, 3]
+        assert mappings[1].mapping_id == 2
+
+
+class TestGeneratePossibleMappings:
+    @pytest.fixture(scope="class")
+    def match_result(self):
+        return match_schemas(source_schema(), target_schema("Excel"), threshold=0.45)
+
+    def test_requires_positive_h(self, match_result):
+        with pytest.raises(ValueError):
+            generate_possible_mappings(match_result, 0)
+
+    def test_generates_requested_count(self, match_result):
+        mappings = generate_possible_mappings(match_result, 12)
+        assert mappings.size == 12
+
+    def test_probabilities_sum_to_one(self, match_result):
+        mappings = generate_possible_mappings(match_result, 10)
+        assert mappings.total_probability == pytest.approx(1.0)
+
+    def test_probabilities_follow_score_order(self, match_result):
+        mappings = generate_possible_mappings(match_result, 10)
+        scores = [m.score for m in mappings]
+        assert scores == sorted(scores, reverse=True)
+        probabilities = [m.probability for m in mappings]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_mappings_are_one_to_one(self, match_result):
+        mappings = generate_possible_mappings(match_result, 10)
+        for m in mappings:
+            sources = list(m.correspondences.values())
+            assert len(sources) == len(set(sources)), "a source attribute was reused"
+
+    def test_mappings_are_distinct(self, match_result):
+        mappings = generate_possible_mappings(match_result, 10)
+        assert len({m.pairs for m in mappings}) == 10
+
+    def test_high_overlap_between_mappings(self, match_result):
+        mappings = generate_possible_mappings(match_result, 20)
+        # The paper's central observation: possible mappings overlap heavily.
+        assert mappings.o_ratio() > 0.5
+
+    def test_threshold_too_high_raises(self, match_result):
+        with pytest.raises(ValueError, match="no correspondence"):
+            generate_possible_mappings(match_result, 5, candidate_threshold=1.1)

@@ -1,0 +1,115 @@
+"""Property-based tests for the matching substrate (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.hungarian import assignment_weight, max_weight_assignment
+from repro.matching.kbest import k_best_assignments
+from repro.matching.mappings import Mapping, MappingSet
+from repro.matching.similarity import (
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    ngram_similarity,
+    token_similarity,
+)
+
+names = st.text(alphabet="abcdefg_", min_size=0, max_size=8)
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=names, right=names)
+def test_similarity_measures_bounded_and_symmetric(left, right):
+    for measure in (levenshtein_similarity, jaro_winkler, ngram_similarity, token_similarity):
+        forward = measure(left, right)
+        backward = measure(right, left)
+        assert 0.0 <= forward <= 1.0 + 1e-9
+        assert abs(forward - backward) < 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=names, right=names)
+def test_identity_gives_maximal_similarity(left, right):
+    assert levenshtein_similarity(left, left) == 1.0
+    assert levenshtein_distance(left, left) == 0
+    assert levenshtein_distance(left, right) == levenshtein_distance(right, left)
+
+
+@settings(max_examples=80, deadline=None)
+@given(left=names, middle=names, right=names)
+def test_levenshtein_triangle_inequality(left, middle, right):
+    assert levenshtein_distance(left, right) <= levenshtein_distance(
+        left, middle
+    ) + levenshtein_distance(middle, right)
+
+
+small_matrices = st.integers(min_value=2, max_value=4).flatmap(
+    lambda rows: st.integers(min_value=rows, max_value=5).flatmap(
+        lambda cols: st.lists(
+            st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+)
+
+
+def brute_force_best(weights):
+    rows, cols = len(weights), len(weights[0])
+    return max(
+        sum(weights[i][j] for i, j in enumerate(permutation))
+        for permutation in itertools.permutations(range(cols), rows)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(weights=small_matrices)
+def test_hungarian_is_optimal(weights):
+    assignment = max_weight_assignment(weights)
+    assert assignment_weight(weights, assignment) >= brute_force_best(weights) - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(weights=small_matrices, k=st.integers(min_value=1, max_value=6))
+def test_kbest_weights_non_increasing_and_distinct(weights, k):
+    ranked = k_best_assignments(weights, k)
+    observed = [assignment.weight for assignment in ranked]
+    # Non-increasing up to floating-point noise (equal-weight assignments may
+    # be enumerated in either order).
+    for previous, current in zip(observed, observed[1:]):
+        assert current <= previous + 1e-9
+    assert len({assignment.assignment for assignment in ranked}) == len(ranked)
+
+
+correspondence_dicts = st.dictionaries(
+    keys=st.sampled_from([f"T.a{i}" for i in range(6)]),
+    values=st.sampled_from([f"S.x{i}" for i in range(6)]),
+    max_size=6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(left=correspondence_dicts, right=correspondence_dicts)
+def test_overlap_is_symmetric_and_bounded(left, right):
+    first = Mapping(1, left, score=1.0, probability=0.5)
+    second = Mapping(2, right, score=1.0, probability=0.5)
+    assert first.overlap(second) == second.overlap(first)
+    assert 0.0 <= first.overlap(second) <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    scores=st.lists(st.floats(min_value=0.01, max_value=10, allow_nan=False), min_size=1, max_size=8)
+)
+def test_mapping_set_normalisation_sums_to_one(scores):
+    mappings = MappingSet(
+        [
+            Mapping(index, {"T.a": "S.x"}, score=score, probability=0.0)
+            for index, score in enumerate(scores)
+        ],
+        normalize=True,
+    )
+    assert abs(mappings.total_probability - 1.0) < 1e-9
+    assert all(m.probability > 0 for m in mappings)

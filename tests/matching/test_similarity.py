@@ -1,0 +1,132 @@
+"""Unit tests for the string similarity measures."""
+
+import pytest
+
+from repro.matching.similarity import (
+    jaro,
+    jaro_winkler,
+    levenshtein_distance,
+    levenshtein_similarity,
+    ngram_similarity,
+    prefix_suffix_similarity,
+    token_similarity,
+)
+
+ALL_MEASURES = [
+    levenshtein_similarity,
+    jaro,
+    jaro_winkler,
+    ngram_similarity,
+    token_similarity,
+    prefix_suffix_similarity,
+]
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein_distance("phone", "phone") == 0
+        assert levenshtein_similarity("phone", "phone") == 1.0
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_known_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_similarity_normalisation(self):
+        assert levenshtein_similarity("kitten", "sitting") == pytest.approx(1 - 3 / 7)
+
+    def test_single_substitution(self):
+        assert levenshtein_distance("phone", "phono") == 1
+
+
+class TestJaroWinkler:
+    def test_identical(self):
+        assert jaro("abc", "abc") == 1.0
+
+    def test_empty(self):
+        assert jaro("", "abc") == 0.0
+
+    def test_no_common_characters(self):
+        assert jaro("abc", "xyz") == 0.0
+
+    def test_known_value(self):
+        # Classical example: MARTHA vs MARHTA has Jaro similarity 0.944...
+        assert jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_prefix_boost(self):
+        assert jaro_winkler("martha", "marhta") > jaro("martha", "marhta")
+
+    def test_winkler_no_boost_without_common_prefix(self):
+        assert jaro_winkler("abcd", "xbcd") == pytest.approx(jaro("abcd", "xbcd"))
+
+
+class TestNgram:
+    def test_identical(self):
+        assert ngram_similarity("telephone", "telephone") == 1.0
+
+    def test_disjoint(self):
+        assert ngram_similarity("aaaa", "zzzz") == 0.0
+
+    def test_short_strings_are_padded(self):
+        assert ngram_similarity("ab", "ab") == 1.0
+        assert 0.0 <= ngram_similarity("ab", "ac") < 1.0
+
+    def test_both_empty(self):
+        assert ngram_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert ngram_similarity("", "abc") == 0.0
+
+
+class TestTokenAndPrefixSuffix:
+    def test_token_similarity_shared_words(self):
+        assert token_similarity("deliverToStreet", "deliver_street") == pytest.approx(0.8)
+
+    def test_token_similarity_synonyms(self):
+        # 'bill' expands to 'invoice', so billTo ~ invoiceTo share both tokens.
+        assert token_similarity("billTo", "invoiceTo") == 1.0
+
+    def test_token_similarity_disjoint(self):
+        assert token_similarity("phone", "street") == 0.0
+
+    def test_token_similarity_empty(self):
+        assert token_similarity("", "") == 1.0
+        assert token_similarity("", "x") == 0.0
+
+    def test_prefix_suffix_identical(self):
+        assert prefix_suffix_similarity("phone", "phone") == 1.0
+
+    def test_prefix_suffix_partial(self):
+        value = prefix_suffix_similarity("deliverto", "deliverstreet")
+        assert 0.0 < value <= 1.0
+
+    def test_prefix_suffix_empty(self):
+        assert prefix_suffix_similarity("", "") == 1.0
+        assert prefix_suffix_similarity("", "abc") == 0.0
+
+
+class TestBounds:
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("telephone", "c_phone"),
+            ("orderNum", "o_orderkey"),
+            ("deliverToStreet", "c_deliverstreet"),
+            ("quantity", "l_quantity"),
+            ("", "x"),
+            ("same", "same"),
+        ],
+    )
+    def test_measures_stay_in_unit_interval(self, measure, left, right):
+        value = measure(left, right)
+        assert 0.0 <= value <= 1.0 + 1e-9
+
+    @pytest.mark.parametrize("measure", ALL_MEASURES)
+    def test_measures_are_symmetric_on_examples(self, measure):
+        assert measure("ordernumber", "orderkey") == pytest.approx(
+            measure("orderkey", "ordernumber")
+        )

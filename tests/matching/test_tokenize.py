@@ -1,0 +1,65 @@
+"""Unit tests for attribute-name tokenisation."""
+
+from repro.matching.tokenize import (
+    ABBREVIATIONS,
+    normalize_tokens,
+    normalized_name,
+    segment_token,
+    split_name,
+)
+
+
+class TestSplitName:
+    def test_camel_case(self):
+        assert split_name("deliverToStreet") == ["deliver", "to", "street"]
+
+    def test_underscores(self):
+        assert split_name("ship_to_phone") == ["ship", "to", "phone"]
+
+    def test_prefix_and_run_together_words(self):
+        assert split_name("o_orderkey") == ["o", "order", "key"]
+
+    def test_digits_are_separated(self):
+        assert split_name("item2name") == ["item", "2", "name"]
+
+    def test_acronym_boundary(self):
+        assert split_name("PONumber") == ["po", "number"]
+
+    def test_empty(self):
+        assert split_name("") == []
+
+    def test_non_alnum_separators(self):
+        assert split_name("ship-to.phone") == ["ship", "to", "phone"]
+
+
+class TestSegmentToken:
+    def test_two_words(self):
+        assert segment_token("orderkey") == ["order", "key"]
+
+    def test_word_plus_abbreviation(self):
+        assert segment_token("itemnum") == ["item", "num"]
+
+    def test_unknown_token_survives(self):
+        assert segment_token("foobar") == ["foobar"]
+
+    def test_partial_residue(self):
+        assert segment_token("xorder") == ["x", "order"]
+
+    def test_empty_token(self):
+        assert segment_token("") == [""]
+
+
+class TestNormalizeTokens:
+    def test_abbreviations_expanded(self):
+        assert normalize_tokens("custNo") == ["customer", "number"]
+
+    def test_expansion_can_be_disabled(self):
+        assert normalize_tokens("custNo", expand_abbreviations=False) == ["cust", "no"]
+
+    def test_bill_is_a_synonym_of_invoice(self):
+        assert "invoice" in normalize_tokens("billTo")
+        assert ABBREVIATIONS["bill"] == "invoice"
+
+    def test_normalized_name_joins_tokens(self):
+        assert normalized_name("orderNum") == "ordernumber"
+        assert normalized_name("o_orderkey") == "oorderkey"

@@ -1,0 +1,162 @@
+"""Unit tests for the logical plan nodes."""
+
+import pytest
+
+from repro.relational.algebra import (
+    Aggregate,
+    Join,
+    Materialized,
+    Product,
+    Project,
+    Scan,
+    Select,
+    plan_operator_count,
+    plan_scans,
+    plan_target_attributes,
+)
+from repro.relational.expressions import col
+from repro.relational.predicates import ColumnEquals, Equals
+from repro.relational.relation import Relation
+
+
+def sample_plan():
+    left = Select(Scan("PO"), Equals(col("PO.telephone"), "123"))
+    right = Scan("Item", alias="Item1")
+    return Select(Product(left, right), Equals(col("Item1.itemNum"), "00001"))
+
+
+class TestScanAndMaterialized:
+    def test_scan_label_defaults_to_relation(self):
+        assert Scan("PO").label == "PO"
+        assert Scan("PO", alias="PO1").label == "PO1"
+
+    def test_scan_has_no_children(self):
+        assert Scan("PO").children() == ()
+        with pytest.raises(ValueError):
+            Scan("PO").with_children([Scan("X")])
+
+    def test_materialized_holds_relation(self):
+        relation = Relation(["a"], [(1,)])
+        node = Materialized(relation, label="tmp")
+        assert not node.is_empty
+        assert node.children() == ()
+        assert "tmp" in node.canonical()
+
+    def test_materialized_empty_flag(self):
+        assert Materialized(Relation(["a"], [])).is_empty
+
+    def test_materialized_ids_are_unique(self):
+        relation = Relation(["a"], [])
+        assert Materialized(relation).canonical() != Materialized(relation).canonical()
+
+    def test_materialized_rejects_children(self):
+        with pytest.raises(ValueError):
+            Materialized(Relation(["a"], [])).with_children([Scan("X")])
+
+
+class TestUnaryNodes:
+    def test_select_children_roundtrip(self):
+        node = Select(Scan("PO"), Equals(col("a"), 1))
+        rebuilt = node.with_children([Scan("Other")])
+        assert isinstance(rebuilt, Select)
+        assert rebuilt.child.relation == "Other"
+        assert rebuilt.predicate is node.predicate
+
+    def test_select_referenced_columns(self):
+        node = Select(Scan("PO"), Equals(col("PO.a"), 1))
+        assert [ref.display for ref in node.referenced_columns()] == ["PO.a"]
+
+    def test_project_preserves_distinct_flag(self):
+        node = Project(Scan("PO"), [col("a")], distinct=True)
+        rebuilt = node.with_children([Scan("X")])
+        assert rebuilt.distinct
+        assert "ProjectDistinct" in rebuilt.canonical()
+
+    def test_aggregate_validation(self):
+        with pytest.raises(ValueError, match="unsupported aggregate"):
+            Aggregate(Scan("PO"), "MEDIAN", col("a"))
+        with pytest.raises(ValueError, match="requires an argument"):
+            Aggregate(Scan("PO"), "SUM")
+
+    def test_aggregate_count_star_allowed(self):
+        node = Aggregate(Scan("PO"), "count")
+        assert node.function == "COUNT"
+        assert node.referenced_columns() == []
+
+    def test_aggregate_group_by_references(self):
+        node = Aggregate(Scan("PO"), "SUM", col("a"), group_by=[col("b")])
+        assert [ref.display for ref in node.referenced_columns()] == ["a", "b"]
+
+
+class TestBinaryNodes:
+    def test_product_children(self):
+        node = Product(Scan("A"), Scan("B"))
+        assert len(node.children()) == 2
+        rebuilt = node.with_children([Scan("C"), Scan("D")])
+        assert rebuilt.left.relation == "C"
+
+    def test_join_referenced_columns(self):
+        node = Join(Scan("A"), Scan("B"), ColumnEquals(col("A.x"), col("B.y")))
+        assert len(node.referenced_columns()) == 2
+
+    def test_join_canonical_mentions_predicate(self):
+        node = Join(Scan("A"), Scan("B"), ColumnEquals(col("A.x"), col("B.y")))
+        assert "A.x" in node.canonical()
+
+
+class TestTreeUtilities:
+    def test_walk_preorder(self):
+        plan = sample_plan()
+        kinds = [type(node).__name__ for node in plan.walk()]
+        assert kinds[0] == "Select"
+        assert kinds.count("Scan") == 2
+
+    def test_operators_and_leaves(self):
+        plan = sample_plan()
+        assert plan_operator_count(plan) == 3
+        assert len(plan.leaves()) == 2
+        assert len(plan_scans(plan)) == 2
+
+    def test_contains_by_identity(self):
+        plan = sample_plan()
+        scan = plan_scans(plan)[0]
+        assert plan.contains(scan)
+        assert not plan.contains(Scan("PO"))
+
+    def test_replace_by_identity(self):
+        plan = sample_plan()
+        scan = plan_scans(plan)[1]
+        replacement = Materialized(Relation(["Item1.itemNum"], []))
+        replaced = plan.replace(scan, replacement)
+        assert replaced is not plan
+        assert any(node is replacement for node in replaced.walk())
+        # The original plan is untouched.
+        assert all(node is not replacement for node in plan.walk())
+
+    def test_replace_missing_returns_same_structure(self):
+        plan = sample_plan()
+        replaced = plan.replace(Scan("ZZZ"), Scan("YYY"))
+        assert replaced.canonical() == plan.canonical()
+
+    def test_transform_bottom_up(self):
+        plan = sample_plan()
+
+        def rewrite(node):
+            if isinstance(node, Scan):
+                return Scan(node.relation, alias=f"{node.label}X")
+            return node
+
+        rewritten = plan.transform(rewrite)
+        assert {scan.label for scan in plan_scans(rewritten)} == {"POX", "Item1X"}
+
+    def test_depth(self):
+        assert Scan("PO").depth() == 1
+        assert sample_plan().depth() == 4
+
+    def test_subtree_columns_and_distinct_attributes(self):
+        plan = sample_plan()
+        displays = [ref.display for ref in plan_target_attributes(plan)]
+        assert displays == ["Item1.itemNum", "PO.telephone"]
+
+    def test_canonical_is_deterministic(self):
+        assert sample_plan().canonical() == sample_plan().canonical()

@@ -1,0 +1,63 @@
+"""Unit tests for CSV persistence."""
+
+import pytest
+
+from repro.relational.csvio import read_database, read_relation, read_typed_relation, write_database, write_relation
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.types import DataType
+
+
+def schema():
+    return DatabaseSchema(
+        "S",
+        [RelationSchema.build("r", [("a", DataType.INTEGER), ("b", DataType.STRING)])],
+    )
+
+
+class TestRelationRoundTrip:
+    def test_write_and_read(self, tmp_path):
+        relation = Relation(["r.a", "r.b"], [(1, "x"), (2, "y")], name="r")
+        path = tmp_path / "r.csv"
+        write_relation(relation, path)
+        loaded = read_relation(path)
+        assert loaded.columns == ("r.a", "r.b")
+        assert loaded.rows == [("1", "x"), ("2", "y")]
+        assert loaded.name == "r"
+
+    def test_read_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_relation(path)
+
+    def test_typed_read_restores_numbers(self, tmp_path):
+        relation = Relation(["r.a", "r.b"], [(1, "x"), (None, "y")], name="r")
+        path = tmp_path / "r.csv"
+        write_relation(relation, path)
+        loaded = read_typed_relation(path, [DataType.INTEGER, DataType.STRING])
+        assert loaded.rows == [(1, "x"), (None, "y")]
+
+    def test_typed_read_validates_arity(self, tmp_path):
+        path = tmp_path / "r.csv"
+        write_relation(Relation(["a"], [(1,)]), path)
+        with pytest.raises(ValueError, match="column types"):
+            read_typed_relation(path, [DataType.INTEGER, DataType.INTEGER])
+
+
+class TestDatabaseRoundTrip:
+    def test_write_and_read_database(self, tmp_path):
+        db_schema = schema()
+        database = Database(db_schema)
+        database.set_relation(
+            "r", Relation.from_schema(db_schema.relation("r"), [(1, "one"), (2, "two")])
+        )
+        written = write_database(database, tmp_path)
+        assert len(written) == 1
+        loaded = read_database(db_schema, tmp_path)
+        assert loaded.relation("r").rows == [(1, "one"), (2, "two")]
+
+    def test_read_database_skips_missing_files(self, tmp_path):
+        loaded = read_database(schema(), tmp_path)
+        assert not loaded.has_relation("r")

@@ -1,0 +1,76 @@
+"""Unit tests for the Database catalog."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.types import DataType
+
+
+@pytest.fixture()
+def schema():
+    return DatabaseSchema(
+        "S",
+        [
+            RelationSchema.build("r", [("a", DataType.INTEGER), ("b", DataType.STRING)]),
+            RelationSchema.build("s", [("x", DataType.INTEGER)]),
+        ],
+    )
+
+
+@pytest.fixture()
+def database(schema):
+    db = Database(schema)
+    db.set_relation("r", Relation.from_schema(schema.relation("r"), [(1, "one"), (2, "two")]))
+    db.set_relation("s", Relation.from_schema(schema.relation("s"), [(7,)]))
+    return db
+
+
+class TestDatabase:
+    def test_empty_constructor_loads_all_relations(self, schema):
+        db = Database.empty(schema)
+        assert db.relation_names == ["r", "s"]
+        assert db.total_rows == 0
+
+    def test_set_relation_unknown_name(self, database):
+        with pytest.raises(KeyError):
+            database.set_relation("zzz", Relation(["a"], []))
+
+    def test_set_relation_wrong_width(self, database, schema):
+        with pytest.raises(ValueError, match="columns"):
+            database.set_relation("s", Relation(["s.x", "s.y"], []))
+
+    def test_relation_lookup(self, database):
+        assert len(database.relation("r")) == 2
+        with pytest.raises(KeyError):
+            database.relation("zzz")
+
+    def test_has_relation(self, database):
+        assert database.has_relation("r")
+        assert not database.has_relation("zzz")
+
+    def test_scan_with_alias_prefixes(self, database):
+        scanned = database.scan("r", alias="r1")
+        assert scanned.columns == ("r1.a", "r1.b")
+
+    def test_scan_without_alias_returns_stored_relation(self, database):
+        assert database.scan("r").columns == ("r.a", "r.b")
+
+    def test_index_lookup(self, database):
+        index = database.index("r", "a")
+        assert index.lookup_rows(2) == [(2, "two")]
+
+    def test_index_invalidated_on_reload(self, database, schema):
+        first = database.index("r", "a")
+        database.set_relation("r", Relation.from_schema(schema.relation("r"), [(9, "nine")]))
+        second = database.index("r", "a")
+        assert second is not first
+        assert second.lookup_rows(9) == [(9, "nine")]
+
+    def test_cardinalities_and_total(self, database):
+        assert database.cardinalities() == {"r": 2, "s": 1}
+        assert database.total_rows == 3
+
+    def test_iteration(self, database):
+        assert dict(database).keys() == {"r", "s"}

@@ -1,0 +1,206 @@
+"""Unit tests for the plan executor."""
+
+import pytest
+
+from repro.relational.algebra import Aggregate, Join, Materialized, Product, Project, Scan, Select
+from repro.relational.database import Database
+from repro.relational.executor import Executor, execute
+from repro.relational.expressions import Arithmetic, col, lit
+from repro.relational.predicates import And, ColumnEquals, Equals, GreaterThan, TruePredicate
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.stats import ExecutionStats
+from repro.relational.types import DataType
+
+_I = DataType.INTEGER
+_S = DataType.STRING
+_F = DataType.FLOAT
+
+
+@pytest.fixture()
+def database() -> Database:
+    schema = DatabaseSchema(
+        "S",
+        [
+            RelationSchema.build("emp", [("id", _I), ("name", _S), ("dept", _I), ("salary", _F)]),
+            RelationSchema.build("dept", [("id", _I), ("dname", _S)]),
+        ],
+    )
+    db = Database(schema)
+    db.set_relation(
+        "emp",
+        Relation.from_schema(
+            schema.relation("emp"),
+            [
+                (1, "ann", 10, 100.0),
+                (2, "bob", 10, 200.0),
+                (3, "cat", 20, 300.0),
+                (4, "dan", 30, 400.0),
+            ],
+        ),
+    )
+    db.set_relation(
+        "dept",
+        Relation.from_schema(schema.relation("dept"), [(10, "db"), (20, "os"), (30, "net")]),
+    )
+    return db
+
+
+class TestScanAndSelect:
+    def test_scan(self, database):
+        result = execute(Scan("emp"), database)
+        assert len(result) == 4
+        assert result.columns[0] == "emp.id"
+
+    def test_scan_alias(self, database):
+        result = execute(Scan("emp", alias="e1"), database)
+        assert result.columns[0] == "e1.id"
+
+    def test_indexed_equality_select(self, database):
+        stats = ExecutionStats()
+        result = execute(Select(Scan("emp"), Equals(col("emp.dept"), 10)), database, stats)
+        assert {row[1] for row in result} == {"ann", "bob"}
+        assert stats.operators["Select"] == 1
+
+    def test_indexed_select_with_string_literal_for_int_column(self, database):
+        result = execute(Select(Scan("emp"), Equals(col("emp.id"), "3")), database)
+        assert len(result) == 1
+
+    def test_non_indexed_select(self, database):
+        plan = Select(Scan("emp"), GreaterThan(col("emp.salary"), 250))
+        result = execute(plan, database)
+        assert len(result) == 2
+
+    def test_select_over_alias_uses_index_path(self, database):
+        plan = Select(Scan("emp", alias="e1"), Equals(col("e1.dept"), 20))
+        result = execute(plan, database)
+        assert len(result) == 1
+        assert result.columns[0] == "e1.id"
+
+    def test_select_conjunction_not_indexed_but_correct(self, database):
+        plan = Select(
+            Scan("emp"),
+            And(Equals(col("emp.dept"), 10), GreaterThan(col("emp.salary"), 150)),
+        )
+        result = execute(plan, database)
+        assert [row[1] for row in result] == ["bob"]
+
+    def test_select_true_predicate(self, database):
+        result = execute(Select(Scan("emp"), TruePredicate()), database)
+        assert len(result) == 4
+
+    def test_materialized_leaf(self, database):
+        relation = Relation(["x"], [(1,), (2,)])
+        result = execute(Select(Materialized(relation), Equals(col("x"), 2)), database)
+        assert result.rows == [(2,)]
+
+
+class TestProject:
+    def test_project(self, database):
+        result = execute(Project(Scan("emp"), [col("emp.name")]), database)
+        assert result.columns == ("emp.name",)
+        assert len(result) == 4
+
+    def test_project_distinct(self, database):
+        result = execute(Project(Scan("emp"), [col("emp.dept")], distinct=True), database)
+        assert len(result) == 3
+
+    def test_project_repeated_column_gets_unique_label(self, database):
+        result = execute(Project(Scan("emp"), [col("emp.name"), col("emp.name")]), database)
+        assert len(set(result.columns)) == 2
+
+
+class TestProductAndJoin:
+    def test_product_cardinality(self, database):
+        result = execute(Product(Scan("emp"), Scan("dept")), database)
+        assert len(result) == 12
+        assert len(result.columns) == 6
+
+    def test_product_duplicate_labels_suffixed(self, database):
+        result = execute(Product(Scan("emp"), Scan("emp")), database)
+        assert len(set(result.columns)) == len(result.columns)
+
+    def test_hash_join(self, database):
+        plan = Join(Scan("emp"), Scan("dept"), ColumnEquals(col("emp.dept"), col("dept.id")))
+        result = execute(plan, database)
+        assert len(result) == 4
+
+    def test_join_reversed_predicate_sides(self, database):
+        plan = Join(Scan("emp"), Scan("dept"), ColumnEquals(col("dept.id"), col("emp.dept")))
+        assert len(execute(plan, database)) == 4
+
+    def test_theta_join_falls_back_to_nested_loops(self, database):
+        plan = Join(
+            Scan("emp"),
+            Scan("dept"),
+            GreaterThan(col("emp.dept"), 10) & ColumnEquals(col("emp.dept"), col("dept.id")),
+        )
+        result = execute(plan, database)
+        assert len(result) == 2
+
+    def test_join_with_residual_conjunct(self, database):
+        predicate = And(
+            ColumnEquals(col("emp.dept"), col("dept.id")),
+            Equals(col("dept.dname"), "db"),
+        )
+        result = execute(Join(Scan("emp"), Scan("dept"), predicate), database)
+        assert len(result) == 2
+
+
+class TestAggregates:
+    def test_count_star(self, database):
+        result = execute(Aggregate(Scan("emp"), "COUNT"), database)
+        assert result.rows == [(4,)]
+
+    def test_count_ignores_nulls(self, database):
+        relation = Relation(["x"], [(1,), (None,), (3,)])
+        result = execute(Aggregate(Materialized(relation), "COUNT", col("x")), database)
+        assert result.rows == [(2,)]
+
+    def test_sum_avg_min_max(self, database):
+        for function, expected in [("SUM", 1000.0), ("AVG", 250.0), ("MIN", 100.0), ("MAX", 400.0)]:
+            result = execute(Aggregate(Scan("emp"), function, col("emp.salary")), database)
+            assert result.rows == [(expected,)]
+
+    def test_sum_over_empty_is_none(self, database):
+        relation = Relation(["x"], [])
+        result = execute(Aggregate(Materialized(relation), "SUM", col("x")), database)
+        assert result.rows == [(None,)]
+
+    def test_count_over_empty_is_zero(self, database):
+        relation = Relation(["x"], [])
+        result = execute(Aggregate(Materialized(relation), "COUNT"), database)
+        assert result.rows == [(0,)]
+
+    def test_group_by(self, database):
+        plan = Aggregate(Scan("emp"), "SUM", col("emp.salary"), group_by=[col("emp.dept")])
+        result = execute(plan, database)
+        totals = dict(result.rows)
+        assert totals == {10: 300.0, 20: 300.0, 30: 400.0}
+
+    def test_aggregate_over_expression(self, database):
+        plan = Aggregate(Scan("emp"), "SUM", Arithmetic("*", col("emp.salary"), lit(2)))
+        result = execute(plan, database)
+        assert result.rows == [(2000.0,)]
+
+
+class TestStatsAndErrors:
+    def test_stats_count_operators(self, database):
+        stats = ExecutionStats()
+        executor = Executor(database, stats)
+        executor.execute_query(Select(Scan("emp"), Equals(col("emp.dept"), 10)))
+        assert stats.source_queries == 1
+        assert stats.operators["Select"] == 1
+        assert stats.operators["Scan"] == 1
+
+    def test_unknown_node_type_rejected(self, database):
+        class Strange:
+            pass
+
+        with pytest.raises(TypeError):
+            Executor(database).execute(Strange())
+
+    def test_executor_uses_supplied_stats(self, database):
+        stats = ExecutionStats()
+        execute(Scan("emp"), database, stats)
+        assert stats.rows_scanned == 4

@@ -1,0 +1,79 @@
+"""Unit tests for scalar expressions."""
+
+import pytest
+
+from repro.relational.expressions import Arithmetic, ColumnRef, Literal, col, lit
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def relation():
+    return Relation(["R.a", "R.b"], [(4, 2.5), (None, 1.0)])
+
+
+class TestColumnRef:
+    def test_col_parses_qualifier(self):
+        ref = col("PO.orderNum")
+        assert ref.qualifier == "PO" and ref.name == "orderNum"
+
+    def test_col_explicit_qualifier(self):
+        assert col("orderNum", "PO") == ColumnRef("orderNum", "PO")
+
+    def test_col_unqualified(self):
+        ref = col("orderNum")
+        assert ref.qualifier is None
+
+    def test_display(self):
+        assert col("PO.x").display == "PO.x"
+        assert col("x").display == "x"
+
+    def test_evaluate(self, relation):
+        assert col("R.a").evaluate(relation, relation.rows[0]) == 4
+
+    def test_evaluate_unqualified(self, relation):
+        assert col("b").evaluate(relation, relation.rows[0]) == 2.5
+
+    def test_referenced_columns(self):
+        ref = col("R.a")
+        assert ref.referenced_columns() == [ref]
+
+    def test_rename(self):
+        renamed = col("R.a").rename(lambda ref: ColumnRef(ref.name, "S"))
+        assert renamed.qualifier == "S"
+
+
+class TestLiteral:
+    def test_evaluate(self, relation):
+        assert lit(42).evaluate(relation, relation.rows[0]) == 42
+
+    def test_no_references(self):
+        assert lit(1).referenced_columns() == []
+
+    def test_rename_is_identity(self):
+        literal = lit("x")
+        assert literal.rename(lambda ref: ref) is literal
+
+
+class TestArithmetic:
+    def test_operations(self, relation):
+        row = relation.rows[0]
+        assert Arithmetic("+", col("R.a"), lit(1)).evaluate(relation, row) == 5
+        assert Arithmetic("-", col("R.a"), lit(1)).evaluate(relation, row) == 3
+        assert Arithmetic("*", col("R.a"), col("R.b")).evaluate(relation, row) == 10.0
+        assert Arithmetic("/", col("R.a"), lit(2)).evaluate(relation, row) == 2
+
+    def test_null_propagates(self, relation):
+        assert Arithmetic("+", col("R.a"), lit(1)).evaluate(relation, relation.rows[1]) is None
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Arithmetic("%", lit(1), lit(2))
+
+    def test_referenced_columns(self):
+        expr = Arithmetic("*", col("R.a"), col("R.b"))
+        assert [ref.display for ref in expr.referenced_columns()] == ["R.a", "R.b"]
+
+    def test_rename(self, relation):
+        expr = Arithmetic("+", col("X.a"), lit(1))
+        renamed = expr.rename(lambda ref: ColumnRef(ref.name, "R"))
+        assert renamed.evaluate(relation, relation.rows[0]) == 5

@@ -1,0 +1,60 @@
+"""Unit tests for hash indexes."""
+
+from repro.relational.indexes import HashIndex, IndexCatalog
+from repro.relational.relation import Relation
+
+
+def relation():
+    return Relation(["r.a", "r.b"], [(1, "x"), (2, "y"), (1, "z")], name="r")
+
+
+class TestHashIndex:
+    def test_lookup_positions(self):
+        index = HashIndex(relation(), "r.a")
+        assert index.lookup(1) == [0, 2]
+        assert index.lookup(3) == []
+
+    def test_lookup_rows(self):
+        index = HashIndex(relation(), "r.a")
+        assert index.lookup_rows(2) == [(2, "y")]
+
+    def test_contains_and_len(self):
+        index = HashIndex(relation(), "r.a")
+        assert 1 in index
+        assert 3 not in index
+        assert len(index) == 2
+
+    def test_unhashable_values_are_skipped(self):
+        rel = Relation(["r.a"], [([1, 2],), (3,)])
+        index = HashIndex(rel, "r.a")
+        assert index.lookup(3) == [1]
+
+
+class TestIndexCatalog:
+    def test_caches_per_relation_and_column(self):
+        catalog = IndexCatalog()
+        rel = relation()
+        first = catalog.get(rel, "r", "r.a")
+        second = catalog.get(rel, "r", "r.a")
+        assert first is second
+        assert len(catalog) == 1
+
+    def test_rebuilds_when_relation_object_changes(self):
+        catalog = IndexCatalog()
+        first = catalog.get(relation(), "r", "r.a")
+        second = catalog.get(relation(), "r", "r.a")
+        assert first is not second
+
+    def test_invalidate_single_relation(self):
+        catalog = IndexCatalog()
+        rel = relation()
+        catalog.get(rel, "r", "r.a")
+        catalog.get(rel, "r", "r.b")
+        catalog.invalidate("r")
+        assert len(catalog) == 0
+
+    def test_invalidate_all(self):
+        catalog = IndexCatalog()
+        catalog.get(relation(), "r", "r.a")
+        catalog.invalidate()
+        assert len(catalog) == 0

@@ -1,0 +1,197 @@
+"""Unit tests for the predicate AST."""
+
+import pytest
+
+from repro.relational.expressions import ColumnRef, col, lit
+from repro.relational.predicates import (
+    And,
+    Between,
+    ColumnEquals,
+    Comparison,
+    Equals,
+    GreaterEqual,
+    GreaterThan,
+    In,
+    LessEqual,
+    LessThan,
+    Not,
+    NotEquals,
+    Or,
+    TruePredicate,
+    conjunction,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture()
+def relation():
+    return Relation(["R.a", "R.b", "R.c"], [(1, "x", 10.0), (5, "y", None)])
+
+
+def row(relation, index=0):
+    return relation.rows[index]
+
+
+class TestComparisons:
+    def test_equals_true(self, relation):
+        assert Equals(col("R.a"), 1).evaluate(relation, row(relation))
+
+    def test_equals_false(self, relation):
+        assert not Equals(col("R.a"), 2).evaluate(relation, row(relation))
+
+    def test_equals_with_numeric_string_constant(self, relation):
+        assert Equals(col("R.a"), "1").evaluate(relation, row(relation))
+
+    def test_not_equals(self, relation):
+        assert NotEquals(col("R.b"), "y").evaluate(relation, row(relation))
+
+    def test_less_than(self, relation):
+        assert LessThan(col("R.a"), 2).evaluate(relation, row(relation))
+        assert not LessThan(col("R.a"), 1).evaluate(relation, row(relation))
+
+    def test_less_equal(self, relation):
+        assert LessEqual(col("R.a"), 1).evaluate(relation, row(relation))
+
+    def test_greater_than(self, relation):
+        assert GreaterThan(col("R.c"), 5).evaluate(relation, row(relation))
+
+    def test_greater_equal(self, relation):
+        assert GreaterEqual(col("R.c"), 10.0).evaluate(relation, row(relation))
+
+    def test_null_operand_is_false(self, relation):
+        assert not Equals(col("R.c"), 10.0).evaluate(relation, row(relation, 1))
+        assert not LessThan(col("R.c"), 99).evaluate(relation, row(relation, 1))
+
+    def test_incomparable_types_are_false(self, relation):
+        predicate = Comparison(col("R.b"), "<", lit(("tuple",)))
+        assert not predicate.evaluate(relation, row(relation))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(col("a"), "~", lit(1))
+
+    def test_is_column_constant(self):
+        assert Equals(col("R.a"), 1).is_column_constant
+        assert not ColumnEquals(col("R.a"), col("R.b")).is_column_constant
+
+    def test_is_equi_column(self):
+        assert ColumnEquals(col("R.a"), col("S.a")).is_equi_column
+        assert not Equals(col("R.a"), 1).is_equi_column
+        assert not Comparison(col("R.a"), "<", col("S.a")).is_equi_column
+
+    def test_constant_with_dot_is_literal_not_column(self, relation):
+        # Strings containing a dot (addresses, versions) must stay literals.
+        predicate = Equals(col("R.b"), "1.5.2")
+        assert not predicate.evaluate(relation, row(relation))
+
+    def test_referenced_columns(self):
+        predicate = ColumnEquals(col("R.a"), col("S.b"))
+        names = [ref.display for ref in predicate.referenced_columns()]
+        assert names == ["R.a", "S.b"]
+
+    def test_rename(self, relation):
+        predicate = Equals(col("X.a"), 1)
+        renamed = predicate.rename(lambda ref: ColumnRef(name=ref.name, qualifier="R"))
+        assert renamed.evaluate(relation, row(relation))
+
+    def test_canonical_contains_operator(self):
+        assert "=" in Equals(col("R.a"), 1).canonical()
+
+
+class TestInAndBetween:
+    def test_in_true(self, relation):
+        assert In(col("R.b"), ("x", "z")).evaluate(relation, row(relation))
+
+    def test_in_false(self, relation):
+        assert not In(col("R.b"), ("q",)).evaluate(relation, row(relation))
+
+    def test_in_rename_and_refs(self):
+        predicate = In(col("X.a"), (1, 2))
+        assert [ref.display for ref in predicate.referenced_columns()] == ["X.a"]
+        renamed = predicate.rename(lambda ref: ColumnRef(ref.name, "R"))
+        assert renamed.referenced_columns()[0].qualifier == "R"
+
+    def test_between_inclusive(self, relation):
+        assert Between(col("R.a"), 1, 5).evaluate(relation, row(relation))
+        assert Between(col("R.a"), 0, 1).evaluate(relation, row(relation))
+
+    def test_between_outside(self, relation):
+        assert not Between(col("R.a"), 2, 5).evaluate(relation, row(relation))
+
+    def test_between_null_is_false(self, relation):
+        assert not Between(col("R.c"), 0, 100).evaluate(relation, row(relation, 1))
+
+    def test_between_canonical(self):
+        assert "BETWEEN" in Between(col("R.a"), 1, 2).canonical()
+
+
+class TestConnectives:
+    def test_and(self, relation):
+        predicate = And(Equals(col("R.a"), 1), Equals(col("R.b"), "x"))
+        assert predicate.evaluate(relation, row(relation))
+        assert not predicate.evaluate(relation, row(relation, 1))
+
+    def test_or(self, relation):
+        predicate = Or(Equals(col("R.a"), 99), Equals(col("R.b"), "x"))
+        assert predicate.evaluate(relation, row(relation))
+
+    def test_not(self, relation):
+        assert Not(Equals(col("R.a"), 99)).evaluate(relation, row(relation))
+
+    def test_operators_via_dunder(self, relation):
+        predicate = Equals(col("R.a"), 1) & Equals(col("R.b"), "x")
+        assert isinstance(predicate, And)
+        predicate = Equals(col("R.a"), 1) | Equals(col("R.a"), 2)
+        assert isinstance(predicate, Or)
+        assert isinstance(~Equals(col("R.a"), 1), Not)
+
+    def test_connective_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            And(TruePredicate())
+
+    def test_conjuncts_flatten(self):
+        predicate = And(And(Equals(col("a"), 1), Equals(col("b"), 2)), Equals(col("c"), 3))
+        assert len(predicate.conjuncts()) == 3
+
+    def test_non_and_conjuncts_is_self(self):
+        predicate = Equals(col("a"), 1)
+        assert predicate.conjuncts() == [predicate]
+
+    def test_canonical_order_independent(self):
+        left = And(Equals(col("a"), 1), Equals(col("b"), 2))
+        right = And(Equals(col("b"), 2), Equals(col("a"), 1))
+        assert left.canonical() == right.canonical()
+
+    def test_equality_and_hash(self):
+        left = And(Equals(col("a"), 1), Equals(col("b"), 2))
+        same = And(Equals(col("a"), 1), Equals(col("b"), 2))
+        assert left == same
+        assert hash(left) == hash(same)
+
+    def test_referenced_columns_aggregated(self):
+        predicate = Or(Equals(col("R.a"), 1), Equals(col("S.b"), 2))
+        assert len(predicate.referenced_columns()) == 2
+
+    def test_rename_propagates(self, relation):
+        predicate = And(Equals(col("X.a"), 1), Equals(col("X.b"), "x"))
+        renamed = predicate.rename(lambda ref: ColumnRef(ref.name, "R"))
+        assert renamed.evaluate(relation, row(relation))
+
+
+class TestTrueAndConjunction:
+    def test_true_predicate(self, relation):
+        assert TruePredicate().evaluate(relation, row(relation))
+        assert TruePredicate().referenced_columns() == []
+        assert TruePredicate().canonical() == "TRUE"
+        assert TruePredicate().rename(lambda ref: ref) == TruePredicate()
+
+    def test_conjunction_empty(self):
+        assert isinstance(conjunction([]), TruePredicate)
+
+    def test_conjunction_single(self):
+        predicate = Equals(col("a"), 1)
+        assert conjunction([predicate]) is predicate
+
+    def test_conjunction_many(self):
+        predicate = conjunction([Equals(col("a"), 1), Equals(col("b"), 2)])
+        assert isinstance(predicate, And)

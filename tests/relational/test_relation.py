@@ -1,0 +1,139 @@
+"""Unit tests for the Relation container."""
+
+import pytest
+
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema
+from repro.relational.types import DataType
+
+
+def sample() -> Relation:
+    return Relation(
+        ["R.a", "R.b", "R.c"],
+        [(1, "x", 10.0), (2, "y", 20.0), (2, "y", 20.0), (3, "z", 30.0)],
+        name="R",
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        relation = sample()
+        assert len(relation) == 4
+        assert relation.columns == ("R.a", "R.b", "R.c")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError, match="duplicate column"):
+            Relation(["a", "a"], [])
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError, match="row width"):
+            Relation(["a", "b"], [(1,)])
+
+    def test_from_schema_prefixes_labels(self):
+        schema = RelationSchema.build("PO", [("x", DataType.STRING), ("y", DataType.STRING)])
+        relation = Relation.from_schema(schema, [("1", "2")])
+        assert relation.columns == ("PO.x", "PO.y")
+        assert relation.name == "PO"
+
+    def test_from_schema_with_alias(self):
+        schema = RelationSchema.build("PO", [("x", DataType.STRING)])
+        relation = Relation.from_schema(schema, [], alias="PO1")
+        assert relation.columns == ("PO1.x",)
+
+    def test_from_dicts(self):
+        relation = Relation.from_dicts(["a", "b"], [{"a": 1, "b": 2}, {"a": 3}])
+        assert relation.rows == [(1, 2), (3, None)]
+
+    def test_empty(self):
+        relation = Relation.empty(["a"], name="E")
+        assert relation.is_empty
+        assert relation.name == "E"
+
+
+class TestColumnHandling:
+    def test_column_index(self):
+        assert sample().column_index("R.b") == 1
+
+    def test_column_index_missing_raises(self):
+        with pytest.raises(KeyError, match="no column"):
+            sample().column_index("R.missing")
+
+    def test_has_column(self):
+        relation = sample()
+        assert relation.has_column("R.a")
+        assert not relation.has_column("a")
+
+    def test_resolve_qualified(self):
+        assert sample().resolve("a", "R") == 0
+
+    def test_resolve_unqualified_suffix(self):
+        assert sample().resolve("c") == 2
+
+    def test_resolve_exact_label(self):
+        relation = Relation(["count"], [(1,)])
+        assert relation.resolve("count") == 0
+
+    def test_resolve_missing_raises(self):
+        with pytest.raises(KeyError, match="no column matches"):
+            sample().resolve("zzz")
+
+    def test_resolve_ambiguous_raises(self):
+        relation = Relation(["R.a", "S.a"], [])
+        with pytest.raises(KeyError, match="ambiguous"):
+            relation.resolve("a")
+
+    def test_rename(self):
+        renamed = sample().rename({"R.a": "S.a"})
+        assert renamed.columns == ("S.a", "R.b", "R.c")
+        assert renamed.rows == sample().rows
+
+    def test_prefixed(self):
+        prefixed = sample().prefixed("X")
+        assert prefixed.columns == ("X.a", "X.b", "X.c")
+        assert prefixed.name == "X"
+
+
+class TestRowHandling:
+    def test_append_and_extend(self):
+        relation = Relation(["a"], [])
+        relation.append((1,))
+        relation.extend([(2,), (3,)])
+        assert relation.rows == [(1,), (2,), (3,)]
+
+    def test_append_wrong_width(self):
+        with pytest.raises(ValueError):
+            Relation(["a"], []).append((1, 2))
+
+    def test_value(self):
+        relation = sample()
+        assert relation.value(relation.rows[0], "R.b") == "x"
+
+    def test_project_rows(self):
+        assert sample().project_rows([2, 0])[0] == (10.0, 1)
+
+    def test_filter(self):
+        filtered = sample().filter(lambda row: row[0] == 2)
+        assert len(filtered) == 2
+        assert filtered.columns == sample().columns
+
+    def test_distinct(self):
+        assert len(sample().distinct()) == 3
+
+    def test_to_dicts(self):
+        dicts = sample().to_dicts()
+        assert dicts[0] == {"R.a": 1, "R.b": "x", "R.c": 10.0}
+
+
+class TestDunder:
+    def test_equality(self):
+        assert sample() == sample()
+        assert sample() != sample().prefixed("X")
+        assert sample() != "not a relation"
+
+    def test_iteration(self):
+        assert list(sample())[0] == (1, "x", 10.0)
+
+    def test_pretty_limits_rows(self):
+        text = sample().pretty(limit=2)
+        assert "more rows" in text
+        assert "R.a | R.b | R.c" in text

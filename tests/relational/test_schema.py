@@ -1,0 +1,120 @@
+"""Unit tests for attributes, relation schemas and database schemas."""
+
+import pytest
+
+from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.relational.types import DataType
+
+
+def make_relation(name="R", columns=("a", "b", "c")):
+    return RelationSchema.build(name, [(column, DataType.STRING) for column in columns])
+
+
+class TestAttribute:
+    def test_qualified_name(self):
+        attribute = Attribute(relation="PO", name="telephone")
+        assert attribute.qualified == "PO.telephone"
+
+    def test_defaults(self):
+        attribute = Attribute(relation="R", name="x")
+        assert attribute.data_type is DataType.STRING
+        assert attribute.description == ""
+
+    def test_frozen(self):
+        attribute = Attribute(relation="R", name="x")
+        with pytest.raises(AttributeError):
+            attribute.name = "y"
+
+
+class TestRelationSchema:
+    def test_build_with_descriptions(self):
+        schema = RelationSchema.build(
+            "R", [("a", DataType.INTEGER, "the a column"), ("b", DataType.STRING)]
+        )
+        assert schema.attribute("a").description == "the a column"
+        assert schema.attribute("b").description == ""
+
+    def test_attribute_names_order(self):
+        schema = make_relation(columns=("z", "a", "m"))
+        assert schema.attribute_names == ["z", "a", "m"]
+
+    def test_qualified_names(self):
+        schema = make_relation("R", ("a", "b"))
+        assert schema.qualified_names == ["R.a", "R.b"]
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_relation(columns=("a", "a"))
+
+    def test_attribute_owned_by_other_relation_rejected(self):
+        attribute = Attribute(relation="Other", name="x")
+        with pytest.raises(ValueError, match="does not belong"):
+            RelationSchema("R", [attribute])
+
+    def test_unknown_attribute_raises_keyerror(self):
+        schema = make_relation()
+        with pytest.raises(KeyError, match="no attribute"):
+            schema.attribute("missing")
+
+    def test_has_attribute_and_contains(self):
+        schema = make_relation()
+        assert schema.has_attribute("a")
+        assert "a" in schema
+        assert "missing" not in schema
+
+    def test_len_and_iter(self):
+        schema = make_relation()
+        assert len(schema) == 3
+        assert [attribute.name for attribute in schema] == ["a", "b", "c"]
+
+    def test_equality_and_hash(self):
+        assert make_relation() == make_relation()
+        assert hash(make_relation()) == hash(make_relation())
+        assert make_relation() != make_relation(columns=("a", "b"))
+
+
+class TestDatabaseSchema:
+    def make_schema(self):
+        return DatabaseSchema("S", [make_relation("R1"), make_relation("R2", ("x", "y"))])
+
+    def test_relation_names(self):
+        assert self.make_schema().relation_names == ["R1", "R2"]
+
+    def test_attribute_count(self):
+        assert self.make_schema().attribute_count == 5
+
+    def test_attributes_in_declaration_order(self):
+        names = [attribute.qualified for attribute in self.make_schema().attributes]
+        assert names == ["R1.a", "R1.b", "R1.c", "R2.x", "R2.y"]
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(ValueError, match="duplicate relation"):
+            DatabaseSchema("S", [make_relation("R"), make_relation("R")])
+
+    def test_relation_lookup(self):
+        schema = self.make_schema()
+        assert schema.relation("R2").attribute_names == ["x", "y"]
+        with pytest.raises(KeyError):
+            schema.relation("missing")
+
+    def test_attribute_lookup_by_qualified_name(self):
+        schema = self.make_schema()
+        assert schema.attribute("R2.x").name == "x"
+        with pytest.raises(KeyError):
+            schema.attribute("R2.missing")
+
+    def test_has_relation_and_attribute(self):
+        schema = self.make_schema()
+        assert schema.has_relation("R1")
+        assert not schema.has_relation("R9")
+        assert schema.has_attribute("R1.a")
+        assert not schema.has_attribute("R1.z")
+
+    def test_owning_relation(self):
+        schema = self.make_schema()
+        assert schema.owning_relation("R2.y").name == "R2"
+
+    def test_iter_and_len(self):
+        schema = self.make_schema()
+        assert len(schema) == 2
+        assert [relation.name for relation in schema] == ["R1", "R2"]

@@ -1,0 +1,70 @@
+"""Unit tests for execution statistics."""
+
+from repro.relational.stats import ExecutionStats
+
+
+class TestExecutionStats:
+    def test_count_operator_accumulates(self):
+        stats = ExecutionStats()
+        stats.count_operator("Select", rows_in=10, rows_out=3)
+        stats.count_operator("Select", rows_in=5, rows_out=1)
+        stats.count_operator("Scan", rows_in=10, rows_out=10)
+        assert stats.operators["Select"] == 2
+        assert stats.source_operators == 3
+        assert stats.total_operators == 3
+        assert stats.rows_scanned == 25
+        assert stats.rows_output == 14
+
+    def test_count_source_query_and_reformulation(self):
+        stats = ExecutionStats()
+        stats.count_source_query()
+        stats.count_reformulation(3)
+        stats.count_partitions(4)
+        assert stats.source_queries == 1
+        assert stats.reformulations == 3
+        assert stats.partitions_created == 4
+
+    def test_phase_accumulates_time(self):
+        stats = ExecutionStats()
+        with stats.phase("evaluation"):
+            pass
+        with stats.phase("evaluation"):
+            pass
+        assert stats.phase_seconds["evaluation"] >= 0
+        assert stats.total_seconds == sum(stats.phase_seconds.values())
+
+    def test_phase_records_even_on_exception(self):
+        stats = ExecutionStats()
+        try:
+            with stats.phase("evaluation"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "evaluation" in stats.phase_seconds
+
+    def test_merge(self):
+        left = ExecutionStats()
+        left.count_operator("Select")
+        left.count_source_query()
+        with left.phase("evaluation"):
+            pass
+        right = ExecutionStats()
+        right.count_operator("Select")
+        right.count_operator("Scan")
+        with right.phase("evaluation"):
+            pass
+        with right.phase("rewriting"):
+            pass
+        left.merge(right)
+        assert left.operators["Select"] == 2
+        assert left.operators["Scan"] == 1
+        assert left.source_queries == 1
+        assert set(left.phase_seconds) == {"evaluation", "rewriting"}
+
+    def test_snapshot_is_plain_data(self):
+        stats = ExecutionStats()
+        stats.count_operator("Join")
+        snapshot = stats.snapshot()
+        assert snapshot["operators"] == {"Join": 1}
+        assert snapshot["source_operators"] == 1
+        assert isinstance(snapshot["phase_seconds"], dict)

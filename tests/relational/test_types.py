@@ -1,0 +1,108 @@
+"""Unit tests for the value-domain layer (repro.relational.types)."""
+
+import pytest
+
+from repro.relational.types import DataType, _try_parse_number, comparable, infer_type
+
+
+class TestDataTypeCoerce:
+    def test_integer_from_string(self):
+        assert DataType.INTEGER.coerce("42") == 42
+
+    def test_integer_from_float(self):
+        assert DataType.INTEGER.coerce(3.7) == 3
+
+    def test_float_from_string(self):
+        assert DataType.FLOAT.coerce("2.5") == 2.5
+
+    def test_string_from_int(self):
+        assert DataType.STRING.coerce(7) == "7"
+
+    def test_date_passes_through_as_string(self):
+        assert DataType.DATE.coerce("1995-01-02") == "1995-01-02"
+
+    def test_boolean_true_strings(self):
+        for text in ("true", "T", "1", "yes"):
+            assert DataType.BOOLEAN.coerce(text) is True
+
+    def test_boolean_false_strings(self):
+        for text in ("false", "F", "0", "no"):
+            assert DataType.BOOLEAN.coerce(text) is False
+
+    def test_boolean_invalid_string_raises(self):
+        with pytest.raises(ValueError):
+            DataType.BOOLEAN.coerce("maybe")
+
+    def test_boolean_from_int(self):
+        assert DataType.BOOLEAN.coerce(0) is False
+        assert DataType.BOOLEAN.coerce(3) is True
+
+    def test_none_passes_through(self):
+        for data_type in DataType:
+            assert data_type.coerce(None) is None
+
+    def test_integer_invalid_raises(self):
+        with pytest.raises(ValueError):
+            DataType.INTEGER.coerce("not-a-number")
+
+    def test_python_type(self):
+        assert DataType.INTEGER.python_type is int
+        assert DataType.FLOAT.python_type is float
+        assert DataType.STRING.python_type is str
+        assert DataType.DATE.python_type is str
+        assert DataType.BOOLEAN.python_type is bool
+
+
+class TestInferType:
+    def test_bool_before_int(self):
+        assert infer_type(True) is DataType.BOOLEAN
+
+    def test_int(self):
+        assert infer_type(5) is DataType.INTEGER
+
+    def test_float(self):
+        assert infer_type(5.0) is DataType.FLOAT
+
+    def test_string_default(self):
+        assert infer_type("abc") is DataType.STRING
+        assert infer_type(None) is DataType.STRING
+
+
+class TestComparable:
+    def test_same_type_unchanged(self):
+        assert comparable("a", "b") == ("a", "b")
+        assert comparable(1, 2) == (1, 2)
+
+    def test_int_float(self):
+        assert comparable(1, 2.5) == (1, 2.5)
+
+    def test_number_and_numeric_string(self):
+        assert comparable(42, "42") == (42, 42)
+        assert comparable("00001", 1) == (1, 1)
+
+    def test_number_and_non_numeric_string(self):
+        assert comparable(42, "abc") == ("42", "abc")
+
+    def test_string_and_number_reversed(self):
+        assert comparable("3.5", 2.0) == (3.5, 2.0)
+        assert comparable("abc", 2.0) == ("abc", "2.0")
+
+    def test_comparison_after_coercion_is_meaningful(self):
+        left, right = comparable("00010", 10)
+        assert left == right
+
+
+class TestTryParseNumber:
+    def test_int(self):
+        assert _try_parse_number("12") == 12
+        assert isinstance(_try_parse_number("12"), int)
+
+    def test_float(self):
+        assert _try_parse_number("1.5") == 1.5
+
+    def test_whitespace(self):
+        assert _try_parse_number("  7 ") == 7
+
+    def test_failure_returns_none(self):
+        assert _try_parse_number("12a") is None
+        assert _try_parse_number("") is None

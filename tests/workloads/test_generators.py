@@ -1,0 +1,70 @@
+"""Unit tests for the parameterised workload generators."""
+
+import pytest
+
+from repro.datagen.target_schemas import target_schema
+from repro.relational.algebra import Product, Select
+from repro.workloads.generators import (
+    SELECTION_CONDITIONS,
+    product_query,
+    selection_attributes,
+    selection_query,
+)
+
+
+class TestSelectionQueries:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 5])
+    def test_operator_count_matches_parameter(self, count):
+        query = selection_query(count, target_schema("Excel"))
+        selects = [n for n in query.plan.operators() if isinstance(n, Select)]
+        assert len(selects) == count
+        assert query.attribute_count == count
+        assert query.name == f"sel-{count}"
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            selection_query(0, target_schema("Excel"))
+        with pytest.raises(ValueError):
+            selection_query(len(SELECTION_CONDITIONS) + 1, target_schema("Excel"))
+
+    def test_selection_attributes_helper(self):
+        assert selection_attributes(2) == ["telephone", "invoiceTo"]
+        with pytest.raises(ValueError):
+            selection_attributes(0)
+
+    def test_attributes_exist_in_target_schema(self):
+        schema = target_schema("Excel")
+        for attribute, _ in SELECTION_CONDITIONS:
+            assert schema.relation("PO").has_attribute(attribute)
+
+    def test_smaller_queries_are_prefixes(self):
+        small = selection_query(2, target_schema("Excel"))
+        large = selection_query(4, target_schema("Excel"))
+        small_attrs = {a.qualified for a in small.referenced_attributes}
+        large_attrs = {a.qualified for a in large.referenced_attributes}
+        assert small_attrs <= large_attrs
+
+
+class TestProductQueries:
+    @pytest.mark.parametrize("products", [1, 2, 3])
+    def test_product_count_matches_parameter(self, products):
+        query = product_query(products, target_schema("Excel"))
+        product_nodes = [n for n in query.plan.operators() if isinstance(n, Product)]
+        assert len(product_nodes) == products
+        assert len(query.aliases) == products + 1
+        assert query.name == f"prod-{products}"
+
+    def test_invalid_product_count_rejected(self):
+        with pytest.raises(ValueError):
+            product_query(0, target_schema("Excel"))
+
+    def test_aliases_are_distinct_scans_of_po(self):
+        query = product_query(2, target_schema("Excel"))
+        assert set(query.aliases.values()) == {"PO"}
+        assert set(query.aliases) == {"PO1", "PO2", "PO3"}
+
+    def test_join_conditions_link_consecutive_scans(self):
+        query = product_query(2, target_schema("Excel"))
+        canonical = query.plan.canonical()
+        assert "PO1.orderNum" in canonical
+        assert "PO2.orderNum" in canonical and "PO3.orderNum" in canonical

@@ -1,0 +1,90 @@
+"""Unit tests for the Table III query workload."""
+
+import pytest
+
+from repro.datagen.target_schemas import target_schema
+from repro.relational.algebra import Aggregate, Product, Project, Select
+from repro.workloads.queries import PAPER_QUERIES, paper_queries, paper_query, queries_for_target
+
+
+class TestQueryCatalogue:
+    def test_ten_queries(self):
+        assert len(PAPER_QUERIES) == 10
+        assert [spec.query_id for spec in paper_queries()] == [f"Q{i}" for i in range(1, 11)]
+
+    def test_queries_per_target(self):
+        assert [spec.query_id for spec in queries_for_target("Excel")] == ["Q1", "Q2", "Q3", "Q4", "Q5"]
+        assert [spec.query_id for spec in queries_for_target("Noris")] == ["Q6", "Q7"]
+        assert [spec.query_id for spec in queries_for_target("Paragon")] == ["Q8", "Q9", "Q10"]
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(KeyError):
+            paper_query("Q99", target_schema("Excel"))
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="defined for"):
+            paper_query("Q1", target_schema("Noris"))
+
+    def test_lookup_is_case_insensitive(self):
+        assert paper_query("q1", target_schema("Excel")).name == "Q1"
+
+    @pytest.mark.parametrize("spec", paper_queries(), ids=lambda spec: spec.query_id)
+    def test_every_query_builds_against_its_schema(self, spec):
+        query = spec.build(target_schema(spec.target))
+        assert query.name == spec.query_id
+        assert query.operator_count >= 1
+        assert query.attribute_count >= 1
+
+
+class TestQueryShapes:
+    def test_q1_is_three_stacked_selections(self):
+        query = paper_query("Q1", target_schema("Excel"))
+        kinds = [type(node).__name__ for node in query.plan.operators()]
+        assert kinds == ["Select", "Select", "Select"]
+        assert query.attribute_count == 3
+
+    def test_q2_has_product_and_two_selections(self):
+        query = paper_query("Q2", target_schema("Excel"))
+        kinds = [type(node).__name__ for node in query.plan.operators()]
+        assert kinds.count("Select") == 2
+        assert kinds.count("Product") == 1
+
+    def test_q4_contains_self_joins(self):
+        query = paper_query("Q4", target_schema("Excel"))
+        assert set(query.aliases) == {"PO1", "PO2", "Item1", "Item2"}
+        kinds = [type(node).__name__ for node in query.plan.operators()]
+        assert kinds.count("Product") == 3
+
+    def test_q5_and_q10_are_counts(self):
+        for query_id, target in (("Q5", "Excel"), ("Q10", "Paragon")):
+            query = paper_query(query_id, target_schema(target))
+            assert isinstance(query.plan, Aggregate)
+            assert query.plan.function == "COUNT"
+            assert query.is_aggregate
+
+    def test_q7_projects_two_attributes(self):
+        query = paper_query("Q7", target_schema("Noris"))
+        assert isinstance(query.plan, Project)
+        assert [a.qualified for a in query.output_attributes] == [
+            "Item.itemNum",
+            "Item.unitPrice",
+        ]
+
+    def test_q9_is_sum_over_projection(self):
+        query = paper_query("Q9", target_schema("Paragon"))
+        assert isinstance(query.plan, Aggregate)
+        assert query.plan.function == "SUM"
+        assert isinstance(query.plan.child, Project)
+
+    def test_selection_counts_match_table_iii(self):
+        select_counts = {
+            "Q1": 3,
+            "Q5": 4,
+            "Q6": 3,
+            "Q8": 3,
+        }
+        for query_id, expected in select_counts.items():
+            spec = PAPER_QUERIES[query_id]
+            query = spec.build(target_schema(spec.target))
+            selects = [n for n in query.plan.operators() if isinstance(n, Select)]
+            assert len(selects) == expected, query_id
