@@ -11,7 +11,8 @@ mappings* with probabilities.  It contains:
 * a deterministic purchase-order data generator and ready-made experiment
   scenarios (:mod:`repro.datagen`),
 * the paper's evaluation algorithms — basic, e-basic, e-MQO, q-sharing,
-  o-sharing and probabilistic top-k (:mod:`repro.core`),
+  o-sharing and probabilistic top-k — plus the shared-execution batch API
+  ``evaluate_many`` (:mod:`repro.core`),
 * the paper's query workload and parameterised workload generators
   (:mod:`repro.workloads`), and
 * the benchmark harness regenerating the paper's figures and tables
@@ -32,12 +33,14 @@ Quickstart::
 """
 
 from repro.core import (
+    BatchResult,
     EvaluationResult,
     Evaluator,
     ProbabilisticAnswer,
     SchemaLinks,
     TargetQuery,
     evaluate,
+    evaluate_many,
     evaluate_top_k,
     make_evaluator,
 )
@@ -48,12 +51,14 @@ from repro.relational import Database, Relation
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
     "EvaluationResult",
     "Evaluator",
     "ProbabilisticAnswer",
     "SchemaLinks",
     "TargetQuery",
     "evaluate",
+    "evaluate_many",
     "evaluate_top_k",
     "make_evaluator",
     "MatchingScenario",

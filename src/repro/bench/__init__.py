@@ -13,6 +13,7 @@ from repro.bench.harness import (
     mb_to_scale,
     run_method,
     run_methods,
+    run_workload,
     sweep_database_size,
     sweep_mapping_count,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "mb_to_scale",
     "run_method",
     "run_methods",
+    "run_workload",
     "sweep_database_size",
     "sweep_mapping_count",
     "format_series",

@@ -168,6 +168,43 @@ def run_methods(
     return [run_method(method, query, scenario, x=x, **options) for method in methods]
 
 
+def run_workload(
+    queries: Sequence[TargetQuery],
+    scenario: MatchingScenario,
+    x: Any = None,
+    **options: Any,
+) -> ExperimentPoint:
+    """Run a whole workload through ``evaluate_many`` as one measured point.
+
+    The point's aggregate counters cover the entire workload; the plan-cache
+    snapshot and workload-level details land in ``point.details``.  Seconds
+    are the phase-time sum, the same basis :func:`point_from_result` uses, so
+    batch points are comparable with per-query method points.
+    """
+    from repro.core import evaluate_many
+
+    batch = evaluate_many(
+        queries,
+        scenario.mappings,
+        scenario.database,
+        links=scenario.links,
+        **options,
+    )
+    details = dict(batch.details)
+    details["plan_cache"] = dict(batch.plan_cache)
+    details["operators_saved"] = batch.stats.operators_saved
+    return ExperimentPoint(
+        method="batch",
+        x=x,
+        seconds=batch.total_seconds,
+        source_operators=batch.stats.source_operators,
+        source_queries=batch.stats.source_queries,
+        answers=sum(len(result.answers) for result in batch.results),
+        reformulations=batch.stats.reformulations,
+        details=details,
+    )
+
+
 # --------------------------------------------------------------------------- #
 # parameter sweeps
 # --------------------------------------------------------------------------- #

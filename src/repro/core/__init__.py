@@ -22,8 +22,11 @@ from __future__ import annotations
 from repro.core.answer import ProbabilisticAnswer, RankedAnswer
 from repro.core.evaluators import (
     EVALUATORS,
+    BatchEvaluator,
+    BatchResult,
     EvaluationResult,
     Evaluator,
+    evaluate_many,
     make_evaluator,
 )
 from repro.core.evaluators.topk import TopKEvaluator
@@ -87,6 +90,9 @@ def evaluate_top_k(
 __all__ = [
     "ProbabilisticAnswer",
     "RankedAnswer",
+    "BatchEvaluator",
+    "BatchResult",
+    "evaluate_many",
     "EVALUATORS",
     "EvaluationResult",
     "Evaluator",

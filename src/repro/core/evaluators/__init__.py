@@ -9,6 +9,7 @@ e-mqo      multiple-query optimisation over the distinct queries (III-B.3)
 q-sharing  partition-tree grouping + basic over representatives (IV)
 o-sharing  operator-level sharing over the u-trace (V-VI)
 top-k      bound-pruned top-k on top of o-sharing (VII)
+batch      shared execution across a workload of target queries
 ========== =========================================================
 """
 
@@ -21,6 +22,7 @@ from repro.core.evaluators.base import (
     Evaluator,
 )
 from repro.core.evaluators.basic import BasicEvaluator
+from repro.core.evaluators.batch import BatchEvaluator, BatchResult, evaluate_many
 from repro.core.evaluators.ebasic import EBasicEvaluator, cluster_source_queries
 from repro.core.evaluators.emqo import EMQOEvaluator, MemoizingExecutor, build_global_plan
 from repro.core.evaluators.osharing import OSharingEvaluator
@@ -34,6 +36,7 @@ EVALUATORS = {
     EMQOEvaluator.name: EMQOEvaluator,
     QSharingEvaluator.name: QSharingEvaluator,
     OSharingEvaluator.name: OSharingEvaluator,
+    BatchEvaluator.name: BatchEvaluator,
 }
 
 
@@ -53,6 +56,9 @@ __all__ = [
     "EvaluationResult",
     "Evaluator",
     "BasicEvaluator",
+    "BatchEvaluator",
+    "BatchResult",
+    "evaluate_many",
     "EBasicEvaluator",
     "cluster_source_queries",
     "EMQOEvaluator",

@@ -60,6 +60,8 @@ class EvaluationResult:
             "source_queries": self.stats.source_queries,
             "source_operators": self.stats.source_operators,
             "reformulations": self.stats.reformulations,
+            "plan_cache_hits": self.stats.plan_cache_hits,
+            "operators_saved": self.stats.operators_saved,
             "phase_seconds": dict(self.stats.phase_seconds),
             **self.details,
         }

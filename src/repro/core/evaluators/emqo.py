@@ -13,16 +13,19 @@ quickly with the number of distinct source queries (Figure 10(c)).
 The implementation here reproduces both behaviours:
 
 * plan generation enumerates every subexpression of every distinct source
-  query, compares all cross-query subexpression pairs to find sharing
-  opportunities, and greedily selects materialisation points by estimated
-  benefit — a genuinely quadratic search, which is what makes e-MQO slower
-  than e-basic on large mapping sets;
-* execution uses a memoising executor, so each distinct subexpression is
-  evaluated exactly once and the executed-operator count is minimal.
+  query, compares all subexpression pairs (across queries *and* within one
+  query — self-join branches and union arms repeat subexpressions too) to
+  find sharing opportunities, and greedily selects materialisation points by
+  estimated benefit — a genuinely quadratic search, which is what makes
+  e-MQO slower than e-basic on large mapping sets;
+* execution materialises exactly the subexpressions the global plan selected
+  through a :class:`~repro.relational.plancache.PlanCache`, so each shared
+  subexpression is evaluated once and the executed-operator count is minimal.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.answer import ProbabilisticAnswer
@@ -41,7 +44,12 @@ from repro.matching.mappings import MappingSet
 from repro.relational.algebra import Materialized, PlanNode
 from repro.relational.database import Database
 from repro.relational.executor import Executor
-from repro.relational.relation import Relation
+from repro.relational.plancache import (
+    MaterializeAll,
+    MaterializeSelected,
+    PlanCache,
+    plan_cost,
+)
 from repro.relational.stats import ExecutionStats
 
 
@@ -72,43 +80,76 @@ class GlobalPlan:
         """Number of shared subexpressions selected for materialisation."""
         return len(self.shared)
 
+    def selected_canonicals(self) -> frozenset[str]:
+        """Fingerprints of the subexpressions selected for materialisation."""
+        return frozenset(expression.canonical for expression in self.shared)
 
-def build_global_plan(queries: list[PlanNode]) -> GlobalPlan:
-    """Identify the common subexpressions of a set of source query plans.
+    def materialization_policy(self) -> MaterializeSelected:
+        """The executor policy that materialises exactly the selected set."""
+        return MaterializeSelected(self.selected_canonicals())
 
-    The search follows the classical MQO recipe: enumerate candidate
-    subexpressions per query, compare candidates across every pair of queries
-    to confirm sharing, and greedily keep the candidates with the highest
-    benefit.  The pairwise confirmation step is intentionally retained — it is
-    the cost that makes e-MQO's planning phase expensive.
+
+def _plan_signatures(queries: list[PlanNode]) -> list[list[tuple[str, int]]]:
+    """Per query, the (fingerprint, operator cost) of every candidate node.
+
+    Every non-:class:`Materialized` node — scans included, since the executor
+    counts scans as operators too — is a candidate materialisation point.
     """
     per_query: list[list[tuple[str, int]]] = []
     for plan in queries:
         signatures = []
         for node in plan.walk():
-            if node.children():
-                signatures.append((node.canonical(), len(node.operators())))
+            if not isinstance(node, Materialized):
+                signatures.append((node.canonical(), plan_cost(node)))
         per_query.append(signatures)
+    return per_query
+
+
+def build_global_plan(queries: list[PlanNode], exhaustive: bool = True) -> GlobalPlan:
+    """Identify the common subexpressions of a set of source query plans.
+
+    The search follows the classical MQO recipe: enumerate candidate
+    subexpressions per query, compare candidate pairs to confirm sharing, and
+    greedily keep the candidates with the highest benefit.  Pairs are drawn
+    across queries *and* within a single query, so a subexpression repeated
+    inside one source query (self-join branches, union arms) is shared too.
+
+    With ``exhaustive=True`` (e-MQO's faithful mode) the pairwise
+    confirmation step is retained — it is the cost that makes e-MQO's
+    planning phase expensive.  ``exhaustive=False`` computes the same shared
+    set in linear time via occurrence counting; the batch serving engine uses
+    it to keep planning cheap over large workloads.
+    """
+    per_query = _plan_signatures(queries)
 
     occurrences: dict[str, int] = {}
     operator_counts: dict[str, int] = {}
     comparisons = 0
-    for i, left in enumerate(per_query):
-        for j, right in enumerate(per_query):
-            if i >= j:
-                continue
-            for left_canonical, left_size in left:
-                for right_canonical, right_size in right:
-                    comparisons += 1
-                    if left_canonical == right_canonical:
-                        occurrences.setdefault(left_canonical, 1)
-                        operator_counts[left_canonical] = left_size
-    # Count exact occurrences of each confirmed-shared subexpression.
-    for canonical in occurrences:
-        total = 0
+    if exhaustive:
+        for i, left in enumerate(per_query):
+            for j in range(i, len(per_query)):
+                right = per_query[j]
+                for k, (left_canonical, left_size) in enumerate(left):
+                    for l, (right_canonical, _) in enumerate(right):
+                        if i == j and l <= k:
+                            continue
+                        comparisons += 1
+                        if left_canonical == right_canonical:
+                            occurrences.setdefault(left_canonical, 1)
+                            operator_counts[left_canonical] = left_size
+        # Count exact occurrences of each confirmed-shared subexpression.
+        for canonical in occurrences:
+            total = 0
+            for signatures in per_query:
+                total += sum(1 for candidate, _ in signatures if candidate == canonical)
+            occurrences[canonical] = total
+    else:
+        totals: Counter = Counter()
         for signatures in per_query:
-            total += sum(1 for candidate, _ in signatures if candidate == canonical)
-        occurrences[canonical] = total
+            for canonical, size in signatures:
+                totals[canonical] += 1
+                operator_counts.setdefault(canonical, size)
+        occurrences = {canonical: n for canonical, n in totals.items() if n > 1}
 
     shared = sorted(
         (
@@ -129,28 +170,20 @@ class MemoizingExecutor(Executor):
     """An executor that evaluates each distinct subexpression only once.
 
     Results are cached by canonical plan fingerprint; cache hits execute no
-    operator, which is what gives e-MQO its minimal operator count.
+    operator.  Kept as the blind-memoisation baseline: e-MQO proper now
+    materialises only what its global plan selected, which executes the same
+    operator count without caching results that can never be reused.
     """
 
     def __init__(self, database: Database, stats: ExecutionStats | None = None):
-        super().__init__(database, stats)
-        self._cache: dict[str, Relation] = {}
-
-    def _evaluate(self, node: PlanNode) -> Relation:
-        if isinstance(node, Materialized):
-            return node.relation
-        key = node.canonical()
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        result = super()._evaluate(node)
-        self._cache[key] = result
-        return result
+        super().__init__(
+            database, stats, cache=PlanCache(maxsize=None), policy=MaterializeAll()
+        )
 
     @property
     def cache_size(self) -> int:
         """Number of distinct subexpressions evaluated so far."""
-        return len(self._cache)
+        return len(self.cache)
 
 
 class EMQOEvaluator(Evaluator):
@@ -176,8 +209,10 @@ class EMQOEvaluator(Evaluator):
 
         with stats.phase(PHASE_PLANNING):
             global_plan = build_global_plan([entry.plan for entry in distinct])
+            policy = global_plan.materialization_policy()
+            cache = PlanCache(maxsize=max(1, global_plan.materialisation_points))
 
-        executor = MemoizingExecutor(database, stats)
+        executor = Executor(database, stats, cache=cache, policy=policy)
         for source_query in distinct:
             with stats.phase(PHASE_EVALUATION):
                 result = executor.execute_query(source_query.plan)
@@ -195,4 +230,7 @@ class EMQOEvaluator(Evaluator):
             distinct_source_queries=len(distinct),
             shared_subexpressions=global_plan.materialisation_points,
             plan_comparisons=global_plan.comparisons,
+            plan_cache_hits=stats.plan_cache_hits,
+            plan_cache_misses=stats.plan_cache_misses,
+            operators_saved=stats.operators_saved,
         )

@@ -17,6 +17,8 @@ queries* over a *source instance*:
   with operator and row counters (:mod:`repro.relational.stats`).
 * :mod:`repro.relational.indexes` — hash indexes used to accelerate equality
   selections on base relations.
+* :mod:`repro.relational.plancache` — bounded plan-result cache and
+  materialization policies powering shared (multi-query) execution.
 * :mod:`repro.relational.csvio` — simple CSV persistence.
 """
 
@@ -33,6 +35,14 @@ from repro.relational.algebra import (
 )
 from repro.relational.database import Database
 from repro.relational.executor import Executor
+from repro.relational.plancache import (
+    MaterializationPolicy,
+    MaterializeAll,
+    MaterializeNone,
+    MaterializeSelected,
+    PlanCache,
+    PlanCacheStats,
+)
 from repro.relational.predicates import (
     And,
     Between,
@@ -65,6 +75,12 @@ __all__ = [
     "Union",
     "Database",
     "Executor",
+    "MaterializationPolicy",
+    "MaterializeAll",
+    "MaterializeNone",
+    "MaterializeSelected",
+    "PlanCache",
+    "PlanCacheStats",
     "And",
     "Between",
     "Comparison",

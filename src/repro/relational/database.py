@@ -47,7 +47,15 @@ class Database:
                 f"relation {name!r} expects {len(expected)} columns, got {len(relation.columns)}"
             )
         self._relations[name] = relation
+        # Invalidates stale indexes and, through the catalog's listener
+        # chain, any attached caches (e.g. a PlanCache) that depend on the
+        # mutated relation.
         self._indexes.invalidate(name)
+
+    @property
+    def index_catalog(self) -> IndexCatalog:
+        """The database's lazy hash-index cache."""
+        return self._indexes
 
     def relation(self, name: str) -> Relation:
         """The stored relation called ``name``."""

@@ -36,6 +36,7 @@ from repro.relational.algebra import (
 )
 from repro.relational.database import Database
 from repro.relational.expressions import ColumnRef, Literal
+from repro.relational.plancache import MaterializationPolicy, MaterializeAll, PlanCache
 from repro.relational.predicates import Comparison, Predicate, conjunction
 from repro.relational.relation import Relation
 from repro.relational.stats import ExecutionStats
@@ -43,11 +44,30 @@ from repro.relational.types import _try_parse_number
 
 
 class Executor:
-    """Evaluates relational-algebra plans against a database."""
+    """Evaluates relational-algebra plans against a database.
 
-    def __init__(self, database: Database, stats: ExecutionStats | None = None):
+    When a :class:`~repro.relational.plancache.PlanCache` is supplied, the
+    executor consults a materialization policy at every node: nodes the
+    policy selects are answered from the cache when possible (recording a
+    plan-cache hit and the operators saved in :class:`ExecutionStats`) and
+    stored after execution otherwise.  This is how e-MQO's global plan and
+    the batch serving API share work across source queries; without a cache
+    the executor behaves exactly as before.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        stats: ExecutionStats | None = None,
+        cache: PlanCache | None = None,
+        policy: MaterializationPolicy | None = None,
+    ):
         self.database = database
         self.stats = stats if stats is not None else ExecutionStats()
+        self.cache = cache
+        if policy is None and cache is not None:
+            policy = MaterializeAll()
+        self.policy = policy
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanNode) -> Relation:
@@ -64,6 +84,21 @@ class Executor:
     def _evaluate(self, node: PlanNode) -> Relation:
         if isinstance(node, Materialized):
             return node.relation
+        if self.cache is None or self.policy is None:
+            return self._dispatch(node)
+        key = self.policy.cache_key(node)
+        if key is None:
+            return self._dispatch(node)
+        entry = self.cache.get(key, self.database)
+        if entry is not None:
+            self.stats.count_cache_hit(entry.operator_count)
+            return entry.relation
+        self.stats.count_cache_miss()
+        result = self._dispatch(node)
+        self.cache.put(key, node, result, self.database)
+        return result
+
+    def _dispatch(self, node: PlanNode) -> Relation:
         if isinstance(node, Scan):
             return self._evaluate_scan(node)
         if isinstance(node, Select):
@@ -107,19 +142,32 @@ class Executor:
         if not (isinstance(predicate.left, ColumnRef) and isinstance(predicate.right, Literal)):
             return None
         scan = node.child
-        aliased = self.database.scan(scan.relation, scan.alias)
         try:
-            position = aliased.resolve(predicate.left.name, predicate.left.qualifier)
+            base = self.database.relation(scan.relation)
         except KeyError:
             return None
-        attribute = aliased.columns[position].split(".", 1)[-1]
+        ref = predicate.left
+        if ref.qualifier is not None and ref.qualifier != scan.label:
+            return None
+        try:
+            position = base.resolve(ref.name)
+        except KeyError:
+            return None
+        attribute = base.columns[position].split(".", 1)[-1]
         index = self.database.index(scan.relation, attribute)
         rows = self._index_lookup(index, predicate.right.value)
+        if scan.alias is None or scan.alias == base.name:
+            columns, name = base.columns, base.name
+        else:
+            columns = [f"{scan.alias}.{label.split('.', 1)[-1]}" for label in base.columns]
+            name = scan.alias
         # The scan itself is implicit in an index lookup; record both operators
-        # so that operator counts are comparable with the non-indexed path.
+        # so that operator counts stay comparable with the non-indexed path.
+        # The selection's input cardinality is the base relation it logically
+        # filters, not the post-filter row count.
         self.stats.count_operator("Scan", rows_in=0, rows_out=0)
-        self.stats.count_operator("Select", rows_in=len(rows), rows_out=len(rows))
-        return Relation(aliased.columns, rows, name=aliased.name)
+        self.stats.count_operator("Select", rows_in=len(base), rows_out=len(rows))
+        return Relation(columns, rows, name=name)
 
     @staticmethod
     def _index_lookup(index: Any, value: Any) -> list[tuple]:

@@ -10,7 +10,7 @@ scan.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 from repro.relational.relation import Relation
 
@@ -45,27 +45,58 @@ class HashIndex:
 
 
 class IndexCatalog:
-    """Lazy cache of :class:`HashIndex` objects keyed by (relation name, column)."""
+    """Lazy cache of :class:`HashIndex` objects keyed by (relation name, column).
+
+    A cached index is reused as long as the relation *data* is unchanged: the
+    cache entry records the :attr:`Relation.version` token it was built from,
+    so passing a fresh aliased/prefixed view of the same rows (which shares
+    the token) hits the cache instead of rebuilding.  :attr:`builds` counts
+    the indexes actually constructed, which regression tests and benchmarks
+    use to assert that repeated indexed selects build exactly once.
+    """
 
     def __init__(self) -> None:
-        self._indexes: dict[tuple[str, str], HashIndex] = {}
+        self._indexes: dict[tuple[str, str], tuple[HashIndex, int]] = {}
+        self._listeners: list[Callable[[str | None], None]] = []
+        #: number of hash indexes physically built since creation
+        self.builds: int = 0
 
     def get(self, relation: Relation, relation_name: str, column: str) -> HashIndex:
         """Return (building if needed) the index on ``relation_name.column``."""
         key = (relation_name, column)
-        index = self._indexes.get(key)
-        if index is None or index.relation is not relation:
-            index = HashIndex(relation, column)
-            self._indexes[key] = index
+        entry = self._indexes.get(key)
+        if entry is not None:
+            index, version = entry
+            if version == relation.version:
+                return index
+        index = HashIndex(relation, column)
+        self.builds += 1
+        self._indexes[key] = (index, relation.version)
         return index
 
     def invalidate(self, relation_name: str | None = None) -> None:
-        """Drop cached indexes (all of them, or only one relation's)."""
+        """Drop cached indexes (all of them, or only one relation's).
+
+        Registered invalidation listeners (e.g. a
+        :class:`~repro.relational.plancache.PlanCache`) are notified with the
+        relation name (``None`` meaning "everything").
+        """
         if relation_name is None:
             self._indexes.clear()
-            return
-        for key in [key for key in self._indexes if key[0] == relation_name]:
-            del self._indexes[key]
+        else:
+            for key in [key for key in self._indexes if key[0] == relation_name]:
+                del self._indexes[key]
+        for listener in list(self._listeners):
+            listener(relation_name)
+
+    def add_invalidation_listener(self, listener: Callable[[str | None], None]) -> None:
+        """Call ``listener(relation_name)`` whenever indexes are invalidated."""
+        self._listeners.append(listener)
+
+    def remove_invalidation_listener(self, listener: Callable[[str | None], None]) -> None:
+        """Detach a previously registered invalidation listener."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     def __len__(self) -> int:
         return len(self._indexes)

@@ -1,0 +1,275 @@
+"""Plan-result cache and materialization policies for shared execution.
+
+This is the machinery that turns the e-MQO *global plan* (and the batch
+serving API) into actual shared work: a :class:`PlanCache` maps the canonical
+fingerprint of a sub-plan to its already-computed result
+:class:`~repro.relational.relation.Relation`, and a
+:class:`MaterializationPolicy` decides *which* sub-plans the executor should
+look up and store — the classical MQO materialisation choice of Roy et al. /
+Zhou et al., rather than blind memoisation of every node.
+
+The cache is bounded (LRU), keeps hit/miss/eviction statistics, and stays
+correct under data changes: every entry records which base relations its plan
+scans, and invalidation hooks tied to
+:meth:`~repro.relational.database.Database.set_relation` and
+:meth:`~repro.relational.indexes.IndexCatalog.invalidate` drop exactly the
+entries that depend on a mutated relation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.relational.algebra import Materialized, PlanNode, Scan
+from repro.relational.relation import Relation
+
+
+@dataclass
+class PlanCacheStats:
+    """Counters describing how effective a :class:`PlanCache` has been."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    #: operators that cache hits avoided executing
+    operators_saved: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of probes answered from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot for reports and benchmark tables."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "operators_saved": self.operators_saved,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class CachedPlan:
+    """One cache entry: a sub-plan's result plus its bookkeeping."""
+
+    key: str
+    relation: Relation
+    #: number of operators executing the plan would cost (the saving per hit)
+    operator_count: int
+    #: names of the base relations the plan scans (invalidation dependencies)
+    dependencies: frozenset[str] = field(default_factory=frozenset)
+    #: data-version token of each dependency at store time (staleness check)
+    dependency_versions: dict[str, int] = field(default_factory=dict)
+
+
+def plan_cost(node: PlanNode) -> int:
+    """Operators the executor would count to evaluate ``node`` from scratch.
+
+    Every non-:class:`Materialized` node is counted once — this matches
+    :class:`~repro.relational.executor.Executor`, which records scans as
+    operators too.
+    """
+    return sum(1 for child in node.walk() if not isinstance(child, Materialized))
+
+
+def plan_dependencies(node: PlanNode) -> frozenset[str]:
+    """Names of the base relations ``node`` reads (its invalidation keys)."""
+    return frozenset(
+        child.relation for child in node.walk() if isinstance(child, Scan)
+    )
+
+
+class PlanCache:
+    """Bounded LRU cache of sub-plan results keyed by canonical fingerprint.
+
+    ``maxsize=None`` disables the bound (used by the legacy memoizing
+    executor); any other value evicts the least recently used entry once the
+    cache is full.  Call :meth:`attach` to subscribe the cache to a
+    database's mutation events so that stale entries can never be served.
+    """
+
+    def __init__(self, maxsize: int | None = 1024):
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive (or None for unbounded)")
+        self.maxsize = maxsize
+        self.stats = PlanCacheStats()
+        self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
+        self._attached: list = []
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, key: str, database=None) -> CachedPlan | None:
+        """The cached entry for ``key`` (recording a hit or miss).
+
+        With a ``database``, the entry's recorded dependency versions are
+        checked against the stored relations' current
+        :attr:`~repro.relational.relation.Relation.version` tokens; a stale
+        entry (e.g. after an in-place ``Relation.append``, which fires no
+        mutation hook) is dropped and reported as a miss.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if database is not None and not self._fresh(entry, database):
+            del self._entries[key]
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.operators_saved += entry.operator_count
+        return entry
+
+    @staticmethod
+    def _fresh(entry: CachedPlan, database) -> bool:
+        for name, version in entry.dependency_versions.items():
+            try:
+                if database.relation(name).version != version:
+                    return False
+            except KeyError:
+                return False
+        return True
+
+    def put(self, key: str, node: PlanNode, relation: Relation, database=None) -> CachedPlan:
+        """Store the result of ``node`` under ``key`` (evicting LRU if full).
+
+        With a ``database``, the current version token of every scanned base
+        relation is recorded so :meth:`get` can detect staleness.
+        """
+        dependencies = plan_dependencies(node)
+        versions: dict[str, int] = {}
+        if database is not None:
+            for name in dependencies:
+                try:
+                    versions[name] = database.relation(name).version
+                except KeyError:
+                    pass
+        entry = CachedPlan(
+            key=key,
+            relation=relation,
+            operator_count=plan_cost(node),
+            dependencies=dependencies,
+            dependency_versions=versions,
+        )
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return entry
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate(self, relation_name: str | None = None) -> int:
+        """Drop entries depending on ``relation_name`` (all entries if None).
+
+        Returns the number of entries dropped.
+        """
+        if relation_name is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [
+                key
+                for key, entry in self._entries.items()
+                if relation_name in entry.dependencies
+            ]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        self.stats.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry and reset nothing else (stats are kept)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+    # database hooks
+    # ------------------------------------------------------------------ #
+    def attach(self, database) -> None:
+        """Subscribe to ``database`` so mutations invalidate dependent entries.
+
+        The hook is the database's :meth:`IndexCatalog.invalidate` listener
+        chain, which both :meth:`Database.set_relation` (every data change
+        routes through it) and direct
+        ``database.index_catalog.invalidate(...)`` calls trigger.
+        """
+        database.index_catalog.add_invalidation_listener(self.invalidate)
+        self._attached.append(database)
+
+    def detach(self, database) -> None:
+        """Undo :meth:`attach`."""
+        database.index_catalog.remove_invalidation_listener(self.invalidate)
+        if database in self._attached:
+            self._attached.remove(database)
+
+
+# --------------------------------------------------------------------------- #
+# materialization policies
+# --------------------------------------------------------------------------- #
+class MaterializationPolicy:
+    """Decides which sub-plans the executor materialises through the cache.
+
+    ``cache_key(node)`` returns the cache key to use for ``node`` or ``None``
+    when the node should be executed directly (no lookup, no store).
+    """
+
+    def cache_key(self, node: PlanNode) -> str | None:
+        raise NotImplementedError
+
+
+class MaterializeAll(MaterializationPolicy):
+    """Blind memoisation: every sub-plan is cached (legacy e-MQO executor)."""
+
+    def cache_key(self, node: PlanNode) -> str | None:
+        return node.canonical()
+
+
+class MaterializeSelected(MaterializationPolicy):
+    """Materialise only the sub-plans a global plan selected for sharing.
+
+    This is the policy e-MQO and the batch engine use: the MQO planner
+    identifies the shared subexpressions (benefit-ordered), and only those
+    are looked up and stored — everything else executes directly without
+    paying fingerprinting or cache-management costs for results that could
+    never be reused.
+    """
+
+    def __init__(self, selected: frozenset[str] | set[str]):
+        self.selected = frozenset(selected)
+
+    def cache_key(self, node: PlanNode) -> str | None:
+        key = node.canonical()
+        return key if key in self.selected else None
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+
+class MaterializeNone(MaterializationPolicy):
+    """Never materialise (plain executor behaviour, useful as a baseline)."""
+
+    def cache_key(self, node: PlanNode) -> str | None:
+        return None

@@ -10,17 +10,21 @@ already covers the source attributes an operator needs.
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.relational.schema import RelationSchema
 
 Row = tuple
 
+#: Monotonic source of data-version tokens (see :attr:`Relation.version`).
+_DATA_VERSIONS = itertools.count(1)
+
 
 class Relation:
     """An ordered bag of rows over a fixed list of column labels."""
 
-    __slots__ = ("columns", "rows", "name", "_column_positions")
+    __slots__ = ("columns", "rows", "name", "version", "_column_positions")
 
     def __init__(
         self,
@@ -38,6 +42,10 @@ class Relation:
                     f"row width {len(row)} does not match column count {len(self.columns)}"
                 )
         self.name = name
+        #: Data-version token: changes on every mutation, and is shared by
+        #: derived relations that hold the *same* rows (``prefixed``,
+        #: ``rename``), so caches keyed on it survive relabelling.
+        self.version = next(_DATA_VERSIONS)
         self._column_positions = {label: i for i, label in enumerate(self.columns)}
 
     # ------------------------------------------------------------------ #
@@ -109,12 +117,16 @@ class Relation:
     def rename(self, renaming: dict[str, str]) -> "Relation":
         """Return a relation with columns renamed per ``renaming`` (missing keys kept)."""
         columns = [renaming.get(label, label) for label in self.columns]
-        return Relation(columns, self.rows, name=self.name)
+        view = Relation(columns, self.rows, name=self.name)
+        view.version = self.version
+        return view
 
     def prefixed(self, prefix: str) -> "Relation":
         """Return a copy whose column labels are requalified with ``prefix``."""
         columns = [f"{prefix}.{label.split('.', 1)[-1]}" for label in self.columns]
-        return Relation(columns, self.rows, name=prefix)
+        view = Relation(columns, self.rows, name=prefix)
+        view.version = self.version
+        return view
 
     # ------------------------------------------------------------------ #
     # row handling
@@ -127,6 +139,7 @@ class Relation:
                 f"row width {len(row)} does not match column count {len(self.columns)}"
             )
         self.rows.append(row)
+        self.version = next(_DATA_VERSIONS)
 
     def extend(self, rows: Iterable[Sequence[Any]]) -> None:
         """Append many rows."""

@@ -37,6 +37,12 @@ class ExecutionStats:
     rows_scanned: int = 0
     #: rows produced by the root operators of executed plans
     rows_output: int = 0
+    #: plan-cache hits: shared subexpressions answered without execution
+    plan_cache_hits: int = 0
+    #: plan-cache misses: subexpressions the cache had to execute and store
+    plan_cache_misses: int = 0
+    #: operators *not* executed thanks to plan-cache hits (the MQO saving)
+    operators_saved: int = 0
     #: per-phase wall-clock seconds
     phase_seconds: dict = field(default_factory=dict)
 
@@ -59,6 +65,15 @@ class ExecutionStats:
     def count_partitions(self, amount: int) -> None:
         """Record mapping partitions produced."""
         self.partitions_created += amount
+
+    def count_cache_hit(self, operators_saved: int = 0) -> None:
+        """Record a plan-cache hit and the operators it avoided executing."""
+        self.plan_cache_hits += 1
+        self.operators_saved += operators_saved
+
+    def count_cache_miss(self) -> None:
+        """Record a plan-cache miss (the subexpression had to be executed)."""
+        self.plan_cache_misses += 1
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -90,6 +105,9 @@ class ExecutionStats:
         self.partitions_created += other.partitions_created
         self.rows_scanned += other.rows_scanned
         self.rows_output += other.rows_output
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_misses += other.plan_cache_misses
+        self.operators_saved += other.operators_saved
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
@@ -103,6 +121,9 @@ class ExecutionStats:
             "partitions_created": self.partitions_created,
             "rows_scanned": self.rows_scanned,
             "rows_output": self.rows_output,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "operators_saved": self.operators_saved,
             "phase_seconds": dict(self.phase_seconds),
         }
 

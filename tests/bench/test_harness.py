@@ -10,6 +10,7 @@ from repro.bench.harness import (
     point_from_result,
     run_method,
     run_methods,
+    run_workload,
     sweep_mapping_count,
     sweep_queries,
 )
@@ -117,6 +118,17 @@ class TestRunners:
         query = paper_query("Q1", excel_scenario.target_schema)
         point = run_method("e-basic", query, excel_scenario)
         assert point.reformulations == excel_scenario.h
+
+    def test_run_workload_measures_batch_point(self, excel_scenario):
+        queries = [
+            paper_query(qid, excel_scenario.target_schema) for qid in ("Q1", "Q2", "Q1")
+        ]
+        point = run_workload(queries, excel_scenario, x="workload")
+        assert point.method == "batch"
+        assert point.source_queries > 0
+        assert point.details["queries"] == 3
+        assert point.details["distinct_target_queries"] == 2
+        assert "plan_cache" in point.details
 
     def test_default_methods_constant(self):
         assert DEFAULT_METHODS == ("e-basic", "q-sharing", "o-sharing")

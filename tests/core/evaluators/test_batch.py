@@ -1,0 +1,138 @@
+"""Unit and equivalence tests for the batch (workload) evaluator."""
+
+import pytest
+
+from repro.core import evaluate, evaluate_many, make_evaluator
+from repro.core.evaluators.batch import BatchEvaluator
+from repro.workloads import paper_query
+
+
+@pytest.fixture(scope="module")
+def workload(excel_scenario):
+    """A serving-style workload: the Excel queries, each repeated."""
+    ids = ["Q1", "Q2", "Q3", "Q1", "Q4", "Q2", "Q5", "Q1"]
+    return [paper_query(qid, excel_scenario.target_schema) for qid in ids]
+
+
+@pytest.fixture(scope="module")
+def batch_result(excel_scenario, workload):
+    return evaluate_many(
+        workload,
+        excel_scenario.mappings,
+        excel_scenario.database,
+        links=excel_scenario.links,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("method", ["basic", "e-basic", "e-mqo"])
+    def test_answers_match_per_query_evaluation(
+        self, excel_scenario, workload, batch_result, method
+    ):
+        for query, result in zip(workload, batch_result.results):
+            reference = evaluate(
+                query,
+                excel_scenario.mappings,
+                excel_scenario.database,
+                method=method,
+                links=excel_scenario.links,
+            )
+            assert reference.answers.equals(result.answers), (
+                f"{method} disagrees on {query.name}: "
+                f"{reference.answers.difference(result.answers)}"
+            )
+
+    def test_single_query_entry_point(self, excel_scenario):
+        query = paper_query("Q2", excel_scenario.target_schema)
+        evaluator = BatchEvaluator(links=excel_scenario.links)
+        result = evaluator.evaluate(
+            query, excel_scenario.mappings, excel_scenario.database
+        )
+        reference = evaluate(
+            query,
+            excel_scenario.mappings,
+            excel_scenario.database,
+            method="e-basic",
+            links=excel_scenario.links,
+        )
+        assert reference.answers.equals(result.answers)
+
+    def test_registered_in_evaluator_registry(self, excel_scenario):
+        evaluator = make_evaluator("batch", links=excel_scenario.links)
+        assert isinstance(evaluator, BatchEvaluator)
+
+
+class TestSharing:
+    def test_fewer_operators_than_independent_emqo(
+        self, excel_scenario, workload, batch_result
+    ):
+        independent = sum(
+            evaluate(
+                query,
+                excel_scenario.mappings,
+                excel_scenario.database,
+                method="e-mqo",
+                links=excel_scenario.links,
+            ).stats.source_operators
+            for query in workload
+        )
+        assert batch_result.source_operators < independent
+
+    def test_repeated_queries_are_full_cache_hits(self, batch_result):
+        # Q1 appears three times; the repeats execute zero operators.
+        q1_results = [r for r in batch_result.results if r.query.name == "Q1"]
+        assert len(q1_results) == 3
+        assert q1_results[1].stats.source_operators == 0
+        assert q1_results[2].stats.source_operators == 0
+        assert q1_results[1].stats.plan_cache_hits > 0
+
+    def test_reformulation_amortised_across_repeats(
+        self, excel_scenario, workload, batch_result
+    ):
+        # Eight workload queries but only five distinct: clustering runs five
+        # times, so total reformulations are 5*h rather than 8*h.
+        assert batch_result.details["distinct_target_queries"] == 5
+        assert batch_result.stats.reformulations == 5 * excel_scenario.h
+
+    def test_cache_statistics_reported(self, batch_result):
+        assert batch_result.plan_cache["hits"] > 0
+        assert batch_result.stats.plan_cache_hits == batch_result.plan_cache["hits"]
+        assert batch_result.stats.operators_saved > 0
+        summary = batch_result.summary()
+        assert summary["queries"] == 8
+        assert summary["plan_cache_hits"] == batch_result.plan_cache["hits"]
+
+    def test_exhaustive_planning_selects_same_sharing(self, excel_scenario, workload):
+        exhaustive = evaluate_many(
+            workload,
+            excel_scenario.mappings,
+            excel_scenario.database,
+            links=excel_scenario.links,
+            exhaustive_planning=True,
+        )
+        fast = evaluate_many(
+            workload,
+            excel_scenario.mappings,
+            excel_scenario.database,
+            links=excel_scenario.links,
+        )
+        assert exhaustive.source_operators == fast.source_operators
+        assert (
+            exhaustive.details["shared_subexpressions"]
+            == fast.details["shared_subexpressions"]
+        )
+        assert exhaustive.details["plan_comparisons"] > 0
+        assert fast.details["plan_comparisons"] == 0
+
+
+class TestInvalidation:
+    def test_cache_detached_after_evaluate_many(self, excel_scenario, workload):
+        database = excel_scenario.database
+        before = len(database.index_catalog._listeners)
+        evaluate_many(
+            workload,
+            excel_scenario.mappings,
+            database,
+            links=excel_scenario.links,
+        )
+        assert len(database.index_catalog._listeners) == before

@@ -62,6 +62,36 @@ class TestScanAndSelect:
         assert {row[1] for row in result} == {"ann", "bob"}
         assert stats.operators["Select"] == 1
 
+    def test_indexed_select_records_true_input_cardinality(self, database):
+        # Regression: the indexed path used to record the selection with
+        # rows_in equal to the *post-filter* row count, making row counters
+        # incomparable with the non-indexed path.  The selection logically
+        # filters the whole base relation (4 emp rows).
+        stats = ExecutionStats()
+        execute(Select(Scan("emp"), Equals(col("emp.dept"), 10)), database, stats)
+        assert stats.rows_scanned == 4
+        assert stats.rows_output == 2
+
+    def test_indexed_select_does_not_copy_base_relation(self, database):
+        # Regression: the indexed path used to materialise the aliased base
+        # relation via database.scan just to resolve one column.  The column
+        # now resolves against the stored relation, so an aliased indexed
+        # select must not pay an O(N) relabelling copy; observable proxy: the
+        # index is built once and the result carries the aliased labels.
+        plan = Select(Scan("emp", alias="e9"), Equals(col("e9.dept"), 10))
+        result = execute(plan, database)
+        assert result.columns[0] == "e9.id"
+        assert result.name == "e9"
+        assert len(result) == 2
+        assert database.index_catalog.builds == 1
+
+    def test_indexed_select_alias_mismatched_qualifier_falls_back(self, database):
+        # A qualifier naming the base relation while the scan is aliased is
+        # not resolvable on the indexed path; the generic path must answer.
+        plan = Select(Scan("emp", alias="e1"), Equals(col("emp.dept"), 20))
+        with pytest.raises(KeyError):
+            execute(plan, database)
+
     def test_indexed_select_with_string_literal_for_int_column(self, database):
         result = execute(Select(Scan("emp"), Equals(col("emp.id"), "3")), database)
         assert len(result) == 1

@@ -45,6 +45,42 @@ class TestIndexCatalog:
         second = catalog.get(relation(), "r", "r.a")
         assert first is not second
 
+    def test_fresh_view_of_same_data_hits_cache(self):
+        # Regression: a fresh aliased view of unchanged data used to force a
+        # rebuild (the cache compared object identity).  Views created by
+        # prefixed()/rename() share the data-version token, so repeated
+        # indexed selects build exactly one index.
+        catalog = IndexCatalog()
+        rel = relation()
+        first = catalog.get(rel, "r", "r.a")
+        view = rel.prefixed("r")
+        assert view is not rel
+        second = catalog.get(view, "r", "r.a")
+        assert first is second
+        assert catalog.builds == 1
+
+    def test_mutation_forces_rebuild(self):
+        catalog = IndexCatalog()
+        rel = relation()
+        first = catalog.get(rel, "r", "r.a")
+        rel.append((5, "w"))
+        second = catalog.get(rel, "r", "r.a")
+        assert first is not second
+        assert second.lookup(5) == [3]
+        assert catalog.builds == 2
+
+    def test_invalidation_listener_notified(self):
+        catalog = IndexCatalog()
+        seen = []
+        catalog.add_invalidation_listener(seen.append)
+        catalog.get(relation(), "r", "r.a")
+        catalog.invalidate("r")
+        catalog.invalidate()
+        assert seen == ["r", None]
+        catalog.remove_invalidation_listener(seen.append)
+        catalog.invalidate()
+        assert seen == ["r", None]
+
     def test_invalidate_single_relation(self):
         catalog = IndexCatalog()
         rel = relation()
