@@ -1,0 +1,106 @@
+"""Columnar vs row engine on a small Figure 11(b) workload (CI smoke).
+
+The columnar batch engine is the default; this benchmark is the guard rail
+behind that choice.  It runs the Figure 11(b) setting (Q4 over the Excel
+scenario) scaled down to CI size, on both execution engines, and fails when
+
+* the columnar engine is not faster than the row engine, or
+* the two engines do not return *byte-identical* probabilistic answers
+  (exact float equality, not just tolerance-equality — the engines execute
+  the same operators in the same order, so even the float accumulation order
+  must match).
+
+``benchmarks/results/engine_columnar.txt`` records the measured table; the
+full-size sweep numbers live in ``benchmarks/results/engine_speedup.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.reporting import format_table
+from repro.core import evaluate
+from repro.datagen.scenario import build_scenario
+from repro.relational.executor import ENGINES
+from repro.workloads.queries import PAPER_QUERIES
+
+SMOKE_METHODS = ("e-basic", "o-sharing")
+SMOKE_H = 30
+SMOKE_SCALE = 0.02
+ROUNDS = 3
+
+
+def _measure(method, engine, query, scenario):
+    best, result = None, None
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        result = evaluate(
+            query,
+            scenario.mappings,
+            scenario.database,
+            method=method,
+            links=scenario.links,
+            engine=engine,
+        )
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def test_columnar_engine_beats_row_engine(benchmark, report_writer):
+    scenario = build_scenario(target="Excel", h=SMOKE_H, scale=SMOKE_SCALE, seed=7)
+    query = PAPER_QUERIES["Q4"].build(scenario.target_schema)
+
+    rows = []
+    for method in SMOKE_METHODS:
+        timings = {}
+        results = {}
+        for engine in ENGINES:
+            timings[engine], results[engine] = _measure(method, engine, query, scenario)
+
+        # Byte-identical answers: same tuples, exactly the same floats.
+        assert dict(results["row"].answers.items()) == dict(
+            results["columnar"].answers.items()
+        ), f"{method}: engines disagree on answer probabilities"
+        assert (
+            results["row"].answers.empty_probability
+            == results["columnar"].answers.empty_probability
+        )
+        # Identical work accounting on both engines.
+        assert (
+            results["row"].stats.snapshot()["operators"]
+            == results["columnar"].stats.snapshot()["operators"]
+        )
+        assert results["row"].stats.rows_scanned == results["columnar"].stats.rows_scanned
+        assert results["row"].stats.rows_output == results["columnar"].stats.rows_output
+
+        speedup = timings["row"] / timings["columnar"]
+        rows.append([method, timings["row"], timings["columnar"], speedup])
+        assert timings["columnar"] < timings["row"], (
+            f"{method}: columnar engine ({timings['columnar']:.3f}s) is not faster "
+            f"than the row engine ({timings['row']:.3f}s)"
+        )
+
+    table = format_table(
+        ["method", "row [s]", "columnar [s]", "speedup"],
+        [[m, f"{r:.3f}", f"{c:.3f}", f"{s:.2f}x"] for m, r, c, s in rows],
+    )
+    report_writer(
+        "engine_columnar",
+        "== Columnar vs row engine (Q4, Excel, CI smoke) ==\n\n"
+        f"h={SMOKE_H}, scale={SMOKE_SCALE}, best of {ROUNDS} rounds\n\n" + table + "\n",
+    )
+
+    # One pedantic round through pytest-benchmark for the timing artefact.
+    benchmark.pedantic(
+        lambda: evaluate(
+            query,
+            scenario.mappings,
+            scenario.database,
+            method="e-basic",
+            links=scenario.links,
+            engine="columnar",
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -168,6 +168,29 @@ def run_methods(
     return [run_method(method, query, scenario, x=x, **options) for method in methods]
 
 
+def run_engines(
+    methods: Sequence[str],
+    engines: Sequence[str],
+    query: TargetQuery,
+    scenario: MatchingScenario,
+    x: Any = None,
+    **options: Any,
+) -> list[ExperimentPoint]:
+    """Run each method under each execution engine on the same query.
+
+    The engine becomes part of the reported method label (``method@engine``)
+    so a series carries the engine dimension through the standard reporting
+    tables; ``point.details["engine"]`` holds it separately as well.
+    """
+    points = []
+    for engine in engines:
+        for method in methods:
+            point = run_method(method, query, scenario, x=x, engine=engine, **options)
+            point.method = f"{method}@{engine}"
+            points.append(point)
+    return points
+
+
 def run_workload(
     queries: Sequence[TargetQuery],
     scenario: MatchingScenario,

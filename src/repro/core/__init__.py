@@ -68,7 +68,8 @@ def evaluate(
         Optional source-schema join links shared by all reformulations.
     options:
         Forwarded to the evaluator constructor (e.g. ``strategy="snf"`` for
-        o-sharing).
+        o-sharing, or ``engine="row"`` to use the tuple-at-a-time execution
+        engine instead of the default columnar batch engine).
     """
     evaluator = make_evaluator(method, links=links, **options)
     return evaluator.evaluate(query, mappings, database)

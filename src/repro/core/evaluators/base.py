@@ -19,6 +19,7 @@ from repro.core.links import SchemaLinks
 from repro.core.target_query import TargetQuery
 from repro.matching.mappings import MappingSet
 from repro.relational.database import Database
+from repro.relational.executor import DEFAULT_ENGINE, ENGINES
 from repro.relational.stats import ExecutionStats
 
 #: Names of the timing phases every evaluator records.
@@ -74,13 +75,22 @@ class EvaluationResult:
 
 
 class Evaluator(abc.ABC):
-    """Base class of every query-evaluation algorithm."""
+    """Base class of every query-evaluation algorithm.
+
+    ``engine`` selects the relational execution engine every executor the
+    evaluator creates will use (``"columnar"`` by default, ``"row"`` for the
+    tuple-at-a-time interpreter); answers are identical either way, which the
+    differential test harness asserts for every evaluator.
+    """
 
     #: human-readable algorithm name used in reports and figures
     name: str = "evaluator"
 
-    def __init__(self, links: SchemaLinks | None = None):
+    def __init__(self, links: SchemaLinks | None = None, engine: str = DEFAULT_ENGINE):
         self.links = links
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
+        self.engine = engine
 
     @abc.abstractmethod
     def evaluate(
@@ -99,12 +109,14 @@ class Evaluator(abc.ABC):
         **details: Any,
     ) -> EvaluationResult:
         """Assemble an :class:`EvaluationResult` (shared helper)."""
+        merged = dict(details)
+        merged.setdefault("engine", self.engine)
         return EvaluationResult(
             evaluator=self.name,
             query=query,
             answers=answers,
             stats=stats,
-            details=dict(details),
+            details=merged,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -59,7 +59,7 @@ class BasicEvaluator(Evaluator):
         than only a :class:`~repro.matching.mappings.MappingSet`.
         """
         stats = ExecutionStats()
-        executor = Executor(database, stats)
+        executor = Executor(database, stats, engine=self.engine)
         answers = ProbabilisticAnswer()
         evaluated_queries = 0
 

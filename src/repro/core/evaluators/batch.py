@@ -41,7 +41,7 @@ from repro.core.reformulation import extract_answers
 from repro.core.target_query import TargetQuery
 from repro.matching.mappings import MappingSet
 from repro.relational.database import Database
-from repro.relational.executor import Executor
+from repro.relational.executor import DEFAULT_ENGINE, Executor
 from repro.relational.plancache import PlanCache
 from repro.relational.stats import ExecutionStats
 
@@ -113,8 +113,9 @@ class BatchEvaluator(Evaluator):
         links=None,
         cache_size: int = 4096,
         exhaustive_planning: bool = False,
+        engine: str = DEFAULT_ENGINE,
     ):
-        super().__init__(links)
+        super().__init__(links, engine=engine)
         self.cache_size = cache_size
         self.exhaustive_planning = exhaustive_planning
 
@@ -182,7 +183,7 @@ class BatchEvaluator(Evaluator):
         batch_stats.merge(planning)
 
         # Phase 3 — shared execution through one executor and one plan cache.
-        executor = Executor(database, cache=cache, policy=policy)
+        executor = Executor(database, cache=cache, policy=policy, engine=self.engine)
         results: list[EvaluationResult] = []
         for query, key in zip(queries, keys):
             stats = first_stats.pop(key, None) or ExecutionStats()

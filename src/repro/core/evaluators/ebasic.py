@@ -92,7 +92,7 @@ class EBasicEvaluator(Evaluator):
         database: Database,
     ) -> EvaluationResult:
         stats = ExecutionStats()
-        executor = Executor(database, stats)
+        executor = Executor(database, stats, engine=self.engine)
         answers = ProbabilisticAnswer()
 
         with stats.phase(PHASE_REWRITING):

@@ -43,7 +43,7 @@ from repro.core.target_query import TargetQuery
 from repro.matching.mappings import MappingSet
 from repro.relational.algebra import Materialized, PlanNode
 from repro.relational.database import Database
-from repro.relational.executor import Executor
+from repro.relational.executor import DEFAULT_ENGINE, Executor
 from repro.relational.plancache import (
     MaterializeAll,
     MaterializeSelected,
@@ -175,9 +175,18 @@ class MemoizingExecutor(Executor):
     operator count without caching results that can never be reused.
     """
 
-    def __init__(self, database: Database, stats: ExecutionStats | None = None):
+    def __init__(
+        self,
+        database: Database,
+        stats: ExecutionStats | None = None,
+        engine: str = DEFAULT_ENGINE,
+    ):
         super().__init__(
-            database, stats, cache=PlanCache(maxsize=None), policy=MaterializeAll()
+            database,
+            stats,
+            cache=PlanCache(maxsize=None),
+            policy=MaterializeAll(),
+            engine=engine,
         )
 
     @property
@@ -212,7 +221,7 @@ class EMQOEvaluator(Evaluator):
             policy = global_plan.materialization_policy()
             cache = PlanCache(maxsize=max(1, global_plan.materialisation_points))
 
-        executor = Executor(database, stats, cache=cache, policy=policy)
+        executor = Executor(database, stats, cache=cache, policy=policy, engine=self.engine)
         for source_query in distinct:
             with stats.phase(PHASE_EVALUATION):
                 result = executor.execute_query(source_query.plan)

@@ -37,7 +37,7 @@ from repro.core.target_query import TargetQuery
 from repro.matching.mappings import Mapping, MappingSet
 from repro.relational.algebra import Materialized, Scan
 from repro.relational.database import Database
-from repro.relational.executor import Executor
+from repro.relational.executor import DEFAULT_ENGINE, Executor
 from repro.relational.relation import Relation
 from repro.relational.stats import ExecutionStats
 
@@ -53,8 +53,9 @@ class OSharingEvaluator(Evaluator):
         strategy: str | SelectionStrategy = "sef",
         seed: int = 0,
         prune_empty: bool = True,
+        engine: str = DEFAULT_ENGINE,
     ):
-        super().__init__(links)
+        super().__init__(links, engine=engine)
         self.strategy = make_strategy(strategy, seed) if isinstance(strategy, str) else strategy
         #: the empty-intermediate shortcut (Case 2 of ``run_qt``); disabling it
         #: is only useful for the ablation benchmark.
@@ -68,7 +69,7 @@ class OSharingEvaluator(Evaluator):
         database: Database,
     ) -> EvaluationResult:
         stats = ExecutionStats()
-        executor = Executor(database, stats)
+        executor = Executor(database, stats, engine=self.engine)
         answers = ProbabilisticAnswer()
 
         # Steps 1-3 of Algorithm 2: partition, represent, initialise the u-trace.

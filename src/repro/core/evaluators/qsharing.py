@@ -37,7 +37,7 @@ class QSharingEvaluator(Evaluator):
             representatives = represent(partitions)
 
         # Step 3 of Algorithm 1: run basic over the representative mappings.
-        basic = BasicEvaluator(links=self.links)
+        basic = BasicEvaluator(links=self.links, engine=self.engine)
         inner = basic.evaluate_mappings(query, representatives, database)
 
         stats = partition_stats

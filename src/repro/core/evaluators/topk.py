@@ -45,7 +45,7 @@ from repro.core.target_query import TargetQuery
 from repro.matching.mappings import Mapping, MappingSet
 from repro.relational.algebra import Materialized, Scan
 from repro.relational.database import Database
-from repro.relational.executor import Executor
+from repro.relational.executor import DEFAULT_ENGINE, Executor
 from repro.relational.relation import Relation
 from repro.relational.stats import ExecutionStats
 
@@ -70,8 +70,9 @@ class TopKEvaluator(Evaluator):
         links: SchemaLinks | None = None,
         strategy: str | SelectionStrategy = "sef",
         seed: int = 0,
+        engine: str = DEFAULT_ENGINE,
     ):
-        super().__init__(links)
+        super().__init__(links, engine=engine)
         if k <= 0:
             raise ValueError("k must be positive")
         self.k = k
@@ -85,7 +86,7 @@ class TopKEvaluator(Evaluator):
         database: Database,
     ) -> EvaluationResult:
         stats = ExecutionStats()
-        executor = Executor(database, stats)
+        executor = Executor(database, stats, engine=self.engine)
 
         with stats.phase(PHASE_REWRITING):
             partitions = partition(query.partition_keys, mappings)

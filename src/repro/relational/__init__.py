@@ -14,7 +14,11 @@ queries* over a *source instance*:
   projection, Cartesian product, join, aggregation and materialised
   relations).
 * :mod:`repro.relational.executor` — a recursive plan evaluator instrumented
-  with operator and row counters (:mod:`repro.relational.stats`).
+  with operator and row counters (:mod:`repro.relational.stats`), with
+  pluggable row and columnar execution engines.
+* :mod:`repro.relational.columnar` — the :class:`ColumnBatch` column-major
+  container and the column-level predicate/expression compilation behind the
+  ``"columnar"`` engine.
 * :mod:`repro.relational.indexes` — hash indexes used to accelerate equality
   selections on base relations.
 * :mod:`repro.relational.plancache` — bounded plan-result cache and
@@ -33,8 +37,9 @@ from repro.relational.algebra import (
     Select,
     Union,
 )
+from repro.relational.columnar import ColumnBatch, expression_values, predicate_mask
 from repro.relational.database import Database
-from repro.relational.executor import Executor
+from repro.relational.executor import DEFAULT_ENGINE, ENGINES, Executor
 from repro.relational.plancache import (
     MaterializationPolicy,
     MaterializeAll,
@@ -73,7 +78,12 @@ __all__ = [
     "Scan",
     "Select",
     "Union",
+    "ColumnBatch",
+    "expression_values",
+    "predicate_mask",
     "Database",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "Executor",
     "MaterializationPolicy",
     "MaterializeAll",

@@ -1,0 +1,372 @@
+"""Columnar batch representation and column-level predicate compilation.
+
+The row engine in :mod:`repro.relational.executor` interprets predicate and
+expression ASTs once per tuple — every row pays attribute resolution, method
+dispatch and comparison coercion again.  The columnar engine amortises all of
+that per *operator*: a :class:`ColumnBatch` stores a relation column-major
+(one Python list per column), attribute references are resolved once, and
+predicates are evaluated as column-level sweeps (MonetDB/X100-style
+vectorisation, in pure Python).
+
+Semantics are identical to the row engine by construction:
+
+* :func:`expression_values` mirrors ``Expression.evaluate`` element-wise
+  (``None`` propagates through arithmetic);
+* :func:`predicate_mask` mirrors ``Predicate.evaluate`` element-wise,
+  including the ``None``-comparison and ``comparable`` coercion rules, with a
+  fast path that skips coercion entirely when a column is type-homogeneous;
+* row order is preserved everywhere, so duplicate elimination and answer
+  aggregation see the same sequences.
+
+The differential test harness (``tests/core/evaluators/test_differential.py``)
+asserts that every evaluator returns identical answers on both engines.
+"""
+
+from __future__ import annotations
+
+import operator
+from itertools import compress
+from typing import Any, Sequence
+
+from repro.relational.expressions import _ARITHMETIC, Arithmetic, ColumnRef, Expression, Literal
+from repro.relational.predicates import (
+    And,
+    Between,
+    Comparison,
+    In,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.relation import Relation, missing_column_error, resolve_unqualified
+from repro.relational.types import comparable
+
+_NONE_TYPE = type(None)
+
+#: Comparison operators as C-level callables (same truth table as the
+#: lambdas in :mod:`repro.relational.predicates`).
+_OPERATORS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class ColumnBatch:
+    """A relation stored column-major: one Python list per column label.
+
+    Column lists are shared freely between batches (a projection is a list of
+    references, not a copy), so operators must never mutate them in place —
+    every transformation builds new lists.
+    """
+
+    __slots__ = ("columns", "data", "name", "length", "_column_positions", "_source")
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        data: Sequence[list],
+        name: str = "",
+        length: int | None = None,
+    ):
+        self.columns: tuple[str, ...] = tuple(columns)
+        self.data: list[list] = list(data)
+        if len(self.data) != len(self.columns):
+            raise ValueError(
+                f"got {len(self.data)} columns of data for {len(self.columns)} labels"
+            )
+        self.name = name
+        self.length = length if length is not None else (len(self.data[0]) if self.data else 0)
+        self._column_positions = {label: i for i, label in enumerate(self.columns)}
+        #: the Relation this batch was built from, when it still holds exactly
+        #: that relation's data (lets to_relation() return the original object)
+        self._source: Relation | None = None
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "ColumnBatch":
+        """Wrap a :class:`Relation` (column-major view cached on the relation)."""
+        batch = cls(
+            relation.columns,
+            relation.column_data(),
+            name=relation.name,
+            length=len(relation),
+        )
+        batch._source = relation
+        return batch
+
+    def to_relation(self) -> Relation:
+        """Convert back to a row-major :class:`Relation`.
+
+        A batch created by :meth:`from_relation` returns the original object,
+        so relation → batch → relation round trips (cache hits, materialised
+        leaves) are free.
+        """
+        if self._source is not None:
+            return self._source
+        if not self.data:
+            # Zero-column batch: zip(*[]) would lose the row count.
+            return Relation(self.columns, [()] * self.length, name=self.name)
+        return Relation.from_columns(self.columns, self.data, name=self.name)
+
+    # ------------------------------------------------------------------ #
+    # column handling (same resolution semantics as Relation)
+    # ------------------------------------------------------------------ #
+    def column_index(self, label: str) -> int:
+        """Position of an exact column label."""
+        try:
+            return self._column_positions[label]
+        except KeyError:
+            raise missing_column_error(self.columns, label, self.name) from None
+
+    def has_column(self, label: str) -> bool:
+        """True when the exact label is present."""
+        return label in self._column_positions
+
+    def resolve(self, name: str, qualifier: str | None = None) -> int:
+        """Resolve an attribute reference to a column position.
+
+        Same semantics as :meth:`Relation.resolve` — both delegate to the
+        shared :func:`~repro.relational.relation.resolve_unqualified` helper,
+        so the engines cannot drift apart on resolution rules.
+        """
+        if qualifier is not None:
+            return self.column_index(f"{qualifier}.{name}")
+        if name in self._column_positions:
+            return self._column_positions[name]
+        return resolve_unqualified(self.columns, name)
+
+    def column(self, label: str) -> list:
+        """The column list for an exact label."""
+        return self.data[self.column_index(label)]
+
+    # ------------------------------------------------------------------ #
+    # batch transformations
+    # ------------------------------------------------------------------ #
+    def filter(self, mask: Sequence[bool]) -> "ColumnBatch":
+        """Rows where ``mask`` is true (order preserved).
+
+        One C-level pass extracts the selected row positions, then each
+        column is gathered once — far cheaper than compressing every column
+        over the full batch when the mask is selective.
+        """
+        indexes = list(compress(range(self.length), mask))
+        data = [list(map(column.__getitem__, indexes)) for column in self.data]
+        return ColumnBatch(self.columns, data, name=self.name, length=len(indexes))
+
+    def take(self, indexes: Sequence[int]) -> "ColumnBatch":
+        """Rows at the given positions, in the given order."""
+        data = [list(map(column.__getitem__, indexes)) for column in self.data]
+        return ColumnBatch(self.columns, data, name=self.name, length=len(indexes))
+
+    def iter_rows(self):
+        """Row tuples in order (used for dedup and the row-wise fallback)."""
+        if not self.data:
+            return iter([()] * self.length)
+        return zip(*self.data)
+
+    # ------------------------------------------------------------------ #
+    # dunder plumbing
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when the batch holds no rows."""
+        return self.length == 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ColumnBatch(name={self.name!r}, columns={list(self.columns)}, "
+            f"rows={self.length})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# expression compilation
+# --------------------------------------------------------------------------- #
+def expression_values(expr: Expression, batch: ColumnBatch) -> tuple[bool, Any]:
+    """Evaluate ``expr`` over the whole batch.
+
+    Returns ``(is_constant, value)``: a constant expression yields its single
+    value (not broadcast — callers handle broadcasting), anything else yields
+    a list of one value per row, identical to evaluating the expression
+    row-by-row.
+    """
+    if isinstance(expr, Literal):
+        return True, expr.value
+    if isinstance(expr, ColumnRef):
+        return False, batch.data[batch.resolve(expr.name, expr.qualifier)]
+    if isinstance(expr, Arithmetic):
+        fn = _ARITHMETIC[expr.op]
+        left_const, left = expression_values(expr.left, batch)
+        right_const, right = expression_values(expr.right, batch)
+        if left_const and right_const:
+            if left is None or right is None:
+                return True, None
+            return True, fn(left, right)
+        if right_const:
+            if right is None:
+                return True, None
+            return False, [None if l is None else fn(l, right) for l in left]
+        if left_const:
+            if left is None:
+                return True, None
+            return False, [None if r is None else fn(left, r) for r in right]
+        return False, [
+            None if l is None or r is None else fn(l, r) for l, r in zip(left, right)
+        ]
+    # Unknown expression type: fall back to row-wise evaluation.
+    relation = batch.to_relation()
+    return False, [expr.evaluate(relation, row) for row in relation.rows]
+
+
+# --------------------------------------------------------------------------- #
+# predicate compilation
+# --------------------------------------------------------------------------- #
+def predicate_mask(predicate: Predicate, batch: ColumnBatch) -> list[bool]:
+    """One boolean per row: exactly ``predicate.evaluate`` on each row.
+
+    An empty batch returns an empty mask without touching the predicate,
+    matching the row engine (which never evaluates a predicate it has no
+    rows for).
+    """
+    if batch.length == 0:
+        return []
+    return _mask(predicate, batch, batch.length)
+
+
+def _mask(predicate: Predicate, batch: ColumnBatch, n: int) -> list[bool]:
+    if isinstance(predicate, Comparison):
+        return _comparison_mask(predicate, batch, n)
+    if isinstance(predicate, TruePredicate):
+        return [True] * n
+    if isinstance(predicate, And):
+        out = _mask(predicate.operands[0], batch, n)
+        for operand in predicate.operands[1:]:
+            out = [a and b for a, b in zip(out, _mask(operand, batch, n))]
+        return out
+    if isinstance(predicate, Or):
+        out = _mask(predicate.operands[0], batch, n)
+        for operand in predicate.operands[1:]:
+            out = [a or b for a, b in zip(out, _mask(operand, batch, n))]
+        return out
+    if isinstance(predicate, Not):
+        return [not value for value in _mask(predicate.operand, batch, n)]
+    if isinstance(predicate, In):
+        const, values = expression_values(predicate.expr, batch)
+        members = predicate.values
+        if const:
+            return [values in members] * n
+        return [value in members for value in values]
+    if isinstance(predicate, Between):
+        return _between_mask(predicate, batch, n)
+    # Unknown predicate type: fall back to row-wise evaluation.
+    relation = batch.to_relation()
+    return [predicate.evaluate(relation, row) for row in relation.rows]
+
+
+def _compare(op_fn, left: Any, right: Any) -> bool:
+    """One comparison with the row engine's coercion rules."""
+    if left is None or right is None:
+        return False
+    left, right = comparable(left, right)
+    try:
+        return op_fn(left, right)
+    except TypeError:
+        return False
+
+
+def _directly_comparable(types: set) -> bool:
+    """True when :func:`comparable` is the identity for every type pairing.
+
+    That holds when every non-``None`` value is numeric (int/float/bool) or
+    every one is a string — the two families the coercion rules leave alone.
+    """
+    types.discard(_NONE_TYPE)
+    if not types:
+        return True
+    if types <= {int, float, bool}:
+        return True
+    return types == {str}
+
+
+def _direct_mask(op: str, values: list, constant: Any) -> list[bool]:
+    """Column-versus-constant masks without per-element coercion.
+
+    Only called when :func:`_directly_comparable` holds, so the raw operators
+    cannot raise ``TypeError`` on non-``None`` values and agree with the
+    coerced comparison exactly.  ``None`` compares false under every operator
+    (the row engine's rule).
+    """
+    if op == "=":
+        return [value == constant for value in values]
+    if op == "!=":
+        return [value is not None and value != constant for value in values]
+    if op == "<":
+        return [value is not None and value < constant for value in values]
+    if op == "<=":
+        return [value is not None and value <= constant for value in values]
+    if op == ">":
+        return [value is not None and value > constant for value in values]
+    return [value is not None and value >= constant for value in values]
+
+
+_SWAPPED_OP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _comparison_mask(cmp: Comparison, batch: ColumnBatch, n: int) -> list[bool]:
+    op_fn = _OPERATORS[cmp.op]
+    left_const, left = expression_values(cmp.left, batch)
+    right_const, right = expression_values(cmp.right, batch)
+    if left_const and right_const:
+        return [_compare(op_fn, left, right)] * n
+    if left_const:
+        # constant <op> column  ≡  column <swapped-op> constant
+        left, right = right, left
+        op = _SWAPPED_OP[cmp.op]
+        op_fn = _OPERATORS[op]
+        right_const = True
+    else:
+        op = cmp.op
+    if right_const:
+        if right is None:
+            return [False] * n
+        if _directly_comparable(set(map(type, left)) | {type(right)}):
+            return _direct_mask(op, left, right)
+        return [_compare(op_fn, value, right) for value in left]
+    # column <op> column
+    if _directly_comparable(set(map(type, left)) | set(map(type, right))):
+        if op == "=":
+            return [l is not None and l == r for l, r in zip(left, right)]
+        return [
+            l is not None and r is not None and op_fn(l, r) for l, r in zip(left, right)
+        ]
+    return [_compare(op_fn, l, r) for l, r in zip(left, right)]
+
+
+def _between_one(low: Any, high: Any, value: Any) -> bool:
+    """One BETWEEN test with the row engine's coercion rules."""
+    if value is None:
+        return False
+    low_cmp, value_low = comparable(low, value)
+    high_cmp, value_high = comparable(high, value)
+    try:
+        return low_cmp <= value_low and value_high <= high_cmp
+    except TypeError:
+        return False
+
+
+def _between_mask(predicate: Between, batch: ColumnBatch, n: int) -> list[bool]:
+    const, values = expression_values(predicate.expr, batch)
+    low, high = predicate.low, predicate.high
+    if const:
+        return [_between_one(low, high, values)] * n
+    return [_between_one(low, high, value) for value in values]

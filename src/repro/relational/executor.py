@@ -6,6 +6,15 @@ against a :class:`~repro.relational.database.Database` and returns a
 recursive, materialising — because every algorithm in the paper manipulates
 *which* operators get executed, not *how* an individual operator is executed.
 
+*How* an operator is executed is nevertheless pluggable: the ``engine``
+switch selects between the original tuple-at-a-time interpreter (``"row"``)
+and a columnar batch engine (``"columnar"``, the default) that evaluates
+operators column-wise over :class:`~repro.relational.columnar.ColumnBatch`
+instances with predicates compiled once per operator.  Both engines produce
+identical relations, identical :class:`ExecutionStats` counters and share the
+hash-index fast path, the plan cache and the materialization policies; the
+columnar engine is simply faster (see ``benchmarks/bench_engine_columnar.py``).
+
 Two physical optimisations are implemented because the figures depend on
 realistic relative costs:
 
@@ -21,6 +30,7 @@ the number of source operators they ran (Table IV of the paper).
 from __future__ import annotations
 
 from collections import defaultdict
+from itertools import chain, repeat
 from typing import Any
 
 from repro.relational.algebra import (
@@ -34,6 +44,7 @@ from repro.relational.algebra import (
     Select,
     Union,
 )
+from repro.relational.columnar import ColumnBatch, expression_values, predicate_mask
 from repro.relational.database import Database
 from repro.relational.expressions import ColumnRef, Literal
 from repro.relational.plancache import MaterializationPolicy, MaterializeAll, PlanCache
@@ -41,6 +52,12 @@ from repro.relational.predicates import Comparison, Predicate, conjunction
 from repro.relational.relation import Relation
 from repro.relational.stats import ExecutionStats
 from repro.relational.types import _try_parse_number
+
+#: The available execution engines.
+ENGINES = ("row", "columnar")
+
+#: Engine used when none is requested (the columnar batch engine).
+DEFAULT_ENGINE = "columnar"
 
 
 class Executor:
@@ -53,6 +70,11 @@ class Executor:
     stored after execution otherwise.  This is how e-MQO's global plan and
     the batch serving API share work across source queries; without a cache
     the executor behaves exactly as before.
+
+    ``engine`` selects the operator implementations: ``"columnar"`` (default)
+    evaluates whole batches column-wise, ``"row"`` interprets tuple-at-a-time.
+    A plan node the columnar engine has no implementation for falls back to
+    the row implementation transparently.
     """
 
     def __init__(
@@ -61,6 +83,7 @@ class Executor:
         stats: ExecutionStats | None = None,
         cache: PlanCache | None = None,
         policy: MaterializationPolicy | None = None,
+        engine: str = DEFAULT_ENGINE,
     ):
         self.database = database
         self.stats = stats if stats is not None else ExecutionStats()
@@ -68,12 +91,16 @@ class Executor:
         if policy is None and cache is not None:
             policy = MaterializeAll()
         self.policy = policy
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanNode) -> Relation:
         """Evaluate ``plan`` and return its result relation."""
-        result = self._evaluate(plan)
-        return result
+        if self.engine == "columnar":
+            return self._evaluate_columnar(plan).to_relation()
+        return self._evaluate(plan)
 
     def execute_query(self, plan: PlanNode) -> Relation:
         """Evaluate a complete source query (counts one source query in stats)."""
@@ -162,10 +189,11 @@ class Executor:
             columns = [f"{scan.alias}.{label.split('.', 1)[-1]}" for label in base.columns]
             name = scan.alias
         # The scan itself is implicit in an index lookup; record both operators
-        # so that operator counts stay comparable with the non-indexed path.
-        # The selection's input cardinality is the base relation it logically
-        # filters, not the post-filter row count.
-        self.stats.count_operator("Scan", rows_in=0, rows_out=0)
+        # with the same cardinalities the generic path would, so that operator
+        # *and row* counters are identical whether or not the fast path fires
+        # (the invariant tests/relational/test_columnar.py pins across the
+        # row, indexed-select and columnar paths).
+        self.stats.count_operator("Scan", rows_in=len(base), rows_out=len(base))
         self.stats.count_operator("Select", rows_in=len(base), rows_out=len(rows))
         return Relation(columns, rows, name=name)
 
@@ -348,13 +376,224 @@ class Executor:
 
     @staticmethod
     def _aggregate_rows(node: Aggregate, relation: Relation, rows: list[tuple]) -> Any:
+        values = None
+        if node.argument is not None:
+            values = [node.argument.evaluate(relation, row) for row in rows]
+        return Executor._aggregate_values(node, values, len(rows))
+
+    # ================================================================== #
+    # columnar engine
+    # ================================================================== #
+    def _evaluate_columnar(self, node: PlanNode) -> ColumnBatch:
+        """Columnar twin of :meth:`_evaluate` (same cache/policy handling)."""
+        if isinstance(node, Materialized):
+            return ColumnBatch.from_relation(node.relation)
+        if self.cache is None or self.policy is None:
+            return self._dispatch_columnar(node)
+        key = self.policy.cache_key(node)
+        if key is None:
+            return self._dispatch_columnar(node)
+        entry = self.cache.get(key, self.database)
+        if entry is not None:
+            self.stats.count_cache_hit(entry.operator_count)
+            return ColumnBatch.from_relation(entry.relation)
+        self.stats.count_cache_miss()
+        result = self._dispatch_columnar(node)
+        self.cache.put(key, node, result.to_relation(), self.database)
+        return result
+
+    def _dispatch_columnar(self, node: PlanNode) -> ColumnBatch:
+        if isinstance(node, Scan):
+            return self._scan_columnar(node)
+        if isinstance(node, Select):
+            return self._select_columnar(node)
+        if isinstance(node, Project):
+            return self._project_columnar(node)
+        if isinstance(node, Product):
+            return self._product_columnar(node)
+        if isinstance(node, Join):
+            return self._join_columnar(node)
+        if isinstance(node, Union):
+            return self._union_columnar(node)
+        if isinstance(node, Aggregate):
+            return self._aggregate_columnar(node)
+        # Row fallback: a node type without a columnar implementation is
+        # evaluated by the row engine (unknown types still raise TypeError).
+        return ColumnBatch.from_relation(self._dispatch(node))
+
+    # -- leaves ---------------------------------------------------------- #
+    def _scan_columnar(self, node: Scan) -> ColumnBatch:
+        relation = self.database.scan(node.relation, node.alias)
+        self.stats.count_operator("Scan", rows_in=len(relation), rows_out=len(relation))
+        return ColumnBatch.from_relation(relation)
+
+    # -- selection -------------------------------------------------------- #
+    def _select_columnar(self, node: Select) -> ColumnBatch:
+        indexed = self._try_indexed_select(node)
+        if indexed is not None:
+            return ColumnBatch.from_relation(indexed)
+        child = self._evaluate_columnar(node.child)
+        mask = predicate_mask(node.predicate, child)
+        result = child.filter(mask)
+        self.stats.count_operator("Select", rows_in=len(child), rows_out=len(result))
+        return result
+
+    # -- projection -------------------------------------------------------- #
+    def _project_columnar(self, node: Project) -> ColumnBatch:
+        child = self._evaluate_columnar(node.child)
+        positions = [child.resolve(ref.name, ref.qualifier) for ref in node.columns]
+        labels = self._unique_labels([child.columns[i] for i in positions])
+        data = [child.data[i] for i in positions]
+        length = len(child)
+        if node.distinct:
+            seen: set[tuple] = set()
+            keep: list[int] = []
+            if data:
+                for i, row in enumerate(zip(*data)):
+                    if row not in seen:
+                        seen.add(row)
+                        keep.append(i)
+            elif length:
+                keep.append(0)  # zero-column projection: one distinct empty row
+            data = [[column[i] for i in keep] for column in data]
+            length = len(keep)
+        self.stats.count_operator("Project", rows_in=len(child), rows_out=length)
+        return ColumnBatch(labels, data, name=child.name, length=length)
+
+    # -- product / join ---------------------------------------------------- #
+    def _product_columnar(self, node: Product) -> ColumnBatch:
+        left = self._evaluate_columnar(node.left)
+        right = self._evaluate_columnar(node.right)
+        columns = self._combine_columns(left, right)
+        left_n, right_n = len(left), len(right)
+        # Left columns repeat each value right_n times in place (map/repeat/
+        # chain run the whole expansion at C speed); right columns tile whole,
+        # matching the row engine's left-outer/right-inner ordering.
+        data = [
+            list(chain.from_iterable(map(repeat, column, repeat(right_n))))
+            for column in left.data
+        ]
+        data += [column * left_n for column in right.data]
+        out = left_n * right_n
+        self.stats.count_operator("Product", rows_in=left_n + right_n, rows_out=out)
+        return ColumnBatch(columns, data, length=out)
+
+    def _join_columnar(self, node: Join) -> ColumnBatch:
+        left = self._evaluate_columnar(node.left)
+        right = self._evaluate_columnar(node.right)
+        columns = self._combine_columns(left, right)
+        equi = self._find_equi_condition(node.predicate, left, right)
+        # When the whole predicate is the single hash-join equality, the
+        # bucket match already decides it (None keys never satisfy an
+        # equality, so they are skipped) and no residual pass is needed.
+        pure_equi = isinstance(node.predicate, Comparison)
+        left_idx: list[int] = []
+        right_idx: list[int] = []
+        if equi is not None:
+            left_pos, right_pos = equi
+            buckets: dict[Any, list[int]] = defaultdict(list)
+            if pure_equi:
+                # Build-side keys an equality can never accept (None, NaN)
+                # are dropped here instead of by a residual predicate pass.
+                for i, value in enumerate(right.data[right_pos]):
+                    if value is not None and value == value:
+                        buckets[value].append(i)
+            else:
+                for i, value in enumerate(right.data[right_pos]):
+                    buckets[value].append(i)
+            lookup = buckets.get
+            for i, value in enumerate(left.data[left_pos]):
+                bucket = lookup(value)
+                if bucket:
+                    left_idx.extend([i] * len(bucket))
+                    right_idx.extend(bucket)
+        else:
+            left_n, right_n = len(left), len(right)
+            repeat = range(right_n)
+            left_idx = [i for i in range(left_n) for _ in repeat]
+            right_idx = list(range(right_n)) * left_n
+            pure_equi = False
+        data = [list(map(column.__getitem__, left_idx)) for column in left.data]
+        data += [list(map(column.__getitem__, right_idx)) for column in right.data]
+        candidates = ColumnBatch(columns, data, length=len(left_idx))
+        if pure_equi:
+            result = candidates
+        else:
+            result = candidates.filter(predicate_mask(node.predicate, candidates))
+        self.stats.count_operator(
+            "Join", rows_in=len(left) + len(right), rows_out=len(result)
+        )
+        return result
+
+    # -- union -------------------------------------------------------------- #
+    def _union_columnar(self, node: Union) -> ColumnBatch:
+        left = self._evaluate_columnar(node.left)
+        right = self._evaluate_columnar(node.right)
+        if len(left.columns) != len(right.columns):
+            raise ValueError(
+                f"UNION requires inputs of equal arity, got {len(left.columns)} "
+                f"and {len(right.columns)} columns"
+            )
+        data = [l_col + r_col for l_col, r_col in zip(left.data, right.data)]
+        length = len(left) + len(right)
+        if node.distinct:
+            if data:
+                seen: set[tuple] = set()
+                keep: list[int] = []
+                for i, row in enumerate(zip(*data)):
+                    if row not in seen:
+                        seen.add(row)
+                        keep.append(i)
+                data = [[column[i] for i in keep] for column in data]
+                length = len(keep)
+            elif length:
+                length = 1  # zero-column union: one distinct empty row
+        self.stats.count_operator(
+            "Union", rows_in=len(left) + len(right), rows_out=length
+        )
+        return ColumnBatch(left.columns, data, name=left.name, length=length)
+
+    # -- aggregation -------------------------------------------------------- #
+    def _aggregate_columnar(self, node: Aggregate) -> ColumnBatch:
+        child = self._evaluate_columnar(node.child)
+        argument_label = str(node.argument) if node.argument is not None else "*"
+        output_label = f"{node.function}({argument_label})"
+        n = len(child)
+
+        values: list | None = None
+        if node.argument is not None and n:
+            const, values = expression_values(node.argument, child)
+            if const:
+                values = [values] * n
+
+        if not node.group_by:
+            value = self._aggregate_values(node, values, n)
+            self.stats.count_operator("Aggregate", rows_in=n, rows_out=1)
+            return ColumnBatch([output_label], [[value]], length=1)
+
+        positions = [child.resolve(ref.name, ref.qualifier) for ref in node.group_by]
+        group_labels = [child.columns[i] for i in positions]
+        groups: dict[tuple, list[int]] = defaultdict(list)
+        key_columns = [child.data[i] for i in positions]
+        for i, key in enumerate(zip(*key_columns)):
+            groups[key].append(i)
+        data: list[list] = [[] for _ in positions] + [[]]
+        for key, members in groups.items():
+            for column, value in zip(data, key):
+                column.append(value)
+            member_values = None if values is None else [values[i] for i in members]
+            data[-1].append(self._aggregate_values(node, member_values, len(members)))
+        self.stats.count_operator("Aggregate", rows_in=n, rows_out=len(groups))
+        return ColumnBatch(
+            group_labels + [output_label], data, length=len(groups)
+        )
+
+    @staticmethod
+    def _aggregate_values(node: Aggregate, values: list | None, count: int) -> Any:
+        """Aggregate a vector of argument values (mirrors ``_aggregate_rows``)."""
         if node.function == "COUNT" and node.argument is None:
-            return len(rows)
-        values = []
-        for row in rows:
-            value = node.argument.evaluate(relation, row)
-            if value is not None:
-                values.append(value)
+            return count
+        values = [value for value in (values or ()) if value is not None]
         if node.function == "COUNT":
             return len(values)
         if not values:
@@ -370,6 +609,11 @@ class Executor:
         raise ValueError(f"unsupported aggregate {node.function!r}")  # pragma: no cover
 
 
-def execute(plan: PlanNode, database: Database, stats: ExecutionStats | None = None) -> Relation:
+def execute(
+    plan: PlanNode,
+    database: Database,
+    stats: ExecutionStats | None = None,
+    engine: str = DEFAULT_ENGINE,
+) -> Relation:
     """Convenience wrapper: evaluate ``plan`` against ``database``."""
-    return Executor(database, stats).execute(plan)
+    return Executor(database, stats, engine=engine).execute(plan)

@@ -21,10 +21,48 @@ Row = tuple
 _DATA_VERSIONS = itertools.count(1)
 
 
+def missing_column_error(columns: Sequence[str], label: str, display_name: str) -> KeyError:
+    """The standard error for a label that is not among ``columns``."""
+    return KeyError(
+        f"relation {display_name or '<anonymous>'} has no column {label!r}; "
+        f"columns are {list(columns)}"
+    )
+
+
+def resolve_unqualified(columns: Sequence[str], name: str) -> int:
+    """Resolve an unqualified attribute reference against column labels.
+
+    ``name`` must match exactly one ``*.name`` suffix (exact matches are the
+    caller's fast path).  Shared by :class:`Relation` and
+    :class:`~repro.relational.columnar.ColumnBatch` so the two engines can
+    never drift apart on resolution semantics.
+    """
+    suffix = f".{name}"
+    matches = [i for i, label in enumerate(columns) if label.endswith(suffix)]
+    if not matches:
+        raise KeyError(
+            f"no column matches unqualified reference {name!r}; "
+            f"columns are {list(columns)}"
+        )
+    if len(matches) > 1:
+        ambiguous = [columns[i] for i in matches]
+        raise KeyError(f"ambiguous reference {name!r}: matches {ambiguous}")
+    return matches[0]
+
+
 class Relation:
     """An ordered bag of rows over a fixed list of column labels."""
 
-    __slots__ = ("columns", "rows", "name", "version", "_column_positions")
+    __slots__ = (
+        "columns",
+        "name",
+        "version",
+        "_column_positions",
+        "_column_cache",
+        "_rows",
+        "_length",
+        "_shared_rows",
+    )
 
     def __init__(
         self,
@@ -35,18 +73,42 @@ class Relation:
         self.columns: tuple[str, ...] = tuple(columns)
         if len(set(self.columns)) != len(self.columns):
             raise ValueError(f"duplicate column labels: {self.columns}")
-        self.rows: list[Row] = [tuple(row) for row in rows]
-        for row in self.rows:
+        self._rows: list[Row] | None = [tuple(row) for row in rows]
+        for row in self._rows:
             if len(row) != len(self.columns):
                 raise ValueError(
                     f"row width {len(row)} does not match column count {len(self.columns)}"
                 )
+        self._length = len(self._rows)
         self.name = name
         #: Data-version token: changes on every mutation, and is shared by
         #: derived relations that hold the *same* rows (``prefixed``,
         #: ``rename``), so caches keyed on it survive relabelling.
         self.version = next(_DATA_VERSIONS)
         self._column_positions = {label: i for i, label in enumerate(self.columns)}
+        # Shared one-slot holder for the lazily built column-major view (see
+        # column_data); derived relations over the same rows share the holder.
+        self._column_cache: list = [None]
+        # True while the row list is shared with a relabelled view; a
+        # mutation copies it first (copy-on-write) so views stay isolated.
+        self._shared_rows = False
+
+    @property
+    def rows(self) -> list[Row]:
+        """The row-major tuples, materialised on first access.
+
+        A relation built by :meth:`from_columns` starts with only the
+        column-major view; its rows are assembled here the first time
+        something actually iterates tuples.  Intermediate results that flow
+        straight back into the columnar engine therefore never pay the
+        row-assembly cost.
+        """
+        rows = self._rows
+        if rows is None:
+            data = self._column_cache[0][1]
+            rows = list(zip(*data)) if data else [()] * self._length
+            self._rows = rows
+        return rows
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -74,6 +136,43 @@ class Relation:
         """An empty relation (possibly with zero columns)."""
         return cls(columns, [], name=name)
 
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Sequence[str],
+        data: Sequence[Sequence[Any]],
+        name: str = "",
+    ) -> "Relation":
+        """Build a relation from column-major ``data`` (one sequence per column).
+
+        This is the fast boundary between the columnar execution engine and
+        the row-major :class:`Relation`: rows are assembled in one ``zip``
+        pass and the column-major view is kept, so converting the result back
+        into a :class:`~repro.relational.columnar.ColumnBatch` is free.  The
+        column sequences are adopted as-is and must not be mutated afterwards.
+        """
+        if len(data) != len(columns):
+            raise ValueError(
+                f"got {len(data)} columns of data for {len(columns)} column labels"
+            )
+        relation = cls.__new__(cls)
+        relation.columns = tuple(columns)
+        if len(set(relation.columns)) != len(relation.columns):
+            raise ValueError(f"duplicate column labels: {relation.columns}")
+        relation._rows = None  # assembled lazily by the ``rows`` property
+        relation._length = len(data[0]) if data else 0
+        relation.name = name
+        relation.version = next(_DATA_VERSIONS)
+        relation._column_positions = {label: i for i, label in enumerate(relation.columns)}
+        relation._column_cache = [
+            (
+                relation.version,
+                [column if isinstance(column, list) else list(column) for column in data],
+            )
+        ]
+        relation._shared_rows = False
+        return relation
+
     # ------------------------------------------------------------------ #
     # column handling
     # ------------------------------------------------------------------ #
@@ -82,10 +181,7 @@ class Relation:
         try:
             return self._column_positions[label]
         except KeyError:
-            raise KeyError(
-                f"relation {self.name or '<anonymous>'} has no column {label!r}; "
-                f"columns are {list(self.columns)}"
-            ) from None
+            raise missing_column_error(self.columns, label, self.name) from None
 
     def has_column(self, label: str) -> bool:
         """True when the exact label is present."""
@@ -102,31 +198,63 @@ class Relation:
             return self.column_index(f"{qualifier}.{name}")
         if name in self._column_positions:
             return self._column_positions[name]
-        suffix = f".{name}"
-        matches = [i for i, label in enumerate(self.columns) if label.endswith(suffix)]
-        if not matches:
-            raise KeyError(
-                f"no column matches unqualified reference {name!r}; "
-                f"columns are {list(self.columns)}"
-            )
-        if len(matches) > 1:
-            ambiguous = [self.columns[i] for i in matches]
-            raise KeyError(f"ambiguous reference {name!r}: matches {ambiguous}")
-        return matches[0]
+        return resolve_unqualified(self.columns, name)
+
+    def _relabelled_view(self, columns: Sequence[str], name: str) -> "Relation":
+        """A view over this relation's data with different column labels.
+
+        The rows, version token and column-major holder are shared, so the
+        view costs O(columns) regardless of the row count and caches keyed on
+        the version token keep hitting.  Sharing is copy-on-write: a later
+        mutation of either relation copies the row list first (see
+        :meth:`append`), so views keep their snapshot semantics.
+        """
+        view = Relation.__new__(Relation)
+        view.columns = tuple(columns)
+        if len(set(view.columns)) != len(view.columns):
+            raise ValueError(f"duplicate column labels: {view.columns}")
+        view._rows = self._rows
+        view._length = self._length
+        view.name = name
+        view.version = self.version
+        view._column_positions = {label: i for i, label in enumerate(view.columns)}
+        view._column_cache = self._column_cache
+        if self._rows is not None:
+            self._shared_rows = True
+            view._shared_rows = True
+        else:
+            # Both sides are lazy: each will assemble its own list from the
+            # shared (immutable) column data, so no copy-on-write is needed.
+            view._shared_rows = False
+        return view
 
     def rename(self, renaming: dict[str, str]) -> "Relation":
         """Return a relation with columns renamed per ``renaming`` (missing keys kept)."""
         columns = [renaming.get(label, label) for label in self.columns]
-        view = Relation(columns, self.rows, name=self.name)
-        view.version = self.version
-        return view
+        return self._relabelled_view(columns, self.name)
 
     def prefixed(self, prefix: str) -> "Relation":
         """Return a copy whose column labels are requalified with ``prefix``."""
         columns = [f"{prefix}.{label.split('.', 1)[-1]}" for label in self.columns]
-        view = Relation(columns, self.rows, name=prefix)
-        view.version = self.version
-        return view
+        return self._relabelled_view(columns, prefix)
+
+    def column_data(self) -> list[list]:
+        """The column-major view of the rows (one list per column), cached.
+
+        The cache is keyed on :attr:`version`, so it survives relabelling
+        (``prefixed``/``rename`` views share both the rows and the holder) and
+        is rebuilt after a mutation.  The returned lists are shared — callers
+        must treat them as read-only.
+        """
+        cached = self._column_cache[0]
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        if self.rows:
+            data = [list(column) for column in zip(*self.rows)]
+        else:
+            data = [[] for _ in self.columns]
+        self._column_cache[0] = (self.version, data)
+        return data
 
     # ------------------------------------------------------------------ #
     # row handling
@@ -138,7 +266,11 @@ class Relation:
             raise ValueError(
                 f"row width {len(row)} does not match column count {len(self.columns)}"
             )
+        if self._shared_rows:
+            self._rows = list(self.rows)
+            self._shared_rows = False
         self.rows.append(row)
+        self._length += 1
         self.version = next(_DATA_VERSIONS)
 
     def extend(self, rows: Iterable[Sequence[Any]]) -> None:
@@ -178,10 +310,10 @@ class Relation:
     @property
     def is_empty(self) -> bool:
         """True when the relation holds no rows."""
-        return not self.rows
+        return self._length == 0
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._length
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)

@@ -8,6 +8,7 @@ from repro.bench.harness import (
     ExperimentSeries,
     mb_to_scale,
     point_from_result,
+    run_engines,
     run_method,
     run_methods,
     run_workload,
@@ -70,6 +71,20 @@ class TestRunners:
         query = paper_query("Q1", excel_scenario.target_schema)
         points = run_methods(["e-basic", "o-sharing"], query, excel_scenario)
         assert [point.method for point in points] == ["e-basic", "o-sharing"]
+
+    def test_run_engines_adds_engine_dimension(self, excel_scenario):
+        query = paper_query("Q1", excel_scenario.target_schema)
+        points = run_engines(["e-basic"], ["row", "columnar"], query, excel_scenario, x=1)
+        assert [point.method for point in points] == ["e-basic@row", "e-basic@columnar"]
+        assert [point.details["engine"] for point in points] == ["row", "columnar"]
+        # Same work on both engines; only the wall clock may differ.
+        assert points[0].source_operators == points[1].source_operators
+        assert points[0].answers == points[1].answers
+
+    def test_run_method_forwards_engine_option(self, excel_scenario):
+        query = paper_query("Q1", excel_scenario.target_schema)
+        point = run_method("e-basic", query, excel_scenario, engine="row")
+        assert point.details["engine"] == "row"
 
     def test_point_from_result_uses_phase_time_by_default(self, excel_scenario):
         from repro.core import evaluate

@@ -1,0 +1,168 @@
+"""Cross-evaluator × cross-engine differential test harness.
+
+Randomized scenarios (hypothesis-driven) assert the reproduction's central
+invariant from two directions at once:
+
+* **algorithm equivalence** — every registered evaluator (basic, e-basic,
+  e-MQO, q-sharing, o-sharing, batch) returns the same answer → probability
+  map as the reference ``basic`` evaluator, within the probability tolerance
+  (different algorithms may accumulate the same probabilities in different
+  orders);
+* **engine equivalence** — for each evaluator, the columnar engine returns
+  *byte-identical* answers to the row engine (exact float equality: the two
+  engines execute the same operators over the same tuples in the same order).
+
+The sampled space covers all three target schemas, the Table III paper
+queries, generated selection chains and product queries, and varying mapping
+counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import evaluate
+from repro.core.evaluators import EVALUATORS
+from repro.datagen.scenario import MatchingScenario, build_scenario
+from repro.relational.executor import ENGINES
+from repro.workloads import paper_query, product_query, selection_query
+from repro.workloads.queries import queries_for_target
+
+ALL_EVALUATORS = tuple(EVALUATORS)
+
+#: Query ids defined per target schema (Table III).
+_QUERY_IDS = {
+    target: [spec.query_id for spec in queries_for_target(target)]
+    for target in ("Excel", "Noris", "Paragon")
+}
+
+_SCENARIOS: dict[str, MatchingScenario] = {}
+
+
+def _scenario(target: str) -> MatchingScenario:
+    """Session-cached scenarios (building one is the expensive part)."""
+    if target not in _SCENARIOS:
+        _SCENARIOS[target] = build_scenario(target=target, h=16, scale=0.01, seed=3)
+    return _SCENARIOS[target]
+
+
+@st.composite
+def differential_cases(draw):
+    """One randomized (query, scenario, mapping-count) differential case."""
+    kind = draw(st.sampled_from(("paper", "paper", "selection", "product")))
+    if kind == "paper":
+        target = draw(st.sampled_from(("Excel", "Noris", "Paragon")))
+        scenario = _scenario(target)
+        query_id = draw(st.sampled_from(_QUERY_IDS[target]))
+        query = paper_query(query_id, scenario.target_schema)
+        h = draw(st.sampled_from((4, 9, 16)))
+        label = f"{target}:{query_id}"
+    elif kind == "selection":
+        scenario = _scenario("Excel")
+        count = draw(st.integers(min_value=1, max_value=5))
+        query = selection_query(count, scenario.target_schema)
+        h = draw(st.sampled_from((4, 9, 16)))
+        label = f"Excel:selections={count}"
+    else:
+        # Product queries blow up the basic evaluator's work; keep h small.
+        scenario = _scenario("Excel")
+        products = draw(st.integers(min_value=1, max_value=2))
+        query = product_query(products, scenario.target_schema)
+        h = draw(st.sampled_from((4, 6)))
+        label = f"Excel:products={products}"
+    return label, query, scenario.with_mappings(h)
+
+
+def _answer_map(result):
+    return dict(result.answers.items())
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(case=differential_cases())
+def test_all_evaluators_and_engines_agree(case):
+    label, query, scenario = case
+    reference = evaluate(
+        query,
+        scenario.mappings,
+        scenario.database,
+        method="basic",
+        links=scenario.links,
+        engine="row",
+    )
+    for method in ALL_EVALUATORS:
+        per_engine = {}
+        for engine in ENGINES:
+            result = evaluate(
+                query,
+                scenario.mappings,
+                scenario.database,
+                method=method,
+                links=scenario.links,
+                engine=engine,
+            )
+            per_engine[engine] = result
+            problems = reference.answers.difference(result.answers)
+            assert reference.answers.equals(result.answers), (
+                f"[{label}] {method}@{engine} diverges from basic@row: {problems}"
+            )
+        # Engines must agree *exactly*, not just within tolerance.
+        assert _answer_map(per_engine["row"]) == _answer_map(per_engine["columnar"]), (
+            f"[{label}] {method}: row and columnar engines differ"
+        )
+        assert (
+            per_engine["row"].answers.empty_probability
+            == per_engine["columnar"].answers.empty_probability
+        ), f"[{label}] {method}: engines disagree on the empty-answer mass"
+
+
+@pytest.mark.parametrize("method", ALL_EVALUATORS)
+def test_engines_report_identical_stats(method, paper_example):
+    """Same operators, same row counters, on both engines (deterministic pin)."""
+    query = paper_example.q2()
+    per_engine = {}
+    for engine in ENGINES:
+        per_engine[engine] = evaluate(
+            query,
+            paper_example.mappings,
+            paper_example.database,
+            method=method,
+            links=paper_example.links,
+            engine=engine,
+        )
+    row, columnar = per_engine["row"].stats, per_engine["columnar"].stats
+    assert dict(row.operators) == dict(columnar.operators)
+    assert row.source_operators == columnar.source_operators
+    assert row.source_queries == columnar.source_queries
+    assert row.rows_scanned == columnar.rows_scanned
+    assert row.rows_output == columnar.rows_output
+    assert _answer_map(per_engine["row"]) == _answer_map(per_engine["columnar"])
+
+
+@pytest.mark.parametrize("method", ALL_EVALUATORS)
+def test_engine_recorded_in_result_details(method, paper_example):
+    result = evaluate(
+        paper_example.q0(),
+        paper_example.mappings,
+        paper_example.database,
+        method=method,
+        links=paper_example.links,
+    )
+    assert result.details["engine"] == "columnar"
+
+
+def test_unknown_engine_rejected(paper_example):
+    with pytest.raises(ValueError, match="unknown engine"):
+        evaluate(
+            paper_example.q0(),
+            paper_example.mappings,
+            paper_example.database,
+            method="basic",
+            links=paper_example.links,
+            engine="vectorised",
+        )

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.evaluators.osharing import OSharingEvaluator
 from repro.core.evaluators.topk import TopKEvaluator, _TopKState
+from repro.workloads import paper_query
 
 
 def exact_top_k(paper_example, query, k):
@@ -99,8 +100,6 @@ class TestTopKEvaluator:
         assert topk.stats.source_operators <= exact.stats.source_operators
 
     def test_scenario_topk_agrees_with_exact(self, excel_scenario):
-        from repro.workloads import paper_query
-
         query = paper_query("Q4", excel_scenario.target_schema)
         exact = OSharingEvaluator(links=excel_scenario.links).evaluate(
             query, excel_scenario.mappings, excel_scenario.database
@@ -123,3 +122,66 @@ class TestTopKEvaluator:
             threshold = expected_probabilities[-1]
             for values in result.answers.tuples:
                 assert exact_by_tuple[values] >= threshold - 1e-9
+
+
+class TestTopKAgainstFullRanking:
+    """Top-k must equal the k best answers of o-sharing's full ranking.
+
+    These run on *generated* workloads (the Excel matching scenario), not the
+    hand-sized paper example: the answer sets are larger, the bounds actually
+    have to do work, and the prunable cases let us assert that bound pruning
+    expands strictly fewer e-units than exact evaluation.
+    """
+
+    @pytest.mark.parametrize("query_id", ["Q1", "Q2", "Q3", "Q4"])
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_topk_equals_head_of_full_ranking(self, excel_scenario, query_id, k):
+        query = paper_query(query_id, excel_scenario.target_schema)
+        exact = OSharingEvaluator(links=excel_scenario.links).evaluate(
+            query, excel_scenario.mappings, excel_scenario.database
+        )
+        result = TopKEvaluator(k=k, links=excel_scenario.links).evaluate(
+            query, excel_scenario.mappings, excel_scenario.database
+        )
+        ranked = exact.answers.ranked()
+        expected = exact.answers.top_k(k)
+        assert len(result.answers) == len(expected)
+        probabilities = sorted((answer.probability for answer in ranked), reverse=True)
+        if len(probabilities) > k and abs(probabilities[k - 1] - probabilities[k]) < 1e-9:
+            # A tie at the boundary makes the top-k *set* ambiguous; every
+            # returned tuple must still rank at least as high as the k-th.
+            exact_by_tuple = {answer.values: answer.probability for answer in ranked}
+            for values in result.answers.tuples:
+                assert exact_by_tuple[values] >= probabilities[k - 1] - 1e-9
+        else:
+            assert set(result.answers.tuples) == {answer.values for answer in expected}
+
+    def test_prunable_scenario_expands_strictly_fewer_eunits(self, excel_scenario):
+        # Q3 at k=1: the first partitions already decide the winner, so the
+        # bound check must cut the traversal short (strictly fewer e-units
+        # than o-sharing's exhaustive expansion), not merely tie it.
+        query = paper_query("Q3", excel_scenario.target_schema)
+        exact = OSharingEvaluator(links=excel_scenario.links).evaluate(
+            query, excel_scenario.mappings, excel_scenario.database
+        )
+        result = TopKEvaluator(k=1, links=excel_scenario.links).evaluate(
+            query, excel_scenario.mappings, excel_scenario.database
+        )
+        assert result.details["stopped_early"]
+        assert result.details["units_created"] < exact.details["units_created"]
+        assert result.stats.source_operators < exact.stats.source_operators
+
+    @pytest.mark.parametrize("engine", ["row", "columnar"])
+    def test_topk_engine_parity(self, excel_scenario, engine):
+        # The top-k evaluator is not in the EVALUATORS registry the
+        # differential harness sweeps, so pin its engine parity here.
+        query = paper_query("Q3", excel_scenario.target_schema)
+        reference = TopKEvaluator(k=2, links=excel_scenario.links, engine="row").evaluate(
+            query, excel_scenario.mappings, excel_scenario.database
+        )
+        result = TopKEvaluator(k=2, links=excel_scenario.links, engine=engine).evaluate(
+            query, excel_scenario.mappings, excel_scenario.database
+        )
+        assert dict(result.answers.items()) == dict(reference.answers.items())
+        assert result.stats.rows_scanned == reference.stats.rows_scanned
+        assert result.stats.rows_output == reference.stats.rows_output

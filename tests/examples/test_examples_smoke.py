@@ -1,0 +1,110 @@
+"""Golden-output smoke tests for the ``examples/`` entry points.
+
+The README advertises ``python examples/quickstart.py`` and
+``python examples/paper_walkthrough.py`` as the first things to run; nothing
+else in the test suite executed them, so a refactor could silently break the
+documented entry points.  These tests run the scripts exactly as a user
+would (a subprocess with ``PYTHONPATH=src``) and pin the output lines whose
+values the paper fixes — the walk-through's hand-computed probabilities are
+real golden output, the quickstart assertions pin its structure and its
+internal e-basic/o-sharing equivalence check.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
+
+
+def run_example(name: str) -> str:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{name} exited with {proc.returncode}\nstdout:\n{proc.stdout}\n"
+        f"stderr:\n{proc.stderr}"
+    )
+    return proc.stdout
+
+
+@pytest.fixture(scope="module")
+def walkthrough_output() -> str:
+    return run_example("paper_walkthrough.py")
+
+
+@pytest.fixture(scope="module")
+def quickstart_output() -> str:
+    return run_example("quickstart.py")
+
+
+class TestPaperWalkthrough:
+    """The walk-through reproduces hand-computed numbers from the paper."""
+
+    GOLDEN_LINES = [
+        # q0 = π_addr σ_phone='123' Person (paper: {(aaa, 0.5), (hk, 0.5)})
+        "  #1   (aaa)  p=0.5000",
+        "  #2   (hk)  p=0.5000",
+        # π_phone σ_addr='aaa' Person (paper: {(123,0.5), (456,0.8), (789,0.2)})
+        "  #1   (456)  p=0.8000",
+        "  #2   (123)  p=0.5000",
+        "  #3   (789)  p=0.2000",
+        # q-sharing partitions of q1 (paper: P1={m1,m2}, P2={m3,m4}, P3={m5})
+        "  P1 = {m1, m2}  probability 0.5",
+        "  P2 = {m3, m4}  probability 0.4",
+        "  P3 = {m5}  probability 0.1",
+        # q2 o-sharing result and the Table II top-1
+        "  #1   (hk, 123)  p=0.5000",
+        "  (no answer) p=0.5000",
+    ]
+
+    def test_golden_lines_present(self, walkthrough_output):
+        for line in self.GOLDEN_LINES:
+            assert line in walkthrough_output, f"missing golden line: {line!r}"
+
+    def test_osharing_beats_basic_on_operator_count(self, walkthrough_output):
+        assert "source operators executed: 14" in walkthrough_output
+        assert "(basic executes 27 source operators)" in walkthrough_output
+
+    def test_mapping_table_rendered(self, walkthrough_output):
+        assert "m1  Pr=0.3" in walkthrough_output
+        assert "o-ratio of the mapping set: 0.58" in walkthrough_output
+
+
+class TestQuickstart:
+    """The quickstart runs end to end and prints every advertised section."""
+
+    SECTIONS = [
+        "Scenario",
+        "Target query",
+        "Probabilistic answers (o-sharing)",
+        "Top-3 answers",
+    ]
+
+    def test_sections_present(self, quickstart_output):
+        for section in self.SECTIONS:
+            assert section in quickstart_output, f"missing section: {section!r}"
+
+    def test_equivalence_check_ran(self, quickstart_output):
+        # The script asserts e-basic and o-sharing agree and then reports
+        # their operator counts; reaching this line means the check passed.
+        assert "e-basic computes the same answers with" in quickstart_output
+
+    def test_answers_reported(self, quickstart_output):
+        assert "p=" in quickstart_output
+        assert "executed" in quickstart_output and "source operators" in quickstart_output

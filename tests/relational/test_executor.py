@@ -63,14 +63,14 @@ class TestScanAndSelect:
         assert stats.operators["Select"] == 1
 
     def test_indexed_select_records_true_input_cardinality(self, database):
-        # Regression: the indexed path used to record the selection with
-        # rows_in equal to the *post-filter* row count, making row counters
-        # incomparable with the non-indexed path.  The selection logically
-        # filters the whole base relation (4 emp rows).
+        # Regression: the indexed path used to record Scan(0, 0) and a
+        # selection rows_in equal to the *post-filter* row count, making row
+        # counters incomparable with the non-indexed path.  It now records
+        # exactly what the generic path would: Scan(4, 4) + Select(4, 2).
         stats = ExecutionStats()
         execute(Select(Scan("emp"), Equals(col("emp.dept"), 10)), database, stats)
-        assert stats.rows_scanned == 4
-        assert stats.rows_output == 2
+        assert stats.rows_scanned == 4 + 4
+        assert stats.rows_output == 4 + 2
 
     def test_indexed_select_does_not_copy_base_relation(self, database):
         # Regression: the indexed path used to materialise the aliased base
