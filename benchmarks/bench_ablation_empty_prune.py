@@ -24,10 +24,16 @@ def _build_series():
     series = ExperimentSeries(title="empty-prune ablation", x_label="query")
     for query_id in QUERY_IDS:
         query = PAPER_QUERIES[query_id].build(scenario.target_schema)
-        with_prune = run_method("o-sharing", query, scenario, x=query_id, prune_empty=True)
+        with_prune = run_method(
+            "o-sharing", query, scenario, x=query_id, prune_empty=True,
+            optimize=False,  # paper-faithful: the paper has no cost-based optimizer
+        )
         with_prune.method = "o-sharing (prune)"
         series.add(with_prune)
-        without_prune = run_method("o-sharing", query, scenario, x=query_id, prune_empty=False)
+        without_prune = run_method(
+            "o-sharing", query, scenario, x=query_id, prune_empty=False,
+            optimize=False,  # paper-faithful: the paper has no cost-based optimizer
+        )
         without_prune.method = "o-sharing (no prune)"
         series.add(without_prune)
     return series

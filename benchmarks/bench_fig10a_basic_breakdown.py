@@ -35,6 +35,7 @@ def _run_breakdown():
             scenario.database,
             method="basic",
             links=scenario.links,
+            optimize=False,  # paper-faithful: the paper has no cost-based optimizer
         )
         phases = result.stats.phase_seconds
         evaluation = phases.get("evaluation", 0.0)

@@ -29,6 +29,7 @@ def _build_series():
         PAPER_MBS,
         calibration=CALIBRATION,
         title="Figure 10(b): simple solutions vs database size (Q4)",
+        optimize=False,  # paper-faithful: the paper has no cost-based optimizer
     )
 
 

@@ -27,6 +27,7 @@ def _build_series():
         scenario,
         H_VALUES,
         title="Figure 10(c): simple solutions vs number of mappings (Q4)",
+        optimize=False,  # paper-faithful: the paper has no cost-based optimizer
     )
 
 

@@ -18,6 +18,7 @@ def _build_series(bench_scenarios):
         list(PAPER_QUERIES),
         bench_scenarios,
         title="Figure 11(a): time per Table III query",
+        optimize=False,  # paper-faithful: the paper has no cost-based optimizer
     )
 
 

@@ -26,6 +26,7 @@ def _build_series():
         PAPER_MBS,
         calibration=CALIBRATION,
         title="Figure 11(b): sharing evaluators vs database size (Q4)",
+        optimize=False,  # paper-faithful: the paper has no cost-based optimizer
     )
 
 

@@ -25,6 +25,7 @@ def _build_series():
         scenario,
         H_VALUES,
         title="Figure 11(c): sharing evaluators vs number of mappings (Q4)",
+        optimize=False,  # paper-faithful: the paper has no cost-based optimizer
     )
 
 

@@ -26,7 +26,13 @@ def _build_series():
     )
     for count in PRODUCT_COUNTS:
         query = product_query(count, scenario.target_schema)
-        for point in run_methods(DEFAULT_METHODS, query, scenario, x=count):
+        for point in run_methods(
+            DEFAULT_METHODS,
+            query,
+            scenario,
+            x=count,
+            optimize=False,  # paper-faithful: the paper has no cost-based optimizer
+        ):
             series.add(point)
     return series
 

@@ -28,7 +28,13 @@ def _build_series():
         query = specs[query_id].build(scenario.target_schema)
         for strategy in STRATEGIES:
             point = run_method(
-                "o-sharing", query, scenario, x=query_id, strategy=strategy, seed=11
+                "o-sharing",
+                query,
+                scenario,
+                x=query_id,
+                strategy=strategy,
+                seed=11,
+                optimize=False,  # paper-faithful: the paper has no cost-based optimizer
             )
             point.method = strategy
             series.add(point)

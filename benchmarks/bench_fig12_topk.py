@@ -37,12 +37,18 @@ def _build_panel(query_id: str) -> ExperimentSeries:
         scenario.database,
         method="o-sharing",
         links=scenario.links,
+        optimize=False,  # paper-faithful: the paper has no cost-based optimizer
     )
     exact_seconds = time.perf_counter() - started
     for k in K_VALUES:
         started = time.perf_counter()
         topk = evaluate_top_k(
-            query, scenario.mappings, scenario.database, k=k, links=scenario.links
+            query,
+            scenario.mappings,
+            scenario.database,
+            k=k,
+            links=scenario.links,
+            optimize=False,  # paper-faithful: the paper has no cost-based optimizer
         )
         elapsed = time.perf_counter() - started
         series.add(point_from_result(topk, method="top-k", x=k, seconds=elapsed))

@@ -30,10 +30,18 @@ def _build_series():
     query = PAPER_QUERIES["Q4"].build(scenario.target_schema)
     series = ExperimentSeries(title="Table IV", x_label="strategy")
     for strategy in ("random", "snf", "sef"):
-        point = run_method("o-sharing", query, scenario, x=strategy, strategy=strategy, seed=11)
+        point = run_method(
+            "o-sharing",
+            query,
+            scenario,
+            x=strategy,
+            strategy=strategy,
+            seed=11,
+            optimize=False,  # paper-faithful: the paper has no cost-based optimizer
+        )
         point.method = f"o-sharing/{strategy}"
         series.add(point)
-    emqo = run_method("e-mqo", query, scenario, x="e-mqo")
+    emqo = run_method("e-mqo", query, scenario, x="e-mqo", optimize=False)
     series.add(emqo)
     return series
 

@@ -145,6 +145,9 @@ def point_from_result(
     seconds: float | None = None,
 ) -> ExperimentPoint:
     """Convert an :class:`EvaluationResult` into an :class:`ExperimentPoint`."""
+    details = dict(result.details)
+    details.setdefault("rows_scanned", result.stats.rows_scanned)
+    details.setdefault("plans_optimized", result.stats.plans_optimized)
     return ExperimentPoint(
         method=method or result.evaluator,
         x=x,
@@ -153,7 +156,7 @@ def point_from_result(
         source_queries=result.stats.source_queries,
         answers=len(result.answers),
         reformulations=result.stats.reformulations,
-        details=dict(result.details),
+        details=details,
     )
 
 
@@ -187,6 +190,31 @@ def run_engines(
         for method in methods:
             point = run_method(method, query, scenario, x=x, engine=engine, **options)
             point.method = f"{method}@{engine}"
+            points.append(point)
+    return points
+
+
+def run_optimizer_modes(
+    methods: Sequence[str],
+    query: TargetQuery,
+    scenario: MatchingScenario,
+    x: Any = None,
+    **options: Any,
+) -> list[ExperimentPoint]:
+    """Run each method with the cost-based optimizer on and off.
+
+    The mode becomes part of the reported method label (``method@opt`` /
+    ``method@raw``) so a series carries the optimizer dimension through the
+    standard reporting tables; ``point.details["optimize"]`` holds it
+    separately as well.
+    """
+    points = []
+    for optimize, suffix in ((True, "opt"), (False, "raw")):
+        for method in methods:
+            point = run_method(
+                method, query, scenario, x=x, optimize=optimize, **options
+            )
+            point.method = f"{method}@{suffix}"
             points.append(point)
     return points
 

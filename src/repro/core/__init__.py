@@ -68,8 +68,11 @@ def evaluate(
         Optional source-schema join links shared by all reformulations.
     options:
         Forwarded to the evaluator constructor (e.g. ``strategy="snf"`` for
-        o-sharing, or ``engine="row"`` to use the tuple-at-a-time execution
-        engine instead of the default columnar batch engine).
+        o-sharing, ``engine="row"`` to use the tuple-at-a-time execution
+        engine instead of the default columnar batch engine, or
+        ``optimize=False`` to execute source plans exactly as reformulation
+        produced them instead of running them through the cost-based
+        optimizer first).
     """
     evaluator = make_evaluator(method, links=links, **options)
     return evaluator.evaluate(query, mappings, database)

@@ -81,16 +81,43 @@ class Evaluator(abc.ABC):
     evaluator creates will use (``"columnar"`` by default, ``"row"`` for the
     tuple-at-a-time interpreter); answers are identical either way, which the
     differential test harness asserts for every evaluator.
+
+    ``optimize`` (default on) runs every source plan through the cost-based
+    optimizer (:mod:`repro.relational.optimizer`) before execution: predicate
+    pushdown, Select+Product→Join conversion, projection pruning, constant
+    folding, empty-relation short-circuit and cost-based join ordering.
+    Answers are byte-identical with the optimizer off — also asserted by the
+    differential harness — only the executed operator and row counts change.
     """
 
     #: human-readable algorithm name used in reports and figures
     name: str = "evaluator"
 
-    def __init__(self, links: SchemaLinks | None = None, engine: str = DEFAULT_ENGINE):
+    def __init__(
+        self,
+        links: SchemaLinks | None = None,
+        engine: str = DEFAULT_ENGINE,
+        optimize: bool = True,
+    ):
         self.links = links
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
         self.engine = engine
+        self.optimize = optimize
+
+    def _optimizer(self, database: Database):
+        """A per-evaluation optimizer instance, or ``None`` when disabled.
+
+        The optimizer memoizes per canonical fingerprint (guarded by data
+        versions) and reads the database's lazily collected, version-keyed
+        statistics catalog, so repeated identical source queries are planned
+        once per evaluation.
+        """
+        if not self.optimize:
+            return None
+        from repro.relational.optimizer import Optimizer
+
+        return Optimizer(database)
 
     @abc.abstractmethod
     def evaluate(
@@ -111,6 +138,7 @@ class Evaluator(abc.ABC):
         """Assemble an :class:`EvaluationResult` (shared helper)."""
         merged = dict(details)
         merged.setdefault("engine", self.engine)
+        merged.setdefault("optimize", self.optimize)
         return EvaluationResult(
             evaluator=self.name,
             query=query,

@@ -59,7 +59,9 @@ class BasicEvaluator(Evaluator):
         than only a :class:`~repro.matching.mappings.MappingSet`.
         """
         stats = ExecutionStats()
-        executor = Executor(database, stats, engine=self.engine)
+        executor = Executor(
+            database, stats, engine=self.engine, optimizer=self._optimizer(database)
+        )
         answers = ProbabilisticAnswer()
         evaluated_queries = 0
 

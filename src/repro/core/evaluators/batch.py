@@ -114,8 +114,9 @@ class BatchEvaluator(Evaluator):
         cache_size: int = 4096,
         exhaustive_planning: bool = False,
         engine: str = DEFAULT_ENGINE,
+        optimize: bool = True,
     ):
-        super().__init__(links, engine=engine)
+        super().__init__(links, engine=engine, optimize=optimize)
         self.cache_size = cache_size
         self.exhaustive_planning = exhaustive_planning
 
@@ -171,13 +172,24 @@ class BatchEvaluator(Evaluator):
                 first_stats[key] = stats
 
         # Phase 2 — one global plan over the whole workload.  Plans are
-        # collected with workload multiplicity so that a repeated target
-        # query's entire source queries count as shared subexpressions.
+        # optimized first (the optimizer memo deduplicates identical source
+        # queries across the workload) and collected with workload
+        # multiplicity so that a repeated target query's entire source
+        # queries count as shared subexpressions *of the optimized form*.
         planning = ExecutionStats()
         with planning.phase(PHASE_PLANNING):
+            optimizer = self._optimizer(database)
+            optimized: dict[str, list] = {}
+            for key, (distinct, _) in clusters.items():
+                if optimizer is not None:
+                    optimized[key] = [
+                        optimizer.optimize(entry.plan, planning) for entry in distinct
+                    ]
+                else:
+                    optimized[key] = [entry.plan for entry in distinct]
             plans = []
             for key in keys:
-                plans.extend(entry.plan for entry in clusters[key][0])
+                plans.extend(optimized[key])
             global_plan = build_global_plan(plans, exhaustive=self.exhaustive_planning)
             policy = global_plan.materialization_policy()
         batch_stats.merge(planning)
@@ -192,9 +204,9 @@ class BatchEvaluator(Evaluator):
             answers = ProbabilisticAnswer()
             if unmatched_probability:
                 answers.add_empty(unmatched_probability)
-            for source_query in distinct:
+            for source_query, plan in zip(distinct, optimized[key]):
                 with stats.phase(PHASE_EVALUATION):
-                    result = executor.execute_query(source_query.plan)
+                    result = executor.execute_query(plan)
                 with stats.phase(PHASE_AGGREGATION):
                     tuples = extract_answers(query, source_query.representative, result)
                     if tuples:
@@ -223,6 +235,8 @@ class BatchEvaluator(Evaluator):
                 "distinct_target_queries": len(clusters),
                 "shared_subexpressions": global_plan.materialisation_points,
                 "plan_comparisons": global_plan.comparisons,
+                "engine": self.engine,
+                "optimize": self.optimize,
             },
         )
 

@@ -92,7 +92,9 @@ class EBasicEvaluator(Evaluator):
         database: Database,
     ) -> EvaluationResult:
         stats = ExecutionStats()
-        executor = Executor(database, stats, engine=self.engine)
+        executor = Executor(
+            database, stats, engine=self.engine, optimizer=self._optimizer(database)
+        )
         answers = ProbabilisticAnswer()
 
         with stats.phase(PHASE_REWRITING):

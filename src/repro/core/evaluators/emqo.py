@@ -217,14 +217,22 @@ class EMQOEvaluator(Evaluator):
             answers.add_empty(unmatched_probability)
 
         with stats.phase(PHASE_PLANNING):
-            global_plan = build_global_plan([entry.plan for entry in distinct])
+            # The cost-based optimizer runs *before* the MQO analysis so that
+            # shared subexpressions are detected on the plans that actually
+            # execute; its per-fingerprint memo keeps repeated subplans cheap.
+            optimizer = self._optimizer(database)
+            if optimizer is not None:
+                plans = [optimizer.optimize(entry.plan, stats) for entry in distinct]
+            else:
+                plans = [entry.plan for entry in distinct]
+            global_plan = build_global_plan(plans)
             policy = global_plan.materialization_policy()
             cache = PlanCache(maxsize=max(1, global_plan.materialisation_points))
 
         executor = Executor(database, stats, cache=cache, policy=policy, engine=self.engine)
-        for source_query in distinct:
+        for source_query, plan in zip(distinct, plans):
             with stats.phase(PHASE_EVALUATION):
-                result = executor.execute_query(source_query.plan)
+                result = executor.execute_query(plan)
             with stats.phase(PHASE_AGGREGATION):
                 tuples = extract_answers(query, source_query.representative, result)
                 if tuples:

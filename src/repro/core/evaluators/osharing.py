@@ -54,8 +54,9 @@ class OSharingEvaluator(Evaluator):
         seed: int = 0,
         prune_empty: bool = True,
         engine: str = DEFAULT_ENGINE,
+        optimize: bool = True,
     ):
-        super().__init__(links, engine=engine)
+        super().__init__(links, engine=engine, optimize=optimize)
         self.strategy = make_strategy(strategy, seed) if isinstance(strategy, str) else strategy
         #: the empty-intermediate shortcut (Case 2 of ``run_qt``); disabling it
         #: is only useful for the ablation benchmark.
@@ -69,7 +70,9 @@ class OSharingEvaluator(Evaluator):
         database: Database,
     ) -> EvaluationResult:
         stats = ExecutionStats()
-        executor = Executor(database, stats, engine=self.engine)
+        executor = Executor(
+            database, stats, engine=self.engine, optimizer=self._optimizer(database)
+        )
         answers = ProbabilisticAnswer()
 
         # Steps 1-3 of Algorithm 2: partition, represent, initialise the u-trace.

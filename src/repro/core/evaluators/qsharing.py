@@ -37,7 +37,9 @@ class QSharingEvaluator(Evaluator):
             representatives = represent(partitions)
 
         # Step 3 of Algorithm 1: run basic over the representative mappings.
-        basic = BasicEvaluator(links=self.links, engine=self.engine)
+        basic = BasicEvaluator(
+            links=self.links, engine=self.engine, optimize=self.optimize
+        )
         inner = basic.evaluate_mappings(query, representatives, database)
 
         stats = partition_stats

@@ -71,8 +71,9 @@ class TopKEvaluator(Evaluator):
         strategy: str | SelectionStrategy = "sef",
         seed: int = 0,
         engine: str = DEFAULT_ENGINE,
+        optimize: bool = True,
     ):
-        super().__init__(links, engine=engine)
+        super().__init__(links, engine=engine, optimize=optimize)
         if k <= 0:
             raise ValueError("k must be positive")
         self.k = k
@@ -86,7 +87,9 @@ class TopKEvaluator(Evaluator):
         database: Database,
     ) -> EvaluationResult:
         stats = ExecutionStats()
-        executor = Executor(database, stats, engine=self.engine)
+        executor = Executor(
+            database, stats, engine=self.engine, optimizer=self._optimizer(database)
+        )
 
         with stats.phase(PHASE_REWRITING):
             partitions = partition(query.partition_keys, mappings)

@@ -23,6 +23,9 @@ queries* over a *source instance*:
   selections on base relations.
 * :mod:`repro.relational.plancache` — bounded plan-result cache and
   materialization policies powering shared (multi-query) execution.
+* :mod:`repro.relational.optimizer` — cost-based query optimizer (statistics
+  catalog, rewrite rules, join ordering, ``explain()``) applied between
+  reformulation and execution.
 * :mod:`repro.relational.csvio` — simple CSV persistence.
 """
 
@@ -53,6 +56,7 @@ from repro.relational.predicates import (
     Between,
     Comparison,
     Equals,
+    FalsePredicate,
     GreaterEqual,
     GreaterThan,
     In,
@@ -64,7 +68,7 @@ from repro.relational.predicates import (
     Predicate,
     TruePredicate,
 )
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, combine_labels, resolve_label, unique_labels
 from repro.relational.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.relational.stats import ExecutionStats
 
@@ -100,12 +104,16 @@ __all__ = [
     "In",
     "LessEqual",
     "LessThan",
+    "FalsePredicate",
     "Not",
     "NotEquals",
     "Or",
     "Predicate",
     "TruePredicate",
     "Relation",
+    "combine_labels",
+    "resolve_label",
+    "unique_labels",
     "Attribute",
     "DatabaseSchema",
     "RelationSchema",

@@ -33,6 +33,7 @@ from repro.relational.predicates import (
     And,
     Between,
     Comparison,
+    FalsePredicate,
     In,
     Not,
     Or,
@@ -248,6 +249,8 @@ def _mask(predicate: Predicate, batch: ColumnBatch, n: int) -> list[bool]:
         return _comparison_mask(predicate, batch, n)
     if isinstance(predicate, TruePredicate):
         return [True] * n
+    if isinstance(predicate, FalsePredicate):
+        return [False] * n
     if isinstance(predicate, And):
         out = _mask(predicate.operands[0], batch, n)
         for operand in predicate.operands[1:]:

@@ -21,6 +21,7 @@ class Database:
         self.schema = schema
         self._relations: dict[str, Relation] = {}
         self._indexes = IndexCatalog()
+        self._stats_catalog = None
         if relations:
             for name, relation in relations.items():
                 self.set_relation(name, relation)
@@ -56,6 +57,21 @@ class Database:
     def index_catalog(self) -> IndexCatalog:
         """The database's lazy hash-index cache."""
         return self._indexes
+
+    @property
+    def stats_catalog(self):
+        """The database's lazy, version-keyed statistics catalog.
+
+        Created on first access (the import is deferred to keep the
+        relational substrate free of an optimizer dependency); entries are
+        keyed on relation data versions, so no explicit invalidation hook is
+        needed — stale statistics are re-collected transparently.
+        """
+        if self._stats_catalog is None:
+            from repro.relational.optimizer.statistics import StatsCatalog
+
+            self._stats_catalog = StatsCatalog(self)
+        return self._stats_catalog
 
     def relation(self, name: str) -> Relation:
         """The stored relation called ``name``."""

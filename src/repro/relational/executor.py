@@ -18,9 +18,17 @@ columnar engine is simply faster (see ``benchmarks/bench_engine_columnar.py``).
 Two physical optimisations are implemented because the figures depend on
 realistic relative costs:
 
-* equality selections directly above a base-relation scan use a hash index;
-* equi-joins use a hash join; all other joins and Cartesian products are
-  nested loops.
+* equality selections directly above a base-relation scan use a hash index
+  (a conjunction containing such an equality looks up the index and filters
+  the candidates with the full predicate);
+* equi-joins use a hash join — on a *composite* key when several equality
+  conjuncts connect the two inputs; all other joins and Cartesian products
+  are nested loops.
+
+Logical optimisation is the job of :mod:`repro.relational.optimizer`: when an
+``optimizer`` is supplied, every plan handed to :meth:`Executor.execute` is
+rewritten (and memoized per canonical fingerprint) before dispatch, for both
+engines alike.
 
 Each executed operator is recorded in an
 :class:`~repro.relational.stats.ExecutionStats` so that evaluators can report
@@ -49,9 +57,16 @@ from repro.relational.database import Database
 from repro.relational.expressions import ColumnRef, Literal
 from repro.relational.plancache import MaterializationPolicy, MaterializeAll, PlanCache
 from repro.relational.predicates import Comparison, Predicate, conjunction
-from repro.relational.relation import Relation
+from repro.relational.relation import Relation, combine_labels, unique_labels
 from repro.relational.stats import ExecutionStats
-from repro.relational.types import _try_parse_number
+from repro.relational.types import (
+    FAMILY_EMPTY,
+    FAMILY_NUMERIC,
+    FAMILY_STRING,
+    _try_parse_number,
+    column_family,
+    hash_compatible,
+)
 
 #: The available execution engines.
 ENGINES = ("row", "columnar")
@@ -84,6 +99,7 @@ class Executor:
         cache: PlanCache | None = None,
         policy: MaterializationPolicy | None = None,
         engine: str = DEFAULT_ENGINE,
+        optimizer=None,
     ):
         self.database = database
         self.stats = stats if stats is not None else ExecutionStats()
@@ -94,10 +110,16 @@ class Executor:
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
         self.engine = engine
+        #: optional :class:`~repro.relational.optimizer.Optimizer`; when set,
+        #: every plan handed to :meth:`execute` is optimized first (memoized
+        #: per canonical fingerprint inside the optimizer).
+        self.optimizer = optimizer
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanNode) -> Relation:
         """Evaluate ``plan`` and return its result relation."""
+        if self.optimizer is not None:
+            plan = self.optimizer.optimize(plan, self.stats)
         if self.engine == "columnar":
             return self._evaluate_columnar(plan).to_relation()
         return self._evaluate(plan)
@@ -160,20 +182,34 @@ class Executor:
         return Relation(child.columns, rows, name=child.name)
 
     def _try_indexed_select(self, node: Select) -> Relation | None:
-        """Fast path: single equality comparison over a base-relation scan."""
+        """Fast path: an equality conjunct over a base-relation scan uses an index.
+
+        A single ``column = constant`` comparison is answered straight from
+        the hash index (the original fast path); a conjunction whose *first*
+        conjunct is such a comparison looks up the index on it and filters
+        the candidates with the full predicate (the optimizer's selection
+        merging produces exactly this shape, inner predicate first).  Only
+        the first conjunct is eligible: in the unoptimized stacked-select
+        chain that is the one selection sitting directly on the scan — the
+        only place the fast path could fire — so optimized and unoptimized
+        runs take index semantics on exactly the same comparison.
+        """
         if not isinstance(node.child, Scan):
-            return None
-        predicate = node.predicate
-        if not isinstance(predicate, Comparison) or predicate.op != "=":
-            return None
-        if not (isinstance(predicate.left, ColumnRef) and isinstance(predicate.right, Literal)):
             return None
         scan = node.child
         try:
             base = self.database.relation(scan.relation)
         except KeyError:
             return None
-        ref = predicate.left
+        conjuncts = node.predicate.conjuncts()
+        conjunct = conjuncts[0]
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            return None
+        if not (
+            isinstance(conjunct.left, ColumnRef) and isinstance(conjunct.right, Literal)
+        ):
+            return None
+        ref = conjunct.left
         if ref.qualifier is not None and ref.qualifier != scan.label:
             return None
         try:
@@ -181,21 +217,58 @@ class Executor:
         except KeyError:
             return None
         attribute = base.columns[position].split(".", 1)[-1]
+        if not self._index_semantics_exact(
+            scan.relation, attribute, conjunct.right.value
+        ):
+            # The fast path substitutes dict-keyed lookup for coerced
+            # equality; it only fires when the column profile proves the two
+            # agree (e.g. a numeric column, or a string column against a
+            # string literal).  This makes the generic coercing path the
+            # single source of truth on every column — essential because the
+            # optimizer's select-merge/pushdown move comparisons across the
+            # fast-path boundary, and answers must not depend on which side
+            # they land.
+            return None
         index = self.database.index(scan.relation, attribute)
-        rows = self._index_lookup(index, predicate.right.value)
+        rows = self._index_lookup(index, conjunct.right.value)
         if scan.alias is None or scan.alias == base.name:
             columns, name = base.columns, base.name
         else:
             columns = [f"{scan.alias}.{label.split('.', 1)[-1]}" for label in base.columns]
             name = scan.alias
+        result = Relation(columns, rows, name=name)
+        if len(conjuncts) > 1:
+            predicate = node.predicate
+            filtered = [row for row in result.rows if predicate.evaluate(result, row)]
+            result = Relation(columns, filtered, name=name)
         # The scan itself is implicit in an index lookup; record both operators
         # with the same cardinalities the generic path would, so that operator
         # *and row* counters are identical whether or not the fast path fires
         # (the invariant tests/relational/test_columnar.py pins across the
         # row, indexed-select and columnar paths).
         self.stats.count_operator("Scan", rows_in=len(base), rows_out=len(base))
-        self.stats.count_operator("Select", rows_in=len(base), rows_out=len(rows))
-        return Relation(columns, rows, name=name)
+        self.stats.count_operator("Select", rows_in=len(base), rows_out=len(result))
+        return result
+
+    def _index_semantics_exact(self, relation_name: str, attribute: str, literal: Any) -> bool:
+        """True when an index lookup equals coerced equality for this column.
+
+        Uses the database's version-keyed statistics catalog: a numeric (or
+        empty) column agrees for every literal (``_index_lookup`` parses
+        string literals with the same rules as :func:`comparable`); a string
+        column agrees only for string literals (a numeric literal against
+        e.g. the stored string ``"2.0"`` coerces equal but can never hash
+        equal).  NaN literals never agree (``NaN = NaN`` is false under the
+        predicate but can identity-match a dict key).
+        """
+        if literal is None or literal != literal:
+            return False
+        stats = self.database.stats_catalog.column(relation_name, attribute)
+        if stats is None:
+            return False
+        if stats.family in (FAMILY_NUMERIC, FAMILY_EMPTY):
+            return True
+        return stats.family == FAMILY_STRING and isinstance(literal, str)
 
     @staticmethod
     def _index_lookup(index: Any, value: Any) -> list[tuple]:
@@ -236,13 +309,8 @@ class Executor:
 
     @staticmethod
     def _unique_labels(labels: list[str]) -> list[str]:
-        """Deduplicate output labels (a projection may repeat a column)."""
-        seen: dict[str, int] = defaultdict(int)
-        unique = []
-        for label in labels:
-            seen[label] += 1
-            unique.append(label if seen[label] == 1 else f"{label}#{seen[label]}")
-        return unique
+        """Deduplicate output labels (shared with the optimizer's inference)."""
+        return unique_labels(labels)
 
     # -- product / join ---------------------------------------------------- #
     def _evaluate_product(self, node: Product) -> Relation:
@@ -260,19 +328,34 @@ class Executor:
         right = self._evaluate(node.right)
         columns = self._combine_columns(left, right)
         combined = Relation(columns, [])
-        equi = self._find_equi_condition(node.predicate, left, right)
-        if equi is not None:
-            left_pos, right_pos = equi
-            buckets: dict[Any, list[tuple]] = defaultdict(list)
-            for rrow in right.rows:
-                buckets[rrow[right_pos]].append(rrow)
-            rows = []
+        pairs = self._find_hash_join(node.predicate, left, right)
+        if pairs:
             residual = node.predicate
-            for lrow in left.rows:
-                for rrow in buckets.get(lrow[left_pos], ()):
-                    candidate = lrow + rrow
-                    if residual.evaluate(combined, candidate):
-                        rows.append(candidate)
+            rows = []
+            if len(pairs) == 1:
+                left_pos, right_pos = pairs[0]
+                buckets: dict[Any, list[tuple]] = defaultdict(list)
+                for rrow in right.rows:
+                    buckets[rrow[right_pos]].append(rrow)
+                for lrow in left.rows:
+                    for rrow in buckets.get(lrow[left_pos], ()):
+                        candidate = lrow + rrow
+                        if residual.evaluate(combined, candidate):
+                            rows.append(candidate)
+            else:
+                # Composite key: hash on the tuple of every equality conjunct
+                # between the two inputs instead of the first one alone.
+                left_positions = [pair[0] for pair in pairs]
+                right_positions = [pair[1] for pair in pairs]
+                buckets = defaultdict(list)
+                for rrow in right.rows:
+                    buckets[tuple(rrow[p] for p in right_positions)].append(rrow)
+                for lrow in left.rows:
+                    key = tuple(lrow[p] for p in left_positions)
+                    for rrow in buckets.get(key, ()):
+                        candidate = lrow + rrow
+                        if residual.evaluate(combined, candidate):
+                            rows.append(candidate)
         else:
             rows = [
                 lrow + rrow
@@ -305,31 +388,52 @@ class Executor:
 
     @staticmethod
     def _combine_columns(left: Relation, right: Relation) -> list[str]:
-        """Concatenate column labels, suffixing the right side on collisions."""
-        columns = list(left.columns)
-        taken = set(columns)
-        for label in right.columns:
-            candidate = label
-            counter = 2
-            while candidate in taken:
-                candidate = f"{label}#{counter}"
-                counter += 1
-            taken.add(candidate)
-            columns.append(candidate)
-        return columns
+        """Concatenate column labels (shared with the optimizer's inference)."""
+        return combine_labels(left.columns, right.columns)
 
-    def _find_equi_condition(
-        self, predicate: Predicate, left: Relation, right: Relation
-    ) -> tuple[int, int] | None:
-        """Locate a ``left_col = right_col`` conjunct usable for a hash join."""
+    def _find_hash_join(
+        self, predicate: Predicate, left, right
+    ) -> list[tuple[int, int]]:
+        """All ``left_col = right_col`` conjuncts usable as one composite hash key.
+
+        When several equality conjuncts connect the same pair of inputs the
+        join hashes on the tuple of all of them instead of hashing on the
+        first and re-filtering the (much larger) candidate set.
+
+        The first resolvable conjunct is always keyed (the pre-composite
+        behaviour); additional conjuncts join the key only when both columns
+        live in the same coercion family, because key matching uses dict
+        semantics while the residual predicate pass coerces (``"2" = 2`` is
+        true under :func:`~repro.relational.types.comparable` but can never
+        match a hash bucket) — on mixed-representation columns those
+        conjuncts stay in the residual, preserving answers exactly.
+        """
+        pairs: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
         for conjunct in predicate.conjuncts():
             if not isinstance(conjunct, Comparison) or not conjunct.is_equi_column:
                 continue
             first, second = conjunct.left, conjunct.right
             sides = self._resolve_sides(first, second, left, right)
-            if sides is not None:
-                return sides
-        return None
+            if sides is not None and sides not in seen:
+                seen.add(sides)
+                pairs.append(sides)
+        if len(pairs) > 1:
+            kept = pairs[:1]
+            for left_pos, right_pos in pairs[1:]:
+                left_family = column_family(self._column_values(left, left_pos))
+                right_family = column_family(self._column_values(right, right_pos))
+                if hash_compatible(left_family, right_family):
+                    kept.append((left_pos, right_pos))
+            pairs = kept
+        return pairs
+
+    @staticmethod
+    def _column_values(relation, position: int):
+        """One column's values from a Relation or a ColumnBatch."""
+        if isinstance(relation, ColumnBatch):
+            return relation.data[position]
+        return (row[position] for row in relation.rows)
 
     @staticmethod
     def _resolve_sides(
@@ -482,19 +586,18 @@ class Executor:
         left = self._evaluate_columnar(node.left)
         right = self._evaluate_columnar(node.right)
         columns = self._combine_columns(left, right)
-        equi = self._find_equi_condition(node.predicate, left, right)
-        # When the whole predicate is the single hash-join equality, the
-        # bucket match already decides it (None keys never satisfy an
-        # equality, so they are skipped) and no residual pass is needed.
-        pure_equi = isinstance(node.predicate, Comparison)
+        pairs = self._find_hash_join(node.predicate, left, right)
+        # When the whole predicate is exactly the hash-join equalities, the
+        # bucket match already decides it (None/NaN keys never satisfy an
+        # equality, so they are dropped at build time) and no residual pass
+        # is needed.
+        pure_equi = len(pairs) >= 1 and len(pairs) == len(node.predicate.conjuncts())
         left_idx: list[int] = []
         right_idx: list[int] = []
-        if equi is not None:
-            left_pos, right_pos = equi
+        if len(pairs) == 1:
+            left_pos, right_pos = pairs[0]
             buckets: dict[Any, list[int]] = defaultdict(list)
             if pure_equi:
-                # Build-side keys an equality can never accept (None, NaN)
-                # are dropped here instead of by a residual predicate pass.
                 for i, value in enumerate(right.data[right_pos]):
                     if value is not None and value == value:
                         buckets[value].append(i)
@@ -504,6 +607,24 @@ class Executor:
             lookup = buckets.get
             for i, value in enumerate(left.data[left_pos]):
                 bucket = lookup(value)
+                if bucket:
+                    left_idx.extend([i] * len(bucket))
+                    right_idx.extend(bucket)
+        elif pairs:
+            # Composite key: one bucket per tuple of build-side key values.
+            right_key_columns = [right.data[pair[1]] for pair in pairs]
+            left_key_columns = [left.data[pair[0]] for pair in pairs]
+            buckets = defaultdict(list)
+            if pure_equi:
+                for i, key in enumerate(zip(*right_key_columns)):
+                    if all(value is not None and value == value for value in key):
+                        buckets[key].append(i)
+            else:
+                for i, key in enumerate(zip(*right_key_columns)):
+                    buckets[key].append(i)
+            lookup = buckets.get
+            for i, key in enumerate(zip(*left_key_columns)):
+                bucket = lookup(key)
                 if bucket:
                     left_idx.extend([i] * len(bucket))
                     right_idx.extend(bucket)

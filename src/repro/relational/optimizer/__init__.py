@@ -1,0 +1,83 @@
+"""Cost-based query optimizer.
+
+The optimizer sits between reformulation and execution: evaluators hand every
+source plan to an :class:`Optimizer`, which rewrites it (predicate pushdown,
+Select+Product→Join conversion, projection pruning, constant folding,
+empty-relation short-circuit), reorders joins with a cardinality-driven
+search, and memoizes the result per canonical fingerprint guarded by data
+versions.  It is engine-agnostic — the row and columnar engines execute the
+same optimized plan — and is driven by a lazily collected, version-keyed
+:class:`StatsCatalog` (per-relation cardinalities, per-column NDV/min-max and
+small equi-width histograms).
+
+* :mod:`repro.relational.optimizer.statistics` — the statistics catalog.
+* :mod:`repro.relational.optimizer.analysis` — schema inference, column
+  origins and selectivity/cardinality estimation.
+* :mod:`repro.relational.optimizer.rules` — the rewrite rule engine.
+* :mod:`repro.relational.optimizer.ordering` — cost-based join ordering.
+* :mod:`repro.relational.optimizer.core` — the :class:`Optimizer` facade and
+  its version-guarded memo.
+* :mod:`repro.relational.optimizer.explain` — the ``EXPLAIN`` pretty-printer.
+"""
+
+from repro.relational.optimizer.analysis import (
+    ColumnOrigin,
+    InferenceError,
+    PlanAnnotator,
+    PlanInfo,
+    predicate_selectivity,
+)
+from repro.relational.optimizer.core import OptimizationReport, Optimizer
+from repro.relational.optimizer.explain import describe_node, explain, render_plan
+from repro.relational.optimizer.ordering import DP_LIMIT, reorder_joins
+from repro.relational.optimizer.rules import (
+    RULE_CONSTANT_FOLD,
+    RULE_EMPTY_SHORTCIRCUIT,
+    RULE_JOIN_REORDER,
+    RULE_PRODUCT_TO_JOIN,
+    RULE_PROJECT_COLLAPSE,
+    RULE_PROJECT_PRUNE,
+    RULE_PUSHDOWN,
+    RULE_REMOVE_TRIVIAL_SELECT,
+    RULE_SELECT_INTO_JOIN,
+    RULE_SELECT_MERGE,
+    RewriteContext,
+    fold_predicate,
+)
+from repro.relational.optimizer.statistics import (
+    ColumnStats,
+    StatsCatalog,
+    column_family,
+    hash_compatible,
+)
+
+__all__ = [
+    "ColumnOrigin",
+    "ColumnStats",
+    "DP_LIMIT",
+    "InferenceError",
+    "OptimizationReport",
+    "Optimizer",
+    "PlanAnnotator",
+    "PlanInfo",
+    "RULE_CONSTANT_FOLD",
+    "RULE_EMPTY_SHORTCIRCUIT",
+    "RULE_JOIN_REORDER",
+    "RULE_PRODUCT_TO_JOIN",
+    "RULE_PROJECT_COLLAPSE",
+    "RULE_PROJECT_PRUNE",
+    "RULE_PUSHDOWN",
+    "RULE_REMOVE_TRIVIAL_SELECT",
+    "RULE_SELECT_INTO_JOIN",
+    "RULE_SELECT_MERGE",
+    "RewriteContext",
+    "StatsCatalog",
+    "column_family",
+    "describe_node",
+    "explain",
+    "fold_predicate",
+    "hash_compatible",
+    "predicate_selectivity",
+    "render_plan",
+    "reorder_joins",
+]

@@ -1,0 +1,435 @@
+"""Static plan analysis: output schemas, column origins, cardinality estimates.
+
+Every optimizer rule needs to reason about a plan *without executing it*:
+
+* **schema inference** — the exact output column labels of every node,
+  mirroring the executor's labelling (alias prefixing, projection label
+  deduplication, product/join collision suffixing) through the shared helpers
+  in :mod:`repro.relational.relation`, so an inferred schema can never drift
+  from an executed one;
+* **column origins** — which base-relation column (or materialised
+  intermediate column) each output label carries, which is what connects a
+  predicate's column references to the :class:`~repro.relational.optimizer.statistics.StatsCatalog`;
+* **cardinality estimation** — System-R style selectivity arithmetic over the
+  catalog's NDV/histogram profiles, used by the cost-based join ordering and
+  reported as ``estimated_rows`` in :class:`~repro.relational.stats.ExecutionStats`.
+
+Inference failures (a scan of an unloaded relation, an unresolvable
+reference) raise :class:`InferenceError`; the optimizer treats that as "leave
+the plan alone" rather than guessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.relational.algebra import (
+    Aggregate,
+    Join,
+    Materialized,
+    PlanNode,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.expressions import ColumnRef, Literal
+from repro.relational.optimizer.statistics import (
+    ColumnStats,
+    StatsCatalog,
+    column_family,
+)
+from repro.relational.predicates import (
+    And,
+    Between,
+    Comparison,
+    FalsePredicate,
+    In,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.relational.relation import Relation, combine_labels, resolve_label, unique_labels
+
+#: Default selectivities when no statistics are available (System R's table).
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_IN_SELECTIVITY = 0.2
+DEFAULT_BETWEEN_SELECTIVITY = 0.25
+DEFAULT_SELECTIVITY = 0.25
+
+
+class InferenceError(Exception):
+    """The plan's schema or statistics could not be inferred statically."""
+
+
+class ColumnOrigin:
+    """Where an output column's values come from.
+
+    Either a ``(base relation, attribute)`` pair — resolvable against the
+    statistics catalog — or a column of a materialised intermediate relation,
+    whose type family is profiled directly (and cached) when asked for.
+    """
+
+    __slots__ = ("relation", "attribute", "_materialized", "_family")
+
+    def __init__(
+        self,
+        relation: str | None = None,
+        attribute: str | None = None,
+        materialized: tuple[Relation, int] | None = None,
+    ):
+        self.relation = relation
+        self.attribute = attribute
+        self._materialized = materialized
+        self._family: str | None = None
+
+    @classmethod
+    def base(cls, relation: str, attribute: str) -> "ColumnOrigin":
+        return cls(relation=relation, attribute=attribute)
+
+    @classmethod
+    def intermediate(cls, relation: Relation, position: int) -> "ColumnOrigin":
+        return cls(materialized=(relation, position))
+
+    def stats(self, catalog: StatsCatalog | None) -> ColumnStats | None:
+        """The catalog profile behind this origin (``None`` when unavailable)."""
+        if catalog is None or self.relation is None or self.attribute is None:
+            return None
+        return catalog.column(self.relation, self.attribute)
+
+    def family(self, catalog: StatsCatalog | None) -> str | None:
+        """The coercion family of the column (see :func:`column_family`)."""
+        if self._family is not None:
+            return self._family
+        if self._materialized is not None:
+            relation, position = self._materialized
+            self._family = column_family(relation.column_data()[position])
+            return self._family
+        stats = self.stats(catalog)
+        if stats is not None:
+            self._family = stats.family
+        return self._family
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self._materialized is not None:
+            return f"ColumnOrigin(<materialized #{self._materialized[1]}>)"
+        return f"ColumnOrigin({self.relation}.{self.attribute})"
+
+
+@dataclass
+class PlanInfo:
+    """Statically inferred properties of one plan node's output."""
+
+    columns: tuple[str, ...]
+    origins: dict[str, ColumnOrigin] = field(default_factory=dict)
+    est_rows: float = 0.0
+    #: provably empty at the statistics' data versions
+    empty: bool = False
+
+    def origin_of(self, ref: ColumnRef) -> ColumnOrigin | None:
+        """Origin of the column a reference resolves to (``None`` when unknown)."""
+        try:
+            position = resolve_label(self.columns, ref.name, ref.qualifier)
+        except KeyError:
+            return None
+        return self.origins.get(self.columns[position])
+
+
+class PlanAnnotator:
+    """Memoized bottom-up computation of :class:`PlanInfo` for a plan tree.
+
+    The memo is identity-keyed (plan nodes are rewritten functionally, so a
+    node's info never changes) and holds node references so ids stay unique.
+    """
+
+    def __init__(
+        self,
+        database,
+        catalog: StatsCatalog | None = None,
+        scan_cache: dict | None = None,
+    ):
+        self.database = database
+        self.catalog = catalog
+        self._infos: dict[int, tuple[PlanNode, PlanInfo]] = {}
+        # Scan infos are version-keyed and can outlive one annotator; the
+        # optimizer shares one cache across all its optimization passes.
+        self._scan_cache = scan_cache if scan_cache is not None else {}
+
+    # ------------------------------------------------------------------ #
+    def info(self, node: PlanNode) -> PlanInfo:
+        """The inferred properties of ``node`` (raises :class:`InferenceError`)."""
+        cached = self._infos.get(id(node))
+        if cached is not None:
+            return cached[1]
+        info = self._compute(node)
+        self._infos[id(node)] = (node, info)
+        return info
+
+    def selectivity(self, predicate: Predicate, info: PlanInfo) -> float:
+        """Estimated fraction of ``info``'s rows satisfying ``predicate``."""
+        return predicate_selectivity(predicate, info, self.catalog)
+
+    # ------------------------------------------------------------------ #
+    def _compute(self, node: PlanNode) -> PlanInfo:
+        if isinstance(node, Scan):
+            return self._scan_info(node)
+        if isinstance(node, Materialized):
+            # A Materialized node holds a data snapshot shared across many
+            # plans (o-sharing reuses one leaf in every child e-unit), so its
+            # info is cached on the node itself, guarded by the relation's
+            # version token.
+            relation = node.relation
+            cached = getattr(node, "_plan_info", None)
+            if cached is not None and cached[0] == relation.version:
+                return cached[1]
+            origins = {
+                label: ColumnOrigin.intermediate(relation, position)
+                for position, label in enumerate(relation.columns)
+            }
+            info = PlanInfo(
+                columns=tuple(relation.columns),
+                origins=origins,
+                est_rows=float(len(relation)),
+                empty=relation.is_empty,
+            )
+            node._plan_info = (relation.version, info)
+            return info
+        if isinstance(node, Select):
+            child = self.info(node.child)
+            selectivity = self.selectivity(node.predicate, child)
+            return PlanInfo(
+                columns=child.columns,
+                origins=child.origins,
+                est_rows=child.est_rows * selectivity,
+                empty=child.empty or isinstance(node.predicate, FalsePredicate),
+            )
+        if isinstance(node, Project):
+            return self._project_info(node)
+        if isinstance(node, (Product, Join)):
+            return self._binary_info(node)
+        if isinstance(node, Union):
+            left, right = self.info(node.left), self.info(node.right)
+            if len(left.columns) != len(right.columns):
+                raise InferenceError(
+                    f"UNION arity mismatch: {len(left.columns)} vs {len(right.columns)}"
+                )
+            return PlanInfo(
+                columns=left.columns,
+                origins={},
+                est_rows=left.est_rows + right.est_rows,
+                empty=left.empty and right.empty,
+            )
+        if isinstance(node, Aggregate):
+            return self._aggregate_info(node)
+        raise InferenceError(f"cannot infer schema of {type(node).__name__}")
+
+    def _scan_info(self, node: Scan) -> PlanInfo:
+        try:
+            relation = self.database.relation(node.relation)
+        except KeyError as error:
+            raise InferenceError(str(error)) from error
+        key = (node.relation, node.alias, relation.version)
+        cached = self._scan_cache.get(key)
+        if cached is not None:
+            return cached
+        if node.alias is None or node.alias == relation.name:
+            columns = tuple(relation.columns)
+        else:
+            columns = tuple(
+                f"{node.alias}.{label.split('.', 1)[-1]}" for label in relation.columns
+            )
+        origins = {
+            label: ColumnOrigin.base(node.relation, label.split(".", 1)[-1])
+            for label in columns
+        }
+        rows = len(relation)
+        if self.catalog is not None:
+            counted = self.catalog.row_count(node.relation)
+            if counted is not None:
+                rows = counted
+        info = PlanInfo(
+            columns=columns, origins=origins, est_rows=float(rows), empty=rows == 0
+        )
+        if len(self._scan_cache) > 4096:
+            self._scan_cache.clear()
+        self._scan_cache[key] = info
+        return info
+
+    def _project_info(self, node: Project) -> PlanInfo:
+        child = self.info(node.child)
+        try:
+            positions = [
+                resolve_label(child.columns, ref.name, ref.qualifier)
+                for ref in node.columns
+            ]
+        except KeyError as error:
+            raise InferenceError(str(error)) from error
+        labels = unique_labels([child.columns[p] for p in positions])
+        origins = {
+            label: child.origins[child.columns[p]]
+            for label, p in zip(labels, positions)
+            if child.columns[p] in child.origins
+        }
+        est = child.est_rows
+        if node.distinct:
+            est = min(est, self._distinct_bound(child, positions))
+        return PlanInfo(
+            columns=tuple(labels), origins=origins, est_rows=est, empty=child.empty
+        )
+
+    def _binary_info(self, node: Product | Join) -> PlanInfo:
+        left, right = self.info(node.left), self.info(node.right)
+        columns = tuple(combine_labels(left.columns, right.columns))
+        origins = dict(left.origins)
+        for combined_label, right_label in zip(
+            columns[len(left.columns) :], right.columns
+        ):
+            origin = right.origins.get(right_label)
+            if origin is not None:
+                origins[combined_label] = origin
+        info = PlanInfo(
+            columns=columns,
+            origins=origins,
+            est_rows=left.est_rows * right.est_rows,
+            empty=left.empty or right.empty,
+        )
+        if isinstance(node, Join):
+            selectivity = self.selectivity(node.predicate, info)
+            info.est_rows *= selectivity
+            info.empty = info.empty or isinstance(node.predicate, FalsePredicate)
+        return info
+
+    def _aggregate_info(self, node: Aggregate) -> PlanInfo:
+        child = self.info(node.child)
+        argument_label = str(node.argument) if node.argument is not None else "*"
+        output_label = f"{node.function}({argument_label})"
+        if not node.group_by:
+            return PlanInfo(columns=(output_label,), origins={}, est_rows=1.0)
+        try:
+            positions = [
+                resolve_label(child.columns, ref.name, ref.qualifier)
+                for ref in node.group_by
+            ]
+        except KeyError as error:
+            raise InferenceError(str(error)) from error
+        labels = [child.columns[p] for p in positions]
+        origins = {
+            label: child.origins[label] for label in labels if label in child.origins
+        }
+        est = min(child.est_rows, self._distinct_bound(child, positions))
+        return PlanInfo(
+            columns=tuple(labels + [output_label]),
+            origins=origins,
+            est_rows=est,
+            empty=child.empty,
+        )
+
+    def _distinct_bound(self, child: PlanInfo, positions: list[int]) -> float:
+        """Upper bound on the distinct combinations of the given columns."""
+        bound = 1.0
+        known = False
+        for position in positions:
+            origin = child.origins.get(child.columns[position])
+            stats = origin.stats(self.catalog) if origin is not None else None
+            if stats is None:
+                return child.est_rows
+            known = True
+            bound *= max(1, stats.ndv)
+        return bound if known else child.est_rows
+
+
+# --------------------------------------------------------------------------- #
+# selectivity estimation
+# --------------------------------------------------------------------------- #
+def predicate_selectivity(
+    predicate: Predicate, info: PlanInfo, catalog: StatsCatalog | None
+) -> float:
+    """Estimated fraction of rows satisfying ``predicate`` (always in [0, 1])."""
+    if isinstance(predicate, TruePredicate):
+        return 1.0
+    if isinstance(predicate, FalsePredicate):
+        return 0.0
+    if isinstance(predicate, And):
+        result = 1.0
+        for operand in predicate.operands:
+            result *= predicate_selectivity(operand, info, catalog)
+        return result
+    if isinstance(predicate, Or):
+        miss = 1.0
+        for operand in predicate.operands:
+            miss *= 1.0 - predicate_selectivity(operand, info, catalog)
+        return 1.0 - miss
+    if isinstance(predicate, Not):
+        return 1.0 - predicate_selectivity(predicate.operand, info, catalog)
+    if isinstance(predicate, Comparison):
+        return _comparison_selectivity(predicate, info, catalog)
+    if isinstance(predicate, In):
+        if isinstance(predicate.expr, ColumnRef):
+            stats = _ref_stats(predicate.expr, info, catalog)
+            if stats is not None:
+                return min(1.0, len(predicate.values) * stats.selectivity_eq())
+        return DEFAULT_IN_SELECTIVITY
+    if isinstance(predicate, Between):
+        if isinstance(predicate.expr, ColumnRef):
+            stats = _ref_stats(predicate.expr, info, catalog)
+            if stats is not None and stats.histogram:
+                low = stats.selectivity_range("<", predicate.low)
+                high = stats.selectivity_range("<=", predicate.high)
+                return min(1.0, max(0.0, high - low))
+        return DEFAULT_BETWEEN_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+def _comparison_selectivity(
+    cmp: Comparison, info: PlanInfo, catalog: StatsCatalog | None
+) -> float:
+    if cmp.is_equi_column:
+        left = _ref_stats(cmp.left, info, catalog)
+        right = _ref_stats(cmp.right, info, catalog)
+        ndv = max(
+            left.ndv if left is not None else 0,
+            right.ndv if right is not None else 0,
+        )
+        return 1.0 / ndv if ndv > 0 else DEFAULT_EQ_SELECTIVITY
+    column, literal, op = _column_versus_literal(cmp)
+    if column is None:
+        if cmp.op == "=":
+            return DEFAULT_EQ_SELECTIVITY
+        if cmp.op == "!=":
+            return 1.0 - DEFAULT_EQ_SELECTIVITY
+        return DEFAULT_RANGE_SELECTIVITY
+    stats = _ref_stats(column, info, catalog)
+    if stats is None:
+        if cmp.op == "=":
+            return DEFAULT_EQ_SELECTIVITY
+        if cmp.op == "!=":
+            return 1.0 - DEFAULT_EQ_SELECTIVITY
+        return DEFAULT_RANGE_SELECTIVITY
+    if op == "=":
+        return stats.selectivity_eq(literal)
+    if op == "!=":
+        return 1.0 - stats.selectivity_eq(literal)
+    return stats.selectivity_range(op, literal)
+
+
+_SWAPPED_OP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _column_versus_literal(cmp: Comparison) -> tuple[ColumnRef | None, Any, str]:
+    """The ``(column, constant, column-side op)`` of a column/literal comparison."""
+    if isinstance(cmp.left, ColumnRef) and isinstance(cmp.right, Literal):
+        return cmp.left, cmp.right.value, cmp.op
+    if isinstance(cmp.right, ColumnRef) and isinstance(cmp.left, Literal):
+        return cmp.right, cmp.left.value, _SWAPPED_OP[cmp.op]
+    return None, None, cmp.op
+
+
+def _ref_stats(
+    ref: ColumnRef, info: PlanInfo, catalog: StatsCatalog | None
+) -> ColumnStats | None:
+    origin = info.origin_of(ref)
+    return origin.stats(catalog) if origin is not None else None

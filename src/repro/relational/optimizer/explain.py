@@ -1,0 +1,153 @@
+"""``EXPLAIN`` — render a plan, its optimized form and estimated vs actual rows.
+
+:func:`explain` takes a *source* plan (anything the executor can run), shows
+the logical tree, optimizes it, shows the optimized tree with per-node
+estimated cardinalities and — unless ``run=False`` — executes the optimized
+plan once through a tracing executor to annotate every node with the *actual*
+row count, plus a summary of operators executed and rows scanned.
+
+Example::
+
+    from repro.relational.optimizer import explain
+    print(explain(source_plan, database))
+"""
+
+from __future__ import annotations
+
+from repro.relational.algebra import (
+    Aggregate,
+    Join,
+    Materialized,
+    PlanNode,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.columnar import ColumnBatch
+from repro.relational.executor import DEFAULT_ENGINE, Executor
+from repro.relational.optimizer.analysis import InferenceError, PlanAnnotator
+from repro.relational.optimizer.core import Optimizer
+from repro.relational.relation import Relation
+from repro.relational.stats import ExecutionStats
+
+
+class TracingExecutor(Executor):
+    """An executor that records the output cardinality of every plan node."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.node_rows: dict[int, int] = {}
+
+    def _evaluate(self, node: PlanNode) -> Relation:
+        result = super()._evaluate(node)
+        self.node_rows[id(node)] = len(result)
+        return result
+
+    def _evaluate_columnar(self, node: PlanNode) -> ColumnBatch:
+        result = super()._evaluate_columnar(node)
+        self.node_rows[id(node)] = len(result)
+        return result
+
+
+def describe_node(node: PlanNode) -> str:
+    """A one-line, children-free description of a plan node."""
+    if isinstance(node, Scan):
+        return f"Scan {node.relation} AS {node.label}"
+    if isinstance(node, Materialized):
+        return f"Materialized {node.label} ({len(node.relation)} rows)"
+    if isinstance(node, Select):
+        return f"Select {node.predicate.canonical()}"
+    if isinstance(node, Project):
+        kind = "ProjectDistinct" if node.distinct else "Project"
+        return f"{kind} [{', '.join(ref.display for ref in node.columns)}]"
+    if isinstance(node, Product):
+        return "Product"
+    if isinstance(node, Join):
+        return f"Join {node.predicate.canonical()}"
+    if isinstance(node, Union):
+        return "Union" if node.distinct else "UnionAll"
+    if isinstance(node, Aggregate):
+        argument = str(node.argument) if node.argument is not None else "*"
+        group = ", ".join(ref.display for ref in node.group_by)
+        suffix = f" GROUP BY {group}" if group else ""
+        return f"Aggregate {node.function}({argument}){suffix}"
+    return type(node).__name__
+
+
+def render_plan(
+    plan: PlanNode,
+    annotator: PlanAnnotator | None = None,
+    actual_rows: dict[int, int] | None = None,
+    indent: str = "  ",
+) -> str:
+    """An indented tree rendering with optional est./actual row annotations."""
+    lines: list[str] = []
+
+    def render(node: PlanNode, depth: int) -> None:
+        parts = [f"{indent * depth}{describe_node(node)}"]
+        annotations = []
+        if annotator is not None:
+            try:
+                annotations.append(f"est. {annotator.info(node).est_rows:,.0f}")
+            except InferenceError:
+                annotations.append("est. ?")
+        if actual_rows is not None and id(node) in actual_rows:
+            annotations.append(f"actual {actual_rows[id(node)]:,}")
+        if annotations:
+            parts.append(f"({', '.join(annotations)} rows)")
+        lines.append("  ".join(parts))
+        for child in node.children():
+            render(child, depth + 1)
+
+    render(plan, 0)
+    return "\n".join(lines)
+
+
+def explain(
+    plan: PlanNode,
+    database,
+    optimizer: Optimizer | None = None,
+    engine: str = DEFAULT_ENGINE,
+    run: bool = True,
+) -> str:
+    """Explain ``plan``: logical tree, optimized tree, estimated vs actual rows."""
+    optimizer = optimizer if optimizer is not None else Optimizer(database)
+    report = optimizer.optimize_with_report(plan)
+    annotator = PlanAnnotator(database, optimizer.catalog)
+
+    sections: list[str] = []
+    sections.append(f"== logical plan ({len(plan.operators())} operators) ==")
+    sections.append(render_plan(plan, annotator))
+
+    fired = ", ".join(
+        f"{rule} x{count}" for rule, count in sorted(report.rules.items())
+    )
+    header = f"== optimized plan ({len(report.plan.operators())} operators"
+    if fired:
+        header += f"; rules: {fired}"
+    if report.join_orders_considered:
+        header += f"; join orders considered: {report.join_orders_considered}"
+    header += ") =="
+    sections.append(header)
+
+    actual_rows: dict[int, int] | None = None
+    summary: str | None = None
+    if run:
+        stats = ExecutionStats()
+        tracer = TracingExecutor(database, stats, engine=engine)
+        result = tracer.execute(report.plan)
+        actual_rows = tracer.node_rows
+        actual_rows[id(report.plan)] = len(result)
+        summary = (
+            f"== execution (engine={engine}) ==\n"
+            f"operators executed: {stats.source_operators}, "
+            f"rows scanned: {stats.rows_scanned}, "
+            f"rows out: {len(result)} "
+            f"(estimated {report.estimated_rows:,.0f})"
+        )
+    sections.append(render_plan(report.plan, annotator, actual_rows))
+    if summary is not None:
+        sections.append(summary)
+    return "\n".join(sections)

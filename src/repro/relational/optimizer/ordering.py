@@ -1,0 +1,344 @@
+"""Cost-based join ordering.
+
+A *join region* is a maximal tree of Join/Product operators; its leaves (any
+other node kind) are the region's *units*.  The region is flattened into
+units plus the conjuncts of its join predicates, cardinalities are estimated
+from the statistics catalog, and a better order is searched:
+
+* up to :data:`DP_LIMIT` units — exhaustive dynamic programming over subsets
+  (bushy trees, symmetric splits deduplicated);
+* larger regions — greedy pairwise merging, preferring connected pairs.
+
+The cost of a tree is the sum of the estimated cardinalities of its
+intermediate results (the classical MQO/System-R objective for a
+materialising executor).  A reordered region produces a permuted column
+order, so when the rebuilt root's labels differ from the original the region
+is wrapped in a restoring projection — consumers (including positional UNION
+arms and o-sharing's materialised intermediates) therefore see exactly the
+original schema.  Row order within the region may change; every consumer of
+a reordered result aggregates answers order-insensitively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterator
+
+from repro.relational.algebra import Join, PlanNode, Product, Project
+from repro.relational.expressions import ColumnRef
+from repro.relational.optimizer.analysis import InferenceError, PlanInfo
+from repro.relational.optimizer.rules import (
+    RULE_JOIN_REORDER,
+    RewriteContext,
+    _resolves_at,
+)
+from repro.relational.predicates import Comparison, Predicate, conjunction
+from repro.relational.types import hash_compatible
+
+#: Regions with at most this many units are ordered exhaustively.
+DP_LIMIT = 5
+
+#: Minimum relative improvement before a reordering is applied.
+IMPROVEMENT_THRESHOLD = 0.999
+
+
+@dataclass
+class _RegionConjunct:
+    """One join-predicate conjunct with the units it references."""
+
+    index: int
+    predicate: Predicate
+    units: frozenset[int]
+    used: bool = False
+
+
+@dataclass
+class _Region:
+    units: list[PlanNode]
+    infos: list[PlanInfo]
+    conjuncts: list[_RegionConjunct]
+    #: estimated-rows memo per unit subset
+    rows_memo: dict[frozenset, float] = field(default_factory=dict)
+
+    def rows(self, subset: frozenset, ctx: RewriteContext) -> float:
+        cached = self.rows_memo.get(subset)
+        if cached is not None:
+            return cached
+        rows = 1.0
+        for index in subset:
+            rows *= max(self.infos[index].est_rows, 0.0)
+        contained = [c for c in self.conjuncts if c.units <= subset]
+        if contained:
+            info = self._subset_info(subset)
+            for conjunct in contained:
+                rows *= ctx.annotator.selectivity(conjunct.predicate, info)
+        self.rows_memo[subset] = rows
+        return rows
+
+    def _subset_info(self, subset: frozenset) -> PlanInfo:
+        columns: list[str] = []
+        origins = {}
+        for index in sorted(subset):
+            info = self.infos[index]
+            columns.extend(info.columns)
+            origins.update(info.origins)
+        return PlanInfo(columns=tuple(columns), origins=origins)
+
+
+def reorder_joins(plan: PlanNode, ctx: RewriteContext) -> PlanNode:
+    """Reorder every join region of ``plan`` when the cost model says so."""
+
+    def walk(node: PlanNode) -> PlanNode:
+        if isinstance(node, (Join, Product)):
+            return _reorder_region(node, ctx, walk)
+        children = node.children()
+        if not children:
+            return node
+        new_children = [walk(child) for child in children]
+        if all(a is b for a, b in zip(new_children, children)):
+            return node
+        return node.with_children(new_children)
+
+    return walk(plan)
+
+
+# --------------------------------------------------------------------------- #
+def _flatten(node: PlanNode, units: list[PlanNode], predicates: list[Predicate]) -> None:
+    if isinstance(node, Join):
+        _flatten(node.left, units, predicates)
+        _flatten(node.right, units, predicates)
+        predicates.extend(node.predicate.conjuncts())
+    elif isinstance(node, Product):
+        _flatten(node.left, units, predicates)
+        _flatten(node.right, units, predicates)
+    else:
+        units.append(node)
+
+
+def _substitute(node: PlanNode, replacements: Iterator[PlanNode]) -> PlanNode:
+    """Rebuild the region's original structure around replacement units."""
+    if isinstance(node, (Join, Product)):
+        left = _substitute(node.left, replacements)
+        right = _substitute(node.right, replacements)
+        return node.with_children([left, right])
+    return next(replacements)
+
+
+def _reorder_region(node: PlanNode, ctx: RewriteContext, walk) -> PlanNode:
+    units: list[PlanNode] = []
+    predicates: list[Predicate] = []
+    _flatten(node, units, predicates)
+    walked_units = [walk(unit) for unit in units]
+    original = _substitute(node, iter(walked_units))
+
+    if len(walked_units) < 3:
+        return original
+    try:
+        infos = [ctx.info(unit) for unit in walked_units]
+        original_info = ctx.info(original)
+    except InferenceError:
+        return original
+
+    all_labels = [label for info in infos for label in info.columns]
+    if len(set(all_labels)) != len(all_labels):
+        # Colliding labels would be dedup-suffixed differently under another
+        # order; leave such regions alone.
+        return original
+
+    conjuncts = _assign_conjuncts(predicates, infos)
+    if conjuncts is None:
+        return original
+    if not _equi_conjuncts_hash_safe(conjuncts, infos, ctx):
+        # Reordering changes which equality conjunct each join keys on; that
+        # is only answer-preserving when every equality in the region matches
+        # identically under dict-key and coerced semantics (same guard as
+        # product-to-join).
+        return original
+
+    region = _Region(units=walked_units, infos=infos, conjuncts=conjuncts)
+    baseline = _tree_cost(original, ctx)
+    if len(walked_units) <= DP_LIMIT:
+        cost, tree = _dp_search(region, ctx)
+    else:
+        cost, tree = _greedy_search(region, ctx)
+    if tree is None or cost >= baseline * IMPROVEMENT_THRESHOLD:
+        return original
+
+    rebuilt = _build_tree(tree, region)
+    if any(not conjunct.used for conjunct in region.conjuncts):
+        # Cannot happen — every conjunct's units are a subset of the region's
+        # units, so the root merge consumes all of them; bail out rather than
+        # silently drop a predicate if the invariant is ever broken.
+        return original
+    try:
+        rebuilt_info = ctx.info(rebuilt)
+    except InferenceError:
+        return original
+    if rebuilt_info.columns != original_info.columns:
+        restore = [ColumnRef(name=label) for label in original_info.columns]
+        rebuilt = Project(rebuilt, restore)
+    ctx.fire(RULE_JOIN_REORDER)
+    return rebuilt
+
+
+def _equi_conjuncts_hash_safe(
+    conjuncts: list[_RegionConjunct], infos: list[PlanInfo], ctx: RewriteContext
+) -> bool:
+    """True when every equality conjunct is coercion-safe as a hash key.
+
+    After reordering, any equality conjunct can end up as the first (hence
+    unconditionally keyed) conjunct of a rebuilt join, so all of them must
+    match identically under dict-key and coerced-equality semantics.
+    """
+    for conjunct in conjuncts:
+        predicate = conjunct.predicate
+        if not isinstance(predicate, Comparison) or not predicate.is_equi_column:
+            continue
+        families = []
+        for ref in (predicate.left, predicate.right):
+            origin = None
+            for info in infos:
+                if _resolves_at(info.columns, ref) is not None:
+                    origin = info.origin_of(ref)
+                    break
+            family = origin.family(ctx.catalog) if origin is not None else None
+            if family is None:
+                return False
+            families.append(family)
+        if not hash_compatible(families[0], families[1]):
+            return False
+    return True
+
+
+def _assign_conjuncts(
+    predicates: list[Predicate], infos: list[PlanInfo]
+) -> list[_RegionConjunct] | None:
+    conjuncts: list[_RegionConjunct] = []
+    for index, predicate in enumerate(predicates):
+        refs = predicate.referenced_columns()
+        referenced: set[int] = set()
+        for ref in refs:
+            homes = [
+                unit_index
+                for unit_index, info in enumerate(infos)
+                if _resolves_at(info.columns, ref) is not None
+            ]
+            if len(homes) != 1:
+                # Unresolvable or ambiguous reference: the region cannot be
+                # safely rebuilt around this conjunct.
+                return None
+            referenced.add(homes[0])
+        if not referenced:
+            return None
+        conjuncts.append(
+            _RegionConjunct(index=index, predicate=predicate, units=frozenset(referenced))
+        )
+    return conjuncts
+
+
+def _tree_cost(node: PlanNode, ctx: RewriteContext) -> float:
+    """Sum of the estimated cardinalities of a region's intermediate results."""
+    cost = 0.0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (Join, Product)):
+            cost += ctx.info(current).est_rows
+            stack.extend(current.children())
+    return cost
+
+
+# --------------------------------------------------------------------------- #
+# search strategies
+# --------------------------------------------------------------------------- #
+def _dp_search(region: _Region, ctx: RewriteContext):
+    """Exhaustive bushy-tree DP over unit subsets (≤ :data:`DP_LIMIT` units)."""
+    n = len(region.units)
+    best: dict[frozenset, tuple[float, object]] = {
+        frozenset({i}): (0.0, i) for i in range(n)
+    }
+    for size in range(2, n + 1):
+        for subset_tuple in combinations(range(n), size):
+            subset = frozenset(subset_tuple)
+            rows = region.rows(subset, ctx)
+            best_cost, best_tree = float("inf"), None
+            anchor = min(subset)
+            members = sorted(subset - {anchor})
+            for mask in range(1 << len(members)):
+                left = frozenset(
+                    {anchor} | {members[i] for i in range(len(members)) if mask >> i & 1}
+                )
+                right = subset - left
+                if not right:
+                    continue
+                ctx.join_orders_considered += 1
+                cost = best[left][0] + best[right][0] + rows
+                if cost < best_cost:
+                    best_cost = cost
+                    best_tree = (best[left][1], best[right][1])
+            best[subset] = (best_cost, best_tree)
+    return best[frozenset(range(n))]
+
+
+def _greedy_search(region: _Region, ctx: RewriteContext):
+    """Greedy pairwise merging for large regions (prefer connected pairs)."""
+    n = len(region.units)
+    forest: list[tuple[frozenset, object]] = [(frozenset({i}), i) for i in range(n)]
+    cost = 0.0
+    while len(forest) > 1:
+        best_index_pair = None
+        best_rows = float("inf")
+        best_connected = False
+        for i, j in combinations(range(len(forest)), 2):
+            merged = forest[i][0] | forest[j][0]
+            connected = any(
+                conjunct.units <= merged
+                and not conjunct.units <= forest[i][0]
+                and not conjunct.units <= forest[j][0]
+                for conjunct in region.conjuncts
+            )
+            rows = region.rows(merged, ctx)
+            ctx.join_orders_considered += 1
+            better = (connected and not best_connected) or (
+                connected == best_connected and rows < best_rows
+            )
+            if better:
+                best_index_pair = (i, j)
+                best_rows = rows
+                best_connected = connected
+        i, j = best_index_pair
+        merged_set = forest[i][0] | forest[j][0]
+        merged_tree = (forest[i][1], forest[j][1])
+        cost += best_rows
+        forest = [
+            entry for k, entry in enumerate(forest) if k not in (i, j)
+        ] + [(merged_set, merged_tree)]
+    return cost, forest[0][1]
+
+
+def _build_tree(tree, region: _Region) -> PlanNode:
+    """Turn a search result back into a Join/Product tree."""
+    plan, _ = _build_subtree(tree, region)
+    return plan
+
+
+def _build_subtree(tree, region: _Region):
+    if isinstance(tree, int):
+        return region.units[tree], frozenset({tree})
+    left_plan, left_set = _build_subtree(tree[0], region)
+    right_plan, right_set = _build_subtree(tree[1], region)
+    merged = left_set | right_set
+    applicable = [
+        conjunct
+        for conjunct in region.conjuncts
+        if not conjunct.used and conjunct.units <= merged
+    ]
+    if applicable:
+        for conjunct in applicable:
+            conjunct.used = True
+        predicate = conjunction(
+            [conjunct.predicate for conjunct in sorted(applicable, key=lambda c: c.index)]
+        )
+        return Join(left_plan, right_plan, predicate), merged
+    return Product(left_plan, right_plan), merged

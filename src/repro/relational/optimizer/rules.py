@@ -1,0 +1,513 @@
+"""Rewrite rules over :class:`~repro.relational.algebra.PlanNode` trees.
+
+Each rule is a semantics-preserving rewrite: for every database state the
+rewritten plan produces a relation with the same column labels and the same
+row multiset as the original (row *order* is also preserved by every rule
+except join reordering, whose callers only consume order-insensitive
+answers).  The rules:
+
+``constant-fold``
+    Literal-versus-literal comparisons become TRUE/FALSE; AND/OR/NOT trees
+    simplify; contradictory equality conjuncts on one column become FALSE.
+``remove-trivial-select``
+    ``Select[TRUE](x) → x``.
+``select-merge``
+    ``Select[p](Select[q](x)) → Select[q AND p](x)`` — one pass, one operator.
+``predicate-pushdown``
+    Single-side conjuncts of a selection over a Product/Join move into that
+    side; selections push through Union arms (when positions align) and
+    through Projections (when references resolve identically below).
+``select-into-join``
+    ``Select[p](Join[q](L,R)) → Join[q AND p](L,R)`` when every new equality
+    conjunct the hash join would pick up is hash-compatible.
+``product-to-join``
+    ``Select[p](Product(L,R)) → Join[p](L,R)`` when ``p`` spans both sides
+    and every equality conjunct the hash join would use is hash-compatible
+    (same coercion family on both sides — see
+    :mod:`repro.relational.optimizer.statistics`).
+``empty-shortcircuit``
+    Subtrees that are provably empty at the current data versions (scans of
+    empty relations, FALSE selections, products/joins with an empty input)
+    collapse into empty :class:`~repro.relational.algebra.Materialized`
+    leaves, which execute zero operators.
+``project-prune`` / ``project-collapse``
+    Identity projections disappear; stacked projections merge into one.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.relational.algebra import (
+    Aggregate,
+    Join,
+    Materialized,
+    PlanNode,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.expressions import ColumnRef, Literal
+from repro.relational.optimizer.analysis import InferenceError, PlanAnnotator, PlanInfo
+from repro.relational.optimizer.statistics import hash_compatible
+from repro.relational.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conjunction,
+)
+from repro.relational.relation import Relation, resolve_label
+
+RULE_CONSTANT_FOLD = "constant-fold"
+RULE_REMOVE_TRIVIAL_SELECT = "remove-trivial-select"
+RULE_SELECT_MERGE = "select-merge"
+RULE_PUSHDOWN = "predicate-pushdown"
+RULE_SELECT_INTO_JOIN = "select-into-join"
+RULE_PRODUCT_TO_JOIN = "product-to-join"
+RULE_EMPTY_SHORTCIRCUIT = "empty-shortcircuit"
+RULE_PROJECT_PRUNE = "project-prune"
+RULE_PROJECT_COLLAPSE = "project-collapse"
+RULE_JOIN_REORDER = "join-reorder"
+
+
+class RewriteContext:
+    """Shared state of one optimization pass: annotator, catalog, rule trace."""
+
+    def __init__(self, annotator: PlanAnnotator):
+        self.annotator = annotator
+        self.catalog = annotator.catalog
+        self.trace: Counter = Counter()
+        self.join_orders_considered = 0
+
+    def info(self, node: PlanNode) -> PlanInfo:
+        return self.annotator.info(node)
+
+    def fire(self, rule: str, times: int = 1) -> None:
+        self.trace[rule] += times
+
+
+# --------------------------------------------------------------------------- #
+# constant folding
+# --------------------------------------------------------------------------- #
+def fold_predicate(predicate: Predicate) -> Predicate:
+    """Simplify a predicate without looking at any data."""
+    if isinstance(predicate, And):
+        operands: list[Predicate] = []
+        for operand in predicate.operands:
+            folded = fold_predicate(operand)
+            if isinstance(folded, FalsePredicate):
+                return FalsePredicate()
+            if isinstance(folded, TruePredicate):
+                continue
+            if isinstance(folded, And):
+                operands.extend(folded.operands)
+            else:
+                operands.append(folded)
+        if _contradictory_equalities(operands):
+            return FalsePredicate()
+        return conjunction(operands)
+    if isinstance(predicate, Or):
+        operands = []
+        for operand in predicate.operands:
+            folded = fold_predicate(operand)
+            if isinstance(folded, TruePredicate):
+                return TruePredicate()
+            if isinstance(folded, FalsePredicate):
+                continue
+            operands.append(folded)
+        if not operands:
+            return FalsePredicate()
+        if len(operands) == 1:
+            return operands[0]
+        return Or(*operands)
+    if isinstance(predicate, Not):
+        folded = fold_predicate(predicate.operand)
+        if isinstance(folded, TruePredicate):
+            return FalsePredicate()
+        if isinstance(folded, FalsePredicate):
+            return TruePredicate()
+        return Not(folded)
+    if isinstance(predicate, Comparison):
+        if isinstance(predicate.left, Literal) and isinstance(predicate.right, Literal):
+            # Literal-only comparisons ignore the (relation, row) arguments.
+            return TruePredicate() if predicate.evaluate(None, None) else FalsePredicate()
+    return predicate
+
+
+def _contradictory_equalities(conjuncts: list[Predicate]) -> bool:
+    """True when two conjuncts pin one column to incompatible constants."""
+    pinned: dict[tuple[str | None, str], Literal] = {}
+    for conjunct in conjuncts:
+        if not isinstance(conjunct, Comparison) or conjunct.op != "=":
+            continue
+        if isinstance(conjunct.left, ColumnRef) and isinstance(conjunct.right, Literal):
+            ref, literal = conjunct.left, conjunct.right
+        elif isinstance(conjunct.right, ColumnRef) and isinstance(conjunct.left, Literal):
+            ref, literal = conjunct.right, conjunct.left
+        else:
+            continue
+        key = (ref.qualifier, ref.name)
+        previous = pinned.get(key)
+        if previous is None:
+            pinned[key] = literal
+        elif not Comparison(previous, "=", literal).evaluate(None, None):
+            return True
+    return False
+
+
+def fold_constants(plan: PlanNode, ctx: RewriteContext) -> PlanNode:
+    """Fold predicates everywhere; drop selections that became TRUE."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if isinstance(node, Select):
+            folded = fold_predicate(node.predicate)
+            if folded.canonical() != node.predicate.canonical():
+                ctx.fire(RULE_CONSTANT_FOLD)
+            if isinstance(folded, TruePredicate):
+                ctx.fire(RULE_REMOVE_TRIVIAL_SELECT)
+                return node.child
+            if folded is not node.predicate:
+                return Select(node.child, folded)
+            return node
+        if isinstance(node, Join):
+            folded = fold_predicate(node.predicate)
+            if folded.canonical() != node.predicate.canonical():
+                ctx.fire(RULE_CONSTANT_FOLD)
+                return Join(node.left, node.right, folded)
+            return node
+        return node
+
+    return plan.transform(visit)
+
+
+# --------------------------------------------------------------------------- #
+# selection merging and pushdown
+# --------------------------------------------------------------------------- #
+def merge_selects(plan: PlanNode, ctx: RewriteContext) -> PlanNode:
+    """Collapse stacked selections into one conjunctive selection."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if isinstance(node, Select) and isinstance(node.child, Select):
+            inner = node.child
+            ctx.fire(RULE_SELECT_MERGE)
+            # The inner predicate is evaluated first, matching the original
+            # execution order (AND short-circuits left to right).
+            return Select(inner.child, And(inner.predicate, node.predicate))
+        return node
+
+    return plan.transform(visit)
+
+
+def _resolves_at(columns: tuple[str, ...], ref: ColumnRef) -> int | None:
+    try:
+        return resolve_label(columns, ref.name, ref.qualifier)
+    except KeyError:
+        return None
+
+
+def _classify_conjunct(
+    conjunct: Predicate,
+    combined: PlanInfo,
+    left: PlanInfo,
+    right: PlanInfo,
+) -> str:
+    """``"left"``/``"right"`` when the conjunct reads one input only, else ``"rest"``.
+
+    A conjunct is pushable to a side only when every reference resolves to
+    the *same column* inside that side as it does against the combined
+    schema, so pushed evaluation reads exactly the values it read before.
+    """
+    refs = conjunct.referenced_columns()
+    if not refs:
+        return "rest"
+    sides: set[str] = set()
+    for ref in refs:
+        position = _resolves_at(combined.columns, ref)
+        if position is None:
+            return "rest"
+        if position < len(left.columns):
+            if _resolves_at(left.columns, ref) != position:
+                return "rest"
+            sides.add("left")
+        else:
+            if _resolves_at(right.columns, ref) != position - len(left.columns):
+                return "rest"
+            sides.add("right")
+    return sides.pop() if len(sides) == 1 else "rest"
+
+
+def push_predicates(plan: PlanNode, ctx: RewriteContext) -> PlanNode:
+    """One bottom-up pushdown sweep (callers iterate to a fixpoint)."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not isinstance(node, Select):
+            return node
+        child = node.child
+        if isinstance(child, (Product, Join)):
+            return _push_into_binary(node, child, ctx)
+        if isinstance(child, Union):
+            return _push_into_union(node, child, ctx)
+        if isinstance(child, Project):
+            return _push_through_project(node, child, ctx)
+        return node
+
+    return plan.transform(visit)
+
+
+def _push_into_binary(node: Select, child: Product | Join, ctx: RewriteContext) -> PlanNode:
+    try:
+        left_info = ctx.info(child.left)
+        right_info = ctx.info(child.right)
+        combined_info = ctx.info(child)
+    except InferenceError:
+        return node
+    left_conjuncts: list[Predicate] = []
+    right_conjuncts: list[Predicate] = []
+    rest: list[Predicate] = []
+    for conjunct in node.predicate.conjuncts():
+        side = _classify_conjunct(conjunct, combined_info, left_info, right_info)
+        if side == "left":
+            left_conjuncts.append(conjunct)
+        elif side == "right":
+            right_conjuncts.append(conjunct)
+        else:
+            rest.append(conjunct)
+    if not left_conjuncts and not right_conjuncts:
+        return node
+    ctx.fire(RULE_PUSHDOWN, len(left_conjuncts) + len(right_conjuncts))
+    new_left = (
+        Select(child.left, conjunction(left_conjuncts)) if left_conjuncts else child.left
+    )
+    new_right = (
+        Select(child.right, conjunction(right_conjuncts))
+        if right_conjuncts
+        else child.right
+    )
+    rebuilt = child.with_children([new_left, new_right])
+    if rest:
+        return Select(rebuilt, conjunction(rest))
+    return rebuilt
+
+
+def _push_into_union(node: Select, child: Union, ctx: RewriteContext) -> PlanNode:
+    # A selection above a union resolves references against the *left* arm's
+    # labels while filtering rows of both arms positionally; pushing a copy
+    # into each arm is only sound when every reference lands on the same
+    # position in both arms.
+    try:
+        left_info = ctx.info(child.left)
+        right_info = ctx.info(child.right)
+    except InferenceError:
+        return node
+    for ref in node.predicate.referenced_columns():
+        left_position = _resolves_at(left_info.columns, ref)
+        right_position = _resolves_at(right_info.columns, ref)
+        if left_position is None or left_position != right_position:
+            return node
+    ctx.fire(RULE_PUSHDOWN)
+    return Union(
+        Select(child.left, node.predicate),
+        Select(child.right, node.predicate),
+        child.distinct,
+    )
+
+
+def _push_through_project(node: Select, child: Project, ctx: RewriteContext) -> PlanNode:
+    # Filtering commutes with (distinct) projection when every reference
+    # resolves below the projection to the same column it projects.
+    try:
+        project_info = ctx.info(child)
+        input_info = ctx.info(child.child)
+        positions = [
+            resolve_label(input_info.columns, ref.name, ref.qualifier)
+            for ref in child.columns
+        ]
+    except (InferenceError, KeyError):
+        return node
+    for ref in node.predicate.referenced_columns():
+        above = _resolves_at(project_info.columns, ref)
+        below = _resolves_at(input_info.columns, ref)
+        if above is None or below is None or positions[above] != below:
+            return node
+        if project_info.columns[above] != input_info.columns[below]:
+            return node
+    ctx.fire(RULE_PUSHDOWN)
+    return Project(Select(child.child, node.predicate), child.columns, child.distinct)
+
+
+# --------------------------------------------------------------------------- #
+# join conversion
+# --------------------------------------------------------------------------- #
+def _runtime_equi_sides(
+    conjunct: Predicate, left: PlanInfo, right: PlanInfo
+) -> tuple[ColumnRef, ColumnRef] | None:
+    """The (left ref, right ref) the executor's hash join would resolve.
+
+    Mirrors ``Executor._find_hash_join``: an equality between two column
+    references, one resolvable in each input (either orientation).
+    """
+    if not isinstance(conjunct, Comparison) or not conjunct.is_equi_column:
+        return None
+    first, second = conjunct.left, conjunct.right
+    if _resolves_at(left.columns, first) is not None and (
+        _resolves_at(right.columns, second) is not None
+    ):
+        return first, second
+    if _resolves_at(left.columns, second) is not None and (
+        _resolves_at(right.columns, first) is not None
+    ):
+        return second, first
+    return None
+
+
+def _hash_keys_compatible(
+    conjuncts: list[Predicate],
+    left: PlanInfo,
+    right: PlanInfo,
+    ctx: RewriteContext,
+) -> bool:
+    """True when every equality the hash join would key on is coercion-safe.
+
+    The hash join matches keys with dict semantics while a filtered product
+    compares with string↔number coercion; the rewrite is only sound when the
+    two agree, i.e. both key columns live in the same coercion-free family.
+    """
+    for conjunct in conjuncts:
+        sides = _runtime_equi_sides(conjunct, left, right)
+        if sides is None:
+            continue
+        left_ref, right_ref = sides
+        left_origin = left.origin_of(left_ref)
+        right_origin = right.origin_of(right_ref)
+        if left_origin is None or right_origin is None:
+            return False
+        left_family = left_origin.family(ctx.catalog)
+        right_family = right_origin.family(ctx.catalog)
+        if left_family is None or right_family is None:
+            return False
+        if not hash_compatible(left_family, right_family):
+            return False
+    return True
+
+
+def convert_products(plan: PlanNode, ctx: RewriteContext) -> PlanNode:
+    """``Select(Product) → Join`` and ``Select(Join) → Join`` conversions."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not isinstance(node, Select):
+            return node
+        child = node.child
+        if isinstance(child, (Product, Join)):
+            try:
+                left_info = ctx.info(child.left)
+                right_info = ctx.info(child.right)
+            except InferenceError:
+                return node
+            conjuncts = node.predicate.conjuncts()
+            spans = any(
+                _classify_conjunct(conjunct, ctx.info(child), left_info, right_info)
+                == "rest"
+                and conjunct.referenced_columns()
+                for conjunct in conjuncts
+            )
+            if not spans:
+                return node
+            if not _hash_keys_compatible(conjuncts, left_info, right_info, ctx):
+                return node
+            if isinstance(child, Product):
+                ctx.fire(RULE_PRODUCT_TO_JOIN)
+                return Join(child.left, child.right, node.predicate)
+            ctx.fire(RULE_SELECT_INTO_JOIN)
+            return Join(child.left, child.right, And(child.predicate, node.predicate))
+        return node
+
+    return plan.transform(visit)
+
+
+# --------------------------------------------------------------------------- #
+# empty-relation short circuit
+# --------------------------------------------------------------------------- #
+def shortcircuit_empty(plan: PlanNode, ctx: RewriteContext) -> PlanNode:
+    """Collapse provably-empty subtrees into empty materialised leaves."""
+
+    def empty_leaf(info: PlanInfo, label: str) -> Materialized:
+        return Materialized(Relation(info.columns, []), label=label)
+
+    def visit(node: PlanNode) -> PlanNode:
+        if isinstance(node, Materialized):
+            return node
+        try:
+            info = ctx.info(node)
+        except InferenceError:
+            return node
+        if info.empty:
+            ctx.fire(RULE_EMPTY_SHORTCIRCUIT)
+            return empty_leaf(info, "empty")
+        if isinstance(node, Union) and not node.distinct:
+            # UNION ALL with an empty arm degenerates to the other arm; the
+            # left arm additionally carries the output labels, so the right
+            # arm can only take over when its labels already match.
+            try:
+                left_info, right_info = ctx.info(node.left), ctx.info(node.right)
+            except InferenceError:
+                return node
+            if right_info.empty:
+                ctx.fire(RULE_EMPTY_SHORTCIRCUIT)
+                return node.left
+            if left_info.empty and left_info.columns == right_info.columns:
+                ctx.fire(RULE_EMPTY_SHORTCIRCUIT)
+                return node.right
+        return node
+
+    return plan.transform(visit)
+
+
+# --------------------------------------------------------------------------- #
+# projection pruning
+# --------------------------------------------------------------------------- #
+def prune_projections(plan: PlanNode, ctx: RewriteContext) -> PlanNode:
+    """Remove identity projections and collapse stacked projections."""
+
+    def visit(node: PlanNode) -> PlanNode:
+        if not isinstance(node, Project):
+            return node
+        try:
+            child_info = ctx.info(node.child)
+            positions = [
+                resolve_label(child_info.columns, ref.name, ref.qualifier)
+                for ref in node.columns
+            ]
+        except (InferenceError, KeyError):
+            return node
+        if not node.distinct and positions == list(range(len(child_info.columns))):
+            ctx.fire(RULE_PROJECT_PRUNE)
+            return node.child
+        inner = node.child
+        if isinstance(inner, Project) and not inner.distinct:
+            try:
+                input_info = ctx.info(inner.child)
+                inner_positions = [
+                    resolve_label(input_info.columns, ref.name, ref.qualifier)
+                    for ref in inner.columns
+                ]
+            except (InferenceError, KeyError):
+                return node
+            if len(set(inner_positions)) != len(inner_positions):
+                # The inner projection repeats a column, so its output labels
+                # carry dedup suffixes the collapsed form would not reproduce.
+                return node
+            new_refs = [
+                ColumnRef(name=input_info.columns[inner_positions[p]])
+                for p in positions
+            ]
+            ctx.fire(RULE_PROJECT_COLLAPSE)
+            return Project(inner.child, new_refs, node.distinct)
+        return node
+
+    return plan.transform(visit)

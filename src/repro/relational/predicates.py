@@ -73,6 +73,28 @@ class TruePredicate(Predicate):
         return "TRUE"
 
 
+@dataclass(frozen=True)
+class FalsePredicate(Predicate):
+    """A predicate satisfied by no row.
+
+    Produced by the optimizer's constant folding (e.g. contradictory equality
+    conjuncts); a selection carrying it is short-circuited into an empty
+    relation before execution.
+    """
+
+    def evaluate(self, relation: Relation, row: Row) -> bool:
+        return False
+
+    def referenced_columns(self) -> list[ColumnRef]:
+        return []
+
+    def rename(self, rename_ref: Callable[[ColumnRef], ColumnRef]) -> "Predicate":
+        return self
+
+    def canonical(self) -> str:
+        return "FALSE"
+
+
 _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
     "=": lambda left, right: left == right,
     "!=": lambda left, right: left != right,

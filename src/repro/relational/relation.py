@@ -29,6 +29,59 @@ def missing_column_error(columns: Sequence[str], label: str, display_name: str) 
     )
 
 
+def resolve_label(columns: Sequence[str], name: str, qualifier: str | None = None) -> int:
+    """Resolve an attribute reference against a plain label sequence.
+
+    Mirrors :meth:`Relation.resolve` exactly (used by the optimizer's schema
+    inference, which works on label tuples without materialised data): with a
+    qualifier the exact label ``qualifier.name`` must exist; without one, an
+    exact label match wins, then a unique ``*.name`` suffix match.
+    """
+    if qualifier is not None:
+        label = f"{qualifier}.{name}"
+        for i, candidate in enumerate(columns):
+            if candidate == label:
+                return i
+        raise missing_column_error(columns, label, "")
+    for i, candidate in enumerate(columns):
+        if candidate == name:
+            return i
+    return resolve_unqualified(columns, name)
+
+
+def unique_labels(labels: Sequence[str]) -> list[str]:
+    """Deduplicate output labels (a projection may repeat a column).
+
+    Shared by the executor's projection operator and the optimizer's schema
+    inference so inferred output columns can never drift from executed ones.
+    """
+    seen: dict[str, int] = {}
+    unique: list[str] = []
+    for label in labels:
+        seen[label] = seen.get(label, 0) + 1
+        unique.append(label if seen[label] == 1 else f"{label}#{seen[label]}")
+    return unique
+
+
+def combine_labels(left: Sequence[str], right: Sequence[str]) -> list[str]:
+    """Concatenate column labels, suffixing the right side on collisions.
+
+    Shared by the executor's product/join operators and the optimizer's schema
+    inference (same drift-prevention rationale as :func:`unique_labels`).
+    """
+    columns = list(left)
+    taken = set(columns)
+    for label in right:
+        candidate = label
+        counter = 2
+        while candidate in taken:
+            candidate = f"{label}#{counter}"
+            counter += 1
+        taken.add(candidate)
+        columns.append(candidate)
+    return columns
+
+
 def resolve_unqualified(columns: Sequence[str], name: str) -> int:
     """Resolve an unqualified attribute reference against column labels.
 

@@ -43,6 +43,16 @@ class ExecutionStats:
     plan_cache_misses: int = 0
     #: operators *not* executed thanks to plan-cache hits (the MQO saving)
     operators_saved: int = 0
+    #: plans run through the cost-based optimizer (memo hits included)
+    plans_optimized: int = 0
+    #: optimizer-memo hits (identical plans optimized once per fingerprint)
+    optimizer_memo_hits: int = 0
+    #: optimizer rewrite rules fired, keyed by rule name
+    optimizer_rules: Counter = field(default_factory=Counter)
+    #: join orders examined by the cost-based join-ordering search
+    join_orders_considered: int = 0
+    #: estimated root-result rows across all optimized plans
+    estimated_rows: float = 0.0
     #: per-phase wall-clock seconds
     phase_seconds: dict = field(default_factory=dict)
 
@@ -74,6 +84,22 @@ class ExecutionStats:
     def count_cache_miss(self) -> None:
         """Record a plan-cache miss (the subexpression had to be executed)."""
         self.plan_cache_misses += 1
+
+    def count_optimization(
+        self,
+        rules: Counter | dict | None = None,
+        join_orders: int = 0,
+        estimated_rows: float = 0.0,
+        memo_hit: bool = False,
+    ) -> None:
+        """Record one pass of a plan through the cost-based optimizer."""
+        self.plans_optimized += 1
+        if memo_hit:
+            self.optimizer_memo_hits += 1
+        if rules:
+            self.optimizer_rules.update(rules)
+        self.join_orders_considered += join_orders
+        self.estimated_rows += estimated_rows
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -108,6 +134,11 @@ class ExecutionStats:
         self.plan_cache_hits += other.plan_cache_hits
         self.plan_cache_misses += other.plan_cache_misses
         self.operators_saved += other.operators_saved
+        self.plans_optimized += other.plans_optimized
+        self.optimizer_memo_hits += other.optimizer_memo_hits
+        self.optimizer_rules.update(other.optimizer_rules)
+        self.join_orders_considered += other.join_orders_considered
+        self.estimated_rows += other.estimated_rows
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
@@ -124,6 +155,11 @@ class ExecutionStats:
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "operators_saved": self.operators_saved,
+            "plans_optimized": self.plans_optimized,
+            "optimizer_memo_hits": self.optimizer_memo_hits,
+            "optimizer_rules": dict(self.optimizer_rules),
+            "join_orders_considered": self.join_orders_considered,
+            "estimated_rows": self.estimated_rows,
             "phase_seconds": dict(self.phase_seconds),
         }
 

@@ -77,6 +77,52 @@ def infer_type(value: Any) -> DataType:
     return DataType.STRING
 
 
+#: Coercion families of column values (see :func:`column_family`).
+FAMILY_NUMERIC = "numeric"
+FAMILY_STRING = "string"
+FAMILY_EMPTY = "empty"
+FAMILY_MIXED = "mixed"
+
+
+def column_family(values) -> str:
+    """The coercion family of a column's non-null values.
+
+    ``"numeric"`` (int/float/bool) and ``"string"`` are the two families the
+    :func:`comparable` coercion leaves alone; within one family, dict-key
+    equality (hash join) and coerced equality (predicate evaluation) agree.
+    ``"mixed"`` means coercion could differ from hashing and ``"empty"``
+    means there is nothing to disagree about.
+    """
+    saw_numeric = saw_string = False
+    saw_value = False
+    for value in values:
+        if value is None:
+            continue
+        saw_value = True
+        if isinstance(value, (int, float)):  # bool is an int subclass
+            saw_numeric = True
+            if saw_string:
+                return FAMILY_MIXED
+        elif isinstance(value, str):
+            saw_string = True
+            if saw_numeric:
+                return FAMILY_MIXED
+        else:
+            return FAMILY_MIXED
+    if not saw_value:
+        return FAMILY_EMPTY
+    return FAMILY_NUMERIC if saw_numeric else FAMILY_STRING
+
+
+def hash_compatible(left_family: str, right_family: str) -> bool:
+    """True when hash-key matching equals coerced equality for the pair."""
+    if FAMILY_MIXED in (left_family, right_family):
+        return False
+    if FAMILY_EMPTY in (left_family, right_family):
+        return True
+    return left_family == right_family
+
+
 def comparable(left: Any, right: Any) -> tuple[Any, Any]:
     """Return a pair of values coerced so they can be compared.
 

@@ -1,7 +1,7 @@
-"""Cross-evaluator × cross-engine differential test harness.
+"""Cross-evaluator × cross-engine × cross-optimizer differential harness.
 
 Randomized scenarios (hypothesis-driven) assert the reproduction's central
-invariant from two directions at once:
+invariant from three directions at once:
 
 * **algorithm equivalence** — every registered evaluator (basic, e-basic,
   e-MQO, q-sharing, o-sharing, batch) returns the same answer → probability
@@ -10,7 +10,11 @@ invariant from two directions at once:
   orders);
 * **engine equivalence** — for each evaluator, the columnar engine returns
   *byte-identical* answers to the row engine (exact float equality: the two
-  engines execute the same operators over the same tuples in the same order).
+  engines execute the same operators over the same tuples in the same order);
+* **optimizer equivalence** — for each evaluator × engine combination, the
+  cost-based optimizer (``optimize=True``, the default) returns byte-identical
+  answers to executing the reformulated plans verbatim (``optimize=False``):
+  the optimizer changes how many operators run, never what they produce.
 
 The sampled space covers all three target schemas, the Table III paper
 queries, generated selection chains and product queries, and varying mapping
@@ -85,7 +89,7 @@ def _answer_map(result):
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 @given(case=differential_cases())
-def test_all_evaluators_and_engines_agree(case):
+def test_all_evaluators_engines_and_optimizer_agree(case):
     label, query, scenario = case
     reference = evaluate(
         query,
@@ -94,31 +98,41 @@ def test_all_evaluators_and_engines_agree(case):
         method="basic",
         links=scenario.links,
         engine="row",
+        optimize=False,
     )
     for method in ALL_EVALUATORS:
-        per_engine = {}
+        variants = {}
         for engine in ENGINES:
-            result = evaluate(
-                query,
-                scenario.mappings,
-                scenario.database,
-                method=method,
-                links=scenario.links,
-                engine=engine,
+            for optimize in (True, False):
+                result = evaluate(
+                    query,
+                    scenario.mappings,
+                    scenario.database,
+                    method=method,
+                    links=scenario.links,
+                    engine=engine,
+                    optimize=optimize,
+                )
+                variants[(engine, optimize)] = result
+                problems = reference.answers.difference(result.answers)
+                assert reference.answers.equals(result.answers), (
+                    f"[{label}] {method}@{engine}(optimize={optimize}) diverges "
+                    f"from basic@row(optimize=False): {problems}"
+                )
+        # Every engine × optimizer combination must agree *exactly* with the
+        # plain row engine, not just within tolerance.
+        baseline = variants[("row", False)]
+        for (engine, optimize), result in variants.items():
+            assert _answer_map(result) == _answer_map(baseline), (
+                f"[{label}] {method}: {engine}(optimize={optimize}) differs "
+                f"from row(optimize=False)"
             )
-            per_engine[engine] = result
-            problems = reference.answers.difference(result.answers)
-            assert reference.answers.equals(result.answers), (
-                f"[{label}] {method}@{engine} diverges from basic@row: {problems}"
+            assert (
+                result.answers.empty_probability == baseline.answers.empty_probability
+            ), (
+                f"[{label}] {method}: {engine}(optimize={optimize}) disagrees "
+                f"on the empty-answer mass"
             )
-        # Engines must agree *exactly*, not just within tolerance.
-        assert _answer_map(per_engine["row"]) == _answer_map(per_engine["columnar"]), (
-            f"[{label}] {method}: row and columnar engines differ"
-        )
-        assert (
-            per_engine["row"].answers.empty_probability
-            == per_engine["columnar"].answers.empty_probability
-        ), f"[{label}] {method}: engines disagree on the empty-answer mass"
 
 
 @pytest.mark.parametrize("method", ALL_EVALUATORS)
@@ -166,3 +180,70 @@ def test_unknown_engine_rejected(paper_example):
             links=paper_example.links,
             engine="vectorised",
         )
+
+
+@pytest.mark.parametrize("method", ALL_EVALUATORS)
+def test_optimize_flag_reported_in_details(method, paper_example):
+    on = evaluate(
+        paper_example.q0(),
+        paper_example.mappings,
+        paper_example.database,
+        method=method,
+        links=paper_example.links,
+    )
+    off = evaluate(
+        paper_example.q0(),
+        paper_example.mappings,
+        paper_example.database,
+        method=method,
+        links=paper_example.links,
+        optimize=False,
+    )
+    assert on.details["optimize"] is True
+    assert off.details["optimize"] is False
+    if method != "batch":  # batch optimizes in its workload-level planning phase
+        assert on.stats.plans_optimized > 0
+    assert off.stats.plans_optimized == 0
+
+
+def test_batch_workload_stats_count_optimizations(paper_example):
+    from repro.core import evaluate_many
+
+    batch = evaluate_many(
+        [paper_example.q0(), paper_example.q2()],
+        paper_example.mappings,
+        paper_example.database,
+        links=paper_example.links,
+    )
+    assert batch.stats.plans_optimized > 0
+    off = evaluate_many(
+        [paper_example.q0(), paper_example.q2()],
+        paper_example.mappings,
+        paper_example.database,
+        links=paper_example.links,
+        optimize=False,
+    )
+    assert off.stats.plans_optimized == 0
+    assert dict(batch.results[0].answers.items()) == dict(off.results[0].answers.items())
+    assert dict(batch.results[1].answers.items()) == dict(off.results[1].answers.items())
+
+
+@pytest.mark.parametrize("method", ALL_EVALUATORS)
+def test_optimizer_never_executes_more(method):
+    """Optimized runs execute no more operators and scan no more rows."""
+    scenario = _scenario("Excel")
+    query = selection_query(3, scenario.target_schema)
+    on = evaluate(
+        query, scenario.mappings, scenario.database, method=method, links=scenario.links
+    )
+    off = evaluate(
+        query,
+        scenario.mappings,
+        scenario.database,
+        method=method,
+        links=scenario.links,
+        optimize=False,
+    )
+    assert _answer_map(on) == _answer_map(off)
+    assert on.stats.source_operators <= off.stats.source_operators
+    assert on.stats.rows_scanned <= off.stats.rows_scanned

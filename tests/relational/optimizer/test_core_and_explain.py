@@ -1,0 +1,120 @@
+"""Unit tests for the Optimizer facade (memoization) and explain()."""
+
+import pytest
+
+from repro.relational.algebra import Product, Scan, Select
+from repro.relational.database import Database
+from repro.relational.executor import ENGINES, Executor
+from repro.relational.expressions import col
+from repro.relational.optimizer import Optimizer, explain
+from repro.relational.predicates import ColumnEquals, Equals
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.stats import ExecutionStats
+from repro.relational.types import DataType
+
+_I = DataType.INTEGER
+_S = DataType.STRING
+
+
+@pytest.fixture()
+def database() -> Database:
+    schema = DatabaseSchema(
+        "S",
+        [
+            RelationSchema.build("emp", [("id", _I), ("name", _S), ("dept", _I)]),
+            RelationSchema.build("dept", [("id", _I), ("dname", _S)]),
+        ],
+    )
+    db = Database(schema)
+    db.set_relation(
+        "emp",
+        Relation.from_schema(
+            schema.relation("emp"),
+            [(1, "ann", 10), (2, "bob", 10), (3, "cat", 20)],
+        ),
+    )
+    db.set_relation(
+        "dept",
+        Relation.from_schema(schema.relation("dept"), [(10, "db"), (20, "os")]),
+    )
+    return db
+
+
+def _join_plan():
+    return Select(
+        Product(Scan("emp"), Scan("dept")),
+        ColumnEquals(col("emp.dept"), col("dept.id")),
+    )
+
+
+class TestOptimizerMemo:
+    def test_memo_hit_on_identical_plan(self, database):
+        optimizer = Optimizer(database)
+        first = optimizer.optimize_with_report(_join_plan())
+        second = optimizer.optimize_with_report(_join_plan())
+        assert not first.memo_hit
+        assert second.memo_hit
+        assert second.plan is first.plan
+        assert len(optimizer) == 1
+
+    def test_memo_invalidated_by_mutation(self, database):
+        optimizer = Optimizer(database)
+        optimizer.optimize_with_report(_join_plan())
+        schema = database.schema.relation("emp")
+        database.set_relation(
+            "emp", Relation.from_schema(schema, [(9, "zed", 20)])
+        )
+        report = optimizer.optimize_with_report(_join_plan())
+        assert not report.memo_hit
+        result = Executor(database).execute(report.plan)
+        assert result.rows == [(9, "zed", 20, 20, "os")]
+
+    def test_stats_counters_recorded(self, database):
+        optimizer = Optimizer(database)
+        stats = ExecutionStats()
+        optimizer.optimize(_join_plan(), stats)
+        optimizer.optimize(_join_plan(), stats)
+        assert stats.plans_optimized == 2
+        assert stats.optimizer_memo_hits == 1
+        assert stats.optimizer_rules["product-to-join"] == 1
+        snapshot = stats.snapshot()
+        assert snapshot["plans_optimized"] == 2
+        assert snapshot["optimizer_rules"]["product-to-join"] == 1
+
+    def test_memo_is_bounded(self, database):
+        optimizer = Optimizer(database, memo_size=2)
+        for value in (10, 20, 30):
+            optimizer.optimize_with_report(
+                Select(Scan("emp"), Equals(col("emp.dept"), value))
+            )
+        assert len(optimizer) == 2
+
+    def test_unknown_relation_survives(self, database):
+        # A plan over a missing relation cannot be optimized, but the
+        # optimizer must hand it back rather than raise.
+        plan = Select(Scan("ghost"), Equals(col("ghost.x"), 1))
+        report = Optimizer(database).optimize_with_report(plan)
+        assert report.plan.canonical() == plan.canonical()
+
+
+class TestExplain:
+    def test_explain_sections(self, database):
+        text = explain(_join_plan(), database)
+        assert "== logical plan" in text
+        assert "== optimized plan" in text
+        assert "product-to-join" in text
+        assert "== execution" in text
+        assert "est." in text and "actual" in text
+
+    def test_explain_without_running(self, database):
+        text = explain(_join_plan(), database, run=False)
+        assert "== execution" not in text
+        assert "actual" not in text
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_explain_engines(self, database, engine):
+        text = explain(_join_plan(), database, engine=engine)
+        assert f"engine={engine}" in text
+        # est. 3 join rows (1/NDV estimate), actual 3 rows out of the join
+        assert "rows out: 3" in text

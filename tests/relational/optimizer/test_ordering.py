@@ -1,0 +1,178 @@
+"""Unit tests for cost-based join ordering."""
+
+import pytest
+
+from repro.relational.algebra import Join, Product, Scan, Select, Union
+from repro.relational.database import Database
+from repro.relational.executor import Executor
+from repro.relational.expressions import col
+from repro.relational.optimizer import RULE_JOIN_REORDER, Optimizer
+from repro.relational.predicates import And, ColumnEquals, Equals
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.stats import ExecutionStats
+from repro.relational.types import DataType
+
+_I = DataType.INTEGER
+_S = DataType.STRING
+
+
+@pytest.fixture()
+def database() -> Database:
+    """A star-ish schema where join order matters: big × mid × tiny."""
+    schema = DatabaseSchema(
+        "S",
+        [
+            RelationSchema.build("big", [("id", _I), ("mid_id", _I)]),
+            RelationSchema.build("mid", [("id", _I), ("tiny_id", _I)]),
+            RelationSchema.build("tiny", [("id", _I), ("tag", _S)]),
+        ],
+    )
+    db = Database(schema)
+    db.set_relation(
+        "big",
+        Relation.from_schema(
+            schema.relation("big"), [(i, i % 40) for i in range(200)]
+        ),
+    )
+    db.set_relation(
+        "mid",
+        Relation.from_schema(
+            schema.relation("mid"), [(i, i % 4) for i in range(40)]
+        ),
+    )
+    db.set_relation(
+        "tiny",
+        Relation.from_schema(
+            schema.relation("tiny"), [(i, f"t{i}") for i in range(4)]
+        ),
+    )
+    return db
+
+
+def _chain_plan():
+    """big ⋈ mid ⋈ tiny with a highly selective filter on tiny."""
+    plan = Join(
+        Join(Scan("big"), Scan("mid"), ColumnEquals(col("big.mid_id"), col("mid.id"))),
+        Scan("tiny"),
+        ColumnEquals(col("mid.tiny_id"), col("tiny.id")),
+    )
+    return Select(plan, Equals(col("tiny.tag"), "t0"))
+
+
+class TestJoinReorder:
+    def test_reorder_preserves_result_and_columns(self, database):
+        plan = _chain_plan()
+        baseline = Executor(database, ExecutionStats(), engine="row").execute(plan)
+        report = Optimizer(database).optimize_with_report(plan)
+        optimized = Executor(database, ExecutionStats(), engine="row").execute(report.plan)
+        assert report.join_orders_considered > 0
+        assert baseline.columns == optimized.columns
+        assert sorted(baseline.rows) == sorted(optimized.rows)
+
+    def test_reorder_fires_and_reduces_intermediate_rows(self, database):
+        # Force the bad order: (big × tiny) first (a cross product), then mid.
+        plan = Select(
+            Join(
+                Product(Scan("big"), Scan("tiny")),
+                Scan("mid"),
+                And(
+                    ColumnEquals(col("big.mid_id"), col("mid.id")),
+                    ColumnEquals(col("mid.tiny_id"), col("tiny.id")),
+                ),
+            ),
+            Equals(col("tiny.tag"), "t0"),
+        )
+        before, after = ExecutionStats(), ExecutionStats()
+        baseline = Executor(database, before, engine="row").execute(plan)
+        report = Optimizer(database).optimize_with_report(plan)
+        optimized = Executor(database, after, engine="row").execute(report.plan)
+        assert report.rules[RULE_JOIN_REORDER] == 1
+        assert sorted(baseline.rows) == sorted(optimized.rows)
+        assert baseline.columns == optimized.columns
+        assert after.rows_output < before.rows_output
+
+    def test_reorder_disabled(self, database):
+        plan = _chain_plan()
+        report = Optimizer(database, reorder=False).optimize_with_report(plan)
+        assert report.rules[RULE_JOIN_REORDER] == 0
+        assert report.join_orders_considered == 0
+
+    def test_two_way_join_untouched(self, database):
+        plan = Join(Scan("mid"), Scan("tiny"), ColumnEquals(col("mid.tiny_id"), col("tiny.id")))
+        report = Optimizer(database).optimize_with_report(plan)
+        assert report.rules[RULE_JOIN_REORDER] == 0
+
+    def test_reorder_inside_union_keeps_arm_alignment(self, database):
+        arm = _chain_plan()
+        plan = Union(arm, _chain_plan(), distinct=True)
+        baseline = Executor(database, ExecutionStats(), engine="row").execute(plan)
+        report = Optimizer(database).optimize_with_report(plan)
+        optimized = Executor(database, ExecutionStats(), engine="row").execute(report.plan)
+        assert baseline.columns == optimized.columns
+        assert sorted(baseline.rows) == sorted(optimized.rows)
+
+    def test_both_engines_agree_on_reordered_plan(self, database):
+        plan = _chain_plan()
+        report = Optimizer(database).optimize_with_report(plan)
+        row = Executor(database, ExecutionStats(), engine="row").execute(report.plan)
+        columnar = Executor(database, ExecutionStats(), engine="columnar").execute(report.plan)
+        assert row.columns == columnar.columns
+        assert row.rows == columnar.rows
+
+
+class TestGreedyFallback:
+    def test_large_region_uses_greedy(self, database):
+        # Six joined copies of tiny: beyond the DP limit, handled greedily.
+        plan = Scan("tiny", alias="t1")
+        for i in range(2, 7):
+            plan = Join(
+                plan,
+                Scan("tiny", alias=f"t{i}"),
+                ColumnEquals(col("t1.id"), col(f"t{i}.id")),
+            )
+        baseline = Executor(database, ExecutionStats(), engine="row").execute(plan)
+        report = Optimizer(database).optimize_with_report(plan)
+        optimized = Executor(database, ExecutionStats(), engine="row").execute(report.plan)
+        assert sorted(baseline.rows) == sorted(optimized.rows)
+        assert baseline.columns == optimized.columns
+
+
+class TestReorderHashSafety:
+    def test_mixed_family_equi_conjunct_blocks_reordering(self):
+        """A coercion-only equality must never be promoted to a hash key.
+
+        a.x holds strings ("2"), c.x holds ints (2): with optimize=False the
+        a-c equality sits in a coercing residual and matches; a reordered
+        tree could key a join on it (dict semantics, never matches), so the
+        region must refuse to reorder and answers must stay identical.
+        """
+        schema = DatabaseSchema(
+            "Z",
+            [
+                RelationSchema.build("a", [("x", _S), ("y", _I)]),
+                RelationSchema.build("b", [("y", _I), ("w", _I)]),
+                RelationSchema.build("c", [("x", _I), ("w", _I)]),
+            ],
+        )
+        db = Database(schema)
+        db.set_relation("a", Relation.from_schema(schema.relation("a"), [("2", 1)]))
+        db.set_relation("b", Relation.from_schema(schema.relation("b"), [(1, 7)]))
+        db.set_relation(
+            "c", Relation.from_schema(schema.relation("c"), [(2, 7), (3, 7)])
+        )
+        plan = Join(
+            Join(Scan("a"), Scan("b"), ColumnEquals(col("a.y"), col("b.y"))),
+            Scan("c"),
+            And(
+                ColumnEquals(col("b.w"), col("c.w")),
+                ColumnEquals(col("a.x"), col("c.x")),
+            ),
+        )
+        baseline = Executor(db, ExecutionStats(), engine="row").execute(plan)
+        assert baseline.rows == [("2", 1, 1, 7, 2, 7)]
+        report = Optimizer(db).optimize_with_report(plan)
+        assert report.rules[RULE_JOIN_REORDER] == 0
+        for engine in ("row", "columnar"):
+            optimized = Executor(db, ExecutionStats(), engine=engine).execute(report.plan)
+            assert optimized.rows == baseline.rows, engine

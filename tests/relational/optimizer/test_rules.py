@@ -1,0 +1,337 @@
+"""Unit tests for the optimizer's rewrite rules.
+
+Every rewrite is checked two ways: the expected structural change happened
+(rule fired, operator counts moved) and the optimized plan still produces the
+same relation as the original — including the mixed-type corner where the
+Select+Product→Join conversion must *refuse* to fire because hash-join key
+matching and coercion-based equality disagree.
+"""
+
+import pytest
+
+from repro.relational.algebra import (
+    Aggregate,
+    Join,
+    Materialized,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.relational.database import Database
+from repro.relational.executor import Executor
+from repro.relational.expressions import col, lit
+from repro.relational.optimizer import (
+    Optimizer,
+    RULE_EMPTY_SHORTCIRCUIT,
+    RULE_PRODUCT_TO_JOIN,
+    RULE_PROJECT_COLLAPSE,
+    RULE_PROJECT_PRUNE,
+    RULE_PUSHDOWN,
+    RULE_REMOVE_TRIVIAL_SELECT,
+    RULE_SELECT_MERGE,
+    fold_predicate,
+)
+from repro.relational.predicates import (
+    And,
+    ColumnEquals,
+    Comparison,
+    Equals,
+    FalsePredicate,
+    GreaterThan,
+    Not,
+    Or,
+    TruePredicate,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.stats import ExecutionStats
+from repro.relational.types import DataType
+
+_I = DataType.INTEGER
+_S = DataType.STRING
+_F = DataType.FLOAT
+
+
+@pytest.fixture()
+def database() -> Database:
+    schema = DatabaseSchema(
+        "S",
+        [
+            RelationSchema.build("emp", [("id", _I), ("name", _S), ("dept", _I), ("salary", _F)]),
+            RelationSchema.build("dept", [("id", _I), ("dname", _S)]),
+            RelationSchema.build("codes", [("code", _S)]),
+            RelationSchema.build("void", [("x", _I)]),
+        ],
+    )
+    db = Database(schema)
+    db.set_relation(
+        "emp",
+        Relation.from_schema(
+            schema.relation("emp"),
+            [
+                (1, "ann", 10, 100.0),
+                (2, "bob", 10, 200.0),
+                (3, "cat", 20, 300.0),
+                (4, "dan", 30, 400.0),
+            ],
+        ),
+    )
+    db.set_relation(
+        "dept",
+        Relation.from_schema(schema.relation("dept"), [(10, "db"), (20, "os"), (30, "net")]),
+    )
+    # String-typed codes that numerically match dept ids: coercion-based
+    # equality ("10" = 10) differs from hash-key equality here.
+    db.set_relation(
+        "codes", Relation.from_schema(schema.relation("codes"), [("10",), ("20",)])
+    )
+    db.set_relation("void", Relation.from_schema(schema.relation("void"), []))
+    return db
+
+
+def run_both(plan, database):
+    """Execute a plan unoptimized and optimized; return both relations + report."""
+    baseline = Executor(database, ExecutionStats(), engine="row").execute(plan)
+    report = Optimizer(database).optimize_with_report(plan)
+    optimized = Executor(database, ExecutionStats(), engine="row").execute(report.plan)
+    return baseline, optimized, report
+
+
+class TestFoldPredicate:
+    def test_literal_comparison_folds(self):
+        assert isinstance(fold_predicate(Comparison(lit(1), "=", lit(1))), TruePredicate)
+        assert isinstance(fold_predicate(Comparison(lit(1), "=", lit(2))), FalsePredicate)
+
+    def test_and_simplification(self):
+        pred = And(TruePredicate(), GreaterThan(col("emp.salary"), 150.0))
+        folded = fold_predicate(pred)
+        assert folded.canonical() == GreaterThan(col("emp.salary"), 150.0).canonical()
+
+    def test_and_with_false_collapses(self):
+        pred = And(GreaterThan(col("emp.salary"), 150.0), Comparison(lit(1), "=", lit(2)))
+        assert isinstance(fold_predicate(pred), FalsePredicate)
+
+    def test_or_with_true_collapses(self):
+        pred = Or(Comparison(lit(1), "=", lit(1)), GreaterThan(col("emp.salary"), 150.0))
+        assert isinstance(fold_predicate(pred), TruePredicate)
+
+    def test_not_folds(self):
+        assert isinstance(fold_predicate(Not(Comparison(lit(1), "=", lit(2)))), TruePredicate)
+
+    def test_contradictory_equalities(self):
+        pred = And(Equals(col("emp.dept"), 10), Equals(col("emp.dept"), 20))
+        assert isinstance(fold_predicate(pred), FalsePredicate)
+
+    def test_repeated_equality_is_not_contradictory(self):
+        pred = And(Equals(col("emp.dept"), 10), Equals(col("emp.dept"), 10))
+        assert not isinstance(fold_predicate(pred), FalsePredicate)
+
+    def test_coercion_equal_literals_are_not_contradictory(self):
+        pred = And(Equals(col("emp.dept"), 10), Equals(col("emp.dept"), "10"))
+        assert not isinstance(fold_predicate(pred), FalsePredicate)
+
+
+class TestSelectRules:
+    def test_trivial_select_removed(self, database):
+        plan = Select(Scan("emp"), TruePredicate())
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_REMOVE_TRIVIAL_SELECT] == 1
+        assert isinstance(report.plan, Scan)
+        assert optimized == baseline
+
+    def test_select_chain_merges_into_one(self, database):
+        plan = Select(
+            Select(Scan("emp"), Equals(col("emp.dept"), 10)),
+            GreaterThan(col("emp.salary"), 150.0),
+        )
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_SELECT_MERGE] == 1
+        assert len(report.plan.operators()) == len(plan.operators()) - 1
+        assert optimized == baseline
+        assert optimized.rows == [(2, "bob", 10, 200.0)]
+
+    def test_merged_select_still_uses_index(self, database):
+        plan = Select(
+            Select(Scan("emp"), Equals(col("emp.dept"), 10)),
+            GreaterThan(col("emp.salary"), 150.0),
+        )
+        report = Optimizer(database).optimize_with_report(plan)
+        stats = ExecutionStats()
+        Executor(database, stats).execute(report.plan)
+        assert database.index_catalog.builds >= 1
+        # The indexed path records the same counters the generic path would.
+        assert stats.operators["Scan"] == 1 and stats.operators["Select"] == 1
+        assert stats.rows_scanned == 4 + 4
+
+
+class TestPushdown:
+    def test_single_side_conjuncts_move_below_product(self, database):
+        plan = Select(
+            Product(Scan("emp"), Scan("dept")),
+            And(
+                Equals(col("emp.dept"), 10),
+                ColumnEquals(col("emp.dept"), col("dept.id")),
+            ),
+        )
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_PUSHDOWN] >= 1
+        assert sorted(baseline.rows) == sorted(optimized.rows)
+        assert baseline.columns == optimized.columns
+
+    def test_pushdown_preserves_row_order(self, database):
+        plan = Select(
+            Product(Scan("emp"), Scan("dept")),
+            And(
+                GreaterThan(col("emp.salary"), 150.0),
+                ColumnEquals(col("emp.dept"), col("dept.id")),
+            ),
+        )
+        baseline, optimized, _ = run_both(plan, database)
+        assert baseline.rows == optimized.rows
+
+    def test_pushdown_through_union(self, database):
+        arm = lambda: Scan("emp")  # noqa: E731 - tiny test helper
+        plan = Select(Union(arm(), arm(), distinct=True), Equals(col("emp.dept"), 10))
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_PUSHDOWN] >= 1
+        assert isinstance(report.plan, Union)
+        assert baseline == optimized
+
+    def test_pushdown_through_project(self, database):
+        plan = Select(
+            Project(Scan("emp"), [col("emp.name"), col("emp.dept")]),
+            Equals(col("emp.dept"), 10),
+        )
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_PUSHDOWN] >= 1
+        assert isinstance(report.plan, Project)
+        assert baseline == optimized
+
+
+class TestProductToJoin:
+    def test_conversion_fires_for_compatible_columns(self, database):
+        plan = Select(
+            Product(Scan("emp"), Scan("dept")),
+            ColumnEquals(col("emp.dept"), col("dept.id")),
+        )
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_PRODUCT_TO_JOIN] == 1
+        assert isinstance(report.plan, Join)
+        assert baseline == optimized
+        assert len(optimized) == 4
+
+    def test_conversion_reduces_rows_scanned(self, database):
+        plan = Select(
+            Product(Scan("emp"), Scan("dept")),
+            ColumnEquals(col("emp.dept"), col("dept.id")),
+        )
+        before, after = ExecutionStats(), ExecutionStats()
+        Executor(database, before).execute(plan)
+        report = Optimizer(database).optimize_with_report(plan)
+        Executor(database, after).execute(report.plan)
+        assert after.source_operators < before.source_operators
+        assert after.rows_scanned < before.rows_scanned
+
+    def test_conversion_refused_for_mixed_type_keys(self, database):
+        # emp.dept holds ints, codes.code holds the strings "10"/"20": the
+        # coerced equality matches where a hash join would not, so the
+        # rewrite must not fire — and answers must stay byte-identical.
+        plan = Select(
+            Product(Scan("emp"), Scan("codes")),
+            ColumnEquals(col("emp.dept"), col("codes.code")),
+        )
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_PRODUCT_TO_JOIN] == 0
+        assert len(baseline) == 3  # "10" matches ann and bob, "20" matches cat
+        assert baseline == optimized
+
+
+class TestEmptyShortcircuit:
+    def test_scan_of_empty_relation(self, database):
+        plan = Select(Scan("void"), Equals(col("void.x"), 1))
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_EMPTY_SHORTCIRCUIT] >= 1
+        assert isinstance(report.plan, Materialized)
+        assert baseline == optimized
+        assert optimized.is_empty and optimized.columns == ("void.x",)
+
+    def test_false_predicate_shortcircuits(self, database):
+        plan = Select(Scan("emp"), Comparison(lit(1), "=", lit(2)))
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_EMPTY_SHORTCIRCUIT] >= 1
+        assert isinstance(report.plan, Materialized)
+        assert baseline == optimized
+
+    def test_product_with_empty_side(self, database):
+        plan = Product(Scan("emp"), Scan("void"))
+        _, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_EMPTY_SHORTCIRCUIT] >= 1
+        assert optimized.is_empty
+        assert list(optimized.columns) == ["emp.id", "emp.name", "emp.dept", "emp.salary", "void.x"]
+
+    def test_aggregate_over_empty_still_produces_row(self, database):
+        plan = Aggregate(Scan("void"), "COUNT")
+        baseline, optimized, report = run_both(plan, database)
+        assert baseline.rows == [(0,)]
+        assert optimized == baseline
+        assert isinstance(report.plan, Aggregate)
+
+    def test_union_all_with_empty_arm(self, database):
+        plan = Union(Scan("emp"), Select(Scan("emp"), Comparison(lit(1), "=", lit(2))), distinct=False)
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_EMPTY_SHORTCIRCUIT] >= 1
+        assert isinstance(report.plan, Scan)
+        assert baseline == optimized
+
+    def test_shortcircuit_invalidated_by_data_change(self, database):
+        optimizer = Optimizer(database)
+        plan = Select(Scan("void"), Equals(col("void.x"), 1))
+        assert isinstance(optimizer.optimize_with_report(plan).plan, Materialized)
+        schema = database.schema.relation("void")
+        database.set_relation("void", Relation.from_schema(schema, [(1,), (2,)]))
+        replanned = optimizer.optimize_with_report(plan).plan
+        result = Executor(database).execute(replanned)
+        assert result.rows == [(1,)]
+
+
+class TestProjectionPruning:
+    def test_identity_project_removed(self, database):
+        plan = Project(
+            Scan("emp"),
+            [col("emp.id"), col("emp.name"), col("emp.dept"), col("emp.salary")],
+        )
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_PROJECT_PRUNE] == 1
+        assert isinstance(report.plan, Scan)
+        assert baseline == optimized
+
+    def test_distinct_identity_project_kept(self, database):
+        plan = Project(
+            Scan("emp"),
+            [col("emp.id"), col("emp.name"), col("emp.dept"), col("emp.salary")],
+            distinct=True,
+        )
+        _, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_PROJECT_PRUNE] == 0
+        assert isinstance(report.plan, Project)
+
+    def test_stacked_projects_collapse(self, database):
+        plan = Project(
+            Project(Scan("emp"), [col("emp.name"), col("emp.dept"), col("emp.salary")]),
+            [col("emp.name"), col("emp.salary")],
+        )
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_PROJECT_COLLAPSE] == 1
+        assert len(report.plan.operators()) == 1
+        assert baseline == optimized
+
+    def test_collapse_refused_when_inner_repeats_columns(self, database):
+        plan = Project(
+            Project(Scan("emp"), [col("emp.name"), col("emp.name")]),
+            [col("emp.name")],
+        )
+        baseline, optimized, report = run_both(plan, database)
+        assert report.rules[RULE_PROJECT_COLLAPSE] == 0
+        assert baseline == optimized

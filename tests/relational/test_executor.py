@@ -6,7 +6,13 @@ from repro.relational.algebra import Aggregate, Join, Materialized, Product, Pro
 from repro.relational.database import Database
 from repro.relational.executor import Executor, execute
 from repro.relational.expressions import Arithmetic, col, lit
-from repro.relational.predicates import And, ColumnEquals, Equals, GreaterThan, TruePredicate
+from repro.relational.predicates import (
+    And,
+    ColumnEquals,
+    Equals,
+    GreaterThan,
+    TruePredicate,
+)
 from repro.relational.relation import Relation
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.stats import ExecutionStats
@@ -234,3 +240,222 @@ class TestStatsAndErrors:
         stats = ExecutionStats()
         execute(Scan("emp"), database, stats)
         assert stats.rows_scanned == 4
+
+
+class TestCompositeHashJoin:
+    """Joins with several equality conjuncts hash on a composite key."""
+
+    @pytest.fixture()
+    def pairs_db(self) -> Database:
+        schema = DatabaseSchema(
+            "P",
+            [
+                RelationSchema.build("l", [("a", _I), ("b", _I), ("tag", _S)]),
+                RelationSchema.build("r", [("a", _I), ("b", _I), ("val", _S)]),
+            ],
+        )
+        db = Database(schema)
+        db.set_relation(
+            "l",
+            Relation.from_schema(
+                schema.relation("l"),
+                [(1, 1, "x"), (1, 2, "y"), (2, 1, "z"), (None, 1, "n")],
+            ),
+        )
+        db.set_relation(
+            "r",
+            Relation.from_schema(
+                schema.relation("r"),
+                [(1, 1, "p"), (1, 2, "q"), (2, 2, "s"), (None, 1, "m")],
+            ),
+        )
+        return db
+
+    def _join_plan(self):
+        return Join(
+            Scan("l"),
+            Scan("r"),
+            And(
+                ColumnEquals(col("l.a"), col("r.a")),
+                ColumnEquals(col("l.b"), col("r.b")),
+            ),
+        )
+
+    def test_composite_key_matches_nested_loop(self, pairs_db):
+        plan = self._join_plan()
+        result = execute(plan, pairs_db, engine="row")
+        # Only rows agreeing on *both* key columns survive; None never matches.
+        assert sorted((row[2], row[5]) for row in result.rows) == [("x", "p"), ("y", "q")]
+
+    def test_engines_agree_on_composite_join(self, pairs_db):
+        plan = self._join_plan()
+        row = execute(plan, pairs_db, engine="row")
+        columnar = execute(plan, pairs_db, engine="columnar")
+        assert row.columns == columnar.columns
+        assert row.rows == columnar.rows
+
+    def test_composite_with_residual_conjunct(self, pairs_db):
+        plan = Join(
+            Scan("l"),
+            Scan("r"),
+            And(
+                ColumnEquals(col("l.a"), col("r.a")),
+                ColumnEquals(col("l.b"), col("r.b")),
+                Equals(col("l.tag"), "x"),
+            ),
+        )
+        row = execute(plan, pairs_db, engine="row")
+        columnar = execute(plan, pairs_db, engine="columnar")
+        assert sorted((r[2], r[5]) for r in row.rows) == [("x", "p")]
+        assert row.rows == columnar.rows
+
+    def test_find_hash_join_collects_all_pairs(self, pairs_db):
+        executor = Executor(pairs_db)
+        left = pairs_db.relation("l")
+        right = pairs_db.relation("r")
+        predicate = And(
+            ColumnEquals(col("l.a"), col("r.a")),
+            ColumnEquals(col("l.b"), col("r.b")),
+        )
+        assert executor._find_hash_join(predicate, left, right) == [(0, 0), (1, 1)]
+
+
+class TestIndexedSelectWithConjunction:
+    def test_and_predicate_uses_index_and_filters_residual(self, database):
+        stats = ExecutionStats()
+        plan = Select(
+            Scan("emp"),
+            And(Equals(col("emp.dept"), 10), GreaterThan(col("emp.salary"), 150.0)),
+        )
+        result = execute(plan, database, stats)
+        assert [row[1] for row in result.rows] == ["bob"]
+        # Same operator and row counters as the generic path would record.
+        assert stats.operators["Scan"] == 1 and stats.operators["Select"] == 1
+        assert stats.rows_scanned == 4 + 4
+        assert stats.rows_output == 4 + 1
+        assert database.index_catalog.builds == 1
+
+    def test_and_predicate_engines_agree(self, database):
+        plan = Select(
+            Scan("emp"),
+            And(Equals(col("emp.dept"), 10), GreaterThan(col("emp.salary"), 150.0)),
+        )
+        row = execute(plan, database, engine="row")
+        columnar = execute(plan, database, engine="columnar")
+        assert row.rows == columnar.rows
+
+
+class TestCompositeKeyCoercionGuard:
+    """Mixed-representation key columns must not lose coercion matches."""
+
+    @pytest.fixture()
+    def mixed_db(self) -> Database:
+        schema = DatabaseSchema(
+            "M",
+            [
+                RelationSchema.build("a", [("x", _I), ("y", _S)]),
+                RelationSchema.build("b", [("x", _I), ("y", _I)]),
+            ],
+        )
+        db = Database(schema)
+        # a.y holds the *string* "2"; b.y holds the int 2.  The coerced
+        # residual accepts "2" = 2; a composite hash key would not.
+        db.set_relation("a", Relation.from_schema(schema.relation("a"), [(1, "2")]))
+        db.set_relation("b", Relation.from_schema(schema.relation("b"), [(1, 2)]))
+        return db
+
+    def test_secondary_mixed_conjunct_stays_in_residual(self, mixed_db):
+        plan = Join(
+            Scan("a"),
+            Scan("b"),
+            And(
+                ColumnEquals(col("a.x"), col("b.x")),
+                ColumnEquals(col("a.y"), col("b.y")),
+            ),
+        )
+        reference = execute(
+            Select(
+                Product(Scan("a"), Scan("b")),
+                And(
+                    ColumnEquals(col("a.x"), col("b.x")),
+                    ColumnEquals(col("a.y"), col("b.y")),
+                ),
+            ),
+            mixed_db,
+            engine="row",
+        )
+        for engine in ("row", "columnar"):
+            result = execute(plan, mixed_db, engine=engine)
+            assert result.rows == reference.rows == [(1, "2", 1, 2)], engine
+
+    def test_only_compatible_conjuncts_join_the_key(self, mixed_db):
+        executor = Executor(mixed_db)
+        predicate = And(
+            ColumnEquals(col("a.x"), col("b.x")),
+            ColumnEquals(col("a.y"), col("b.y")),
+        )
+        pairs = executor._find_hash_join(
+            predicate, mixed_db.relation("a"), mixed_db.relation("b")
+        )
+        assert pairs == [(0, 0)]
+
+
+class TestIndexedSelectFirstConjunctOnly:
+    def test_non_leading_equality_declines_fast_path(self, database):
+        # The first conjunct is a range, so the unoptimized stacked-select
+        # chain would never index; the merged form must not either.
+        stats = ExecutionStats()
+        plan = Select(
+            Scan("emp"),
+            And(GreaterThan(col("emp.salary"), 150.0), Equals(col("emp.dept"), 10)),
+        )
+        result = execute(plan, database, stats)
+        assert [row[1] for row in result.rows] == ["bob"]
+        assert database.index_catalog.builds == 0
+
+    def test_mixed_representation_column_declines_fast_path(self):
+        # Column a holds both int 2 and string "2": dict-keyed index lookup
+        # and coerced equality disagree, so the conjunction fast path must
+        # decline and both conjunct orders must give the generic answer.
+        schema = DatabaseSchema(
+            "X", [RelationSchema.build("r", [("a", _I), ("b", _I)])]
+        )
+        db = Database(schema)
+        db.set_relation(
+            "r", Relation.from_schema(schema.relation("r"), [(2, 1), ("2", 1)])
+        )
+        eq_first = Select(
+            Scan("r"), And(Equals(col("r.a"), 2), GreaterThan(col("r.b"), 0))
+        )
+        eq_last = Select(
+            Scan("r"), And(GreaterThan(col("r.b"), 0), Equals(col("r.a"), 2))
+        )
+        for engine in ("row", "columnar"):
+            assert len(execute(eq_first, db, engine=engine)) == 2, engine
+            assert len(execute(eq_last, db, engine=engine)) == 2, engine
+
+    def test_numeric_column_keeps_fast_path(self, database):
+        stats = ExecutionStats()
+        plan = Select(
+            Scan("emp"),
+            And(Equals(col("emp.dept"), 10), GreaterThan(col("emp.salary"), 150.0)),
+        )
+        result = execute(plan, database, stats)
+        assert [row[1] for row in result.rows] == ["bob"]
+        assert database.index_catalog.builds == 1
+
+    def test_single_comparison_fast_path_guarded_on_inexact_columns(self):
+        # Column a stores the string "2.0": coercion parses it equal to the
+        # literal 2, but a dict-keyed index lookup can never match it.  The
+        # fast path must decline so the generic (coercing) path answers.
+        schema = DatabaseSchema(
+            "Y", [RelationSchema.build("r", [("a", _S), ("b", _I)])]
+        )
+        db = Database(schema)
+        db.set_relation(
+            "r", Relation.from_schema(schema.relation("r"), [("2.0", 1), ("x", 2)])
+        )
+        plan = Select(Scan("r"), Equals(col("r.a"), 2))
+        for engine in ("row", "columnar"):
+            result = execute(plan, db, engine=engine)
+            assert result.rows == [("2.0", 1)], engine
