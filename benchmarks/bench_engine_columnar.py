@@ -21,10 +21,12 @@ import time
 from repro.bench.reporting import format_table
 from repro.core import evaluate
 from repro.datagen.scenario import build_scenario
-from repro.relational.executor import ENGINES
 from repro.workloads.queries import PAPER_QUERIES
 
 SMOKE_METHODS = ("e-basic", "o-sharing")
+#: this benchmark isolates the row-vs-columnar difference; the parallel
+#: engine has its own guard rail in bench_engine_parallel.py.
+ENGINES = ("row", "columnar")
 SMOKE_H = 30
 SMOKE_SCALE = 0.02
 ROUNDS = 3

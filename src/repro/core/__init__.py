@@ -63,16 +63,29 @@ def evaluate(
         The source instance ``D``.
     method:
         One of ``"basic"``, ``"e-basic"``, ``"e-mqo"``, ``"q-sharing"``,
-        ``"o-sharing"`` (default).
+        ``"o-sharing"`` (default) or ``"batch"``.
     links:
         Optional source-schema join links shared by all reformulations.
     options:
-        Forwarded to the evaluator constructor (e.g. ``strategy="snf"`` for
-        o-sharing, ``engine="row"`` to use the tuple-at-a-time execution
-        engine instead of the default columnar batch engine, or
-        ``optimize=False`` to execute source plans exactly as reformulation
-        produced them instead of running them through the cost-based
-        optimizer first).
+        Forwarded to the evaluator constructor.  Common switches:
+
+        * ``engine=`` — ``"columnar"`` (default), ``"row"`` for the
+          tuple-at-a-time reference interpreter, or ``"parallel"`` for the
+          morsel-driven sharded engine (answers are byte-identical on every
+          engine);
+        * ``parallel=`` — a
+          :class:`~repro.relational.parallel.ParallelConfig` tuning the
+          parallel engine (worker count, thread vs process pool, sharding
+          threshold); the process-wide default applies when omitted;
+        * ``optimize=False`` — execute source plans exactly as reformulation
+          produced them instead of running them through the cost-based
+          optimizer first (identical answers, more operators);
+        * ``strategy="snf"`` / ``"sef"`` / ``"random"`` — o-sharing's
+          operator-selection strategy.
+
+    Returns an :class:`EvaluationResult`: the probabilistic ``answers``, the
+    :class:`~repro.relational.stats.ExecutionStats` collected while
+    evaluating, and evaluator-specific ``details``.
     """
     evaluator = make_evaluator(method, links=links, **options)
     return evaluator.evaluate(query, mappings, database)

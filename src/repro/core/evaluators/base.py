@@ -78,9 +78,12 @@ class Evaluator(abc.ABC):
     """Base class of every query-evaluation algorithm.
 
     ``engine`` selects the relational execution engine every executor the
-    evaluator creates will use (``"columnar"`` by default, ``"row"`` for the
-    tuple-at-a-time interpreter); answers are identical either way, which the
-    differential test harness asserts for every evaluator.
+    evaluator creates will use: ``"columnar"`` (default), ``"row"`` for the
+    tuple-at-a-time interpreter, or ``"parallel"`` for the morsel-driven
+    sharded engine (tunable via ``parallel``, a
+    :class:`~repro.relational.parallel.ParallelConfig`; the process-wide
+    default applies when omitted).  Answers are identical on every engine,
+    which the differential test harness asserts for every evaluator.
 
     ``optimize`` (default on) runs every source plan through the cost-based
     optimizer (:mod:`repro.relational.optimizer`) before execution: predicate
@@ -98,12 +101,16 @@ class Evaluator(abc.ABC):
         links: SchemaLinks | None = None,
         engine: str = DEFAULT_ENGINE,
         optimize: bool = True,
+        parallel=None,
     ):
         self.links = links
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
         self.engine = engine
         self.optimize = optimize
+        #: optional :class:`~repro.relational.parallel.ParallelConfig` handed
+        #: to every executor when ``engine="parallel"`` (ignored otherwise).
+        self.parallel = parallel
 
     def _optimizer(self, database: Database):
         """A per-evaluation optimizer instance, or ``None`` when disabled.
@@ -118,6 +125,21 @@ class Evaluator(abc.ABC):
         from repro.relational.optimizer import Optimizer
 
         return Optimizer(database)
+
+    def _executor(self, database: Database, stats: ExecutionStats, **kwargs):
+        """An executor wired with this evaluator's engine/optimizer/parallel config.
+
+        ``kwargs`` forward to :class:`~repro.relational.executor.Executor`
+        (``cache=``, ``policy=``, ``inflight=``...); pass ``optimizer=None``
+        explicitly to skip per-plan optimization (the MQO evaluators optimize
+        up front, before their shared-subexpression analysis).
+        """
+        from repro.relational.executor import Executor
+
+        kwargs.setdefault("optimizer", self._optimizer(database))
+        return Executor(
+            database, stats, engine=self.engine, parallel=self.parallel, **kwargs
+        )
 
     @abc.abstractmethod
     def evaluate(

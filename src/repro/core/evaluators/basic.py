@@ -29,7 +29,6 @@ from repro.core.reformulation import (
 from repro.core.target_query import TargetQuery
 from repro.matching.mappings import Mapping, MappingSet
 from repro.relational.database import Database
-from repro.relational.executor import Executor
 from repro.relational.stats import ExecutionStats
 
 
@@ -59,9 +58,7 @@ class BasicEvaluator(Evaluator):
         than only a :class:`~repro.matching.mappings.MappingSet`.
         """
         stats = ExecutionStats()
-        executor = Executor(
-            database, stats, engine=self.engine, optimizer=self._optimizer(database)
-        )
+        executor = self._executor(database, stats)
         answers = ProbabilisticAnswer()
         evaluated_queries = 0
 

@@ -14,11 +14,24 @@ reformulated source queries.  :class:`BatchEvaluator` exploits both:
   shared too;
 * **execution is shared** — a single bounded
   :class:`~repro.relational.plancache.PlanCache`, attached to the database's
-  invalidation hooks, serves every query in the workload.
+  invalidation hooks, serves every query in the workload;
+* **execution is concurrent** — with ``engine="parallel"``, independent
+  queries of the workload run at the same time on a dedicated thread pool
+  (one executor and one stats object per query), while shared
+  materializations selected by the global plan are computed exactly once
+  behind a future (:class:`~repro.relational.parallel.InflightComputations`):
+  the first query to reach a shared sub-plan executes it, every concurrent
+  query waiting on it receives the finished relation and accounts it as a
+  plan-cache hit.
 
 Answers are identical to running ``e-basic``/``e-MQO`` per query — the batch
 engine is an optimisation, not a new semantics — which the cross-evaluator
-equivalence tests assert within ``PROBABILITY_TOLERANCE``.
+equivalence tests assert within ``PROBABILITY_TOLERANCE``.  Under concurrent
+execution the answers and the workload-total operator counts are unchanged;
+only scheduling-dependent attribution varies: which query a cache hit lands
+on, and the plan-cache snapshot's lookup count (a query served by another
+query's in-flight future records its hit in executor stats without probing
+the cache).
 """
 
 from __future__ import annotations
@@ -41,7 +54,7 @@ from repro.core.reformulation import extract_answers
 from repro.core.target_query import TargetQuery
 from repro.matching.mappings import MappingSet
 from repro.relational.database import Database
-from repro.relational.executor import DEFAULT_ENGINE, Executor
+from repro.relational.executor import DEFAULT_ENGINE
 from repro.relational.plancache import PlanCache
 from repro.relational.stats import ExecutionStats
 
@@ -115,10 +128,20 @@ class BatchEvaluator(Evaluator):
         exhaustive_planning: bool = False,
         engine: str = DEFAULT_ENGINE,
         optimize: bool = True,
+        parallel=None,
     ):
-        super().__init__(links, engine=engine, optimize=optimize)
+        super().__init__(links, engine=engine, optimize=optimize, parallel=parallel)
         self.cache_size = cache_size
         self.exhaustive_planning = exhaustive_planning
+
+    def _query_workers(self, queries: int) -> int:
+        """Concurrent queries to run (1 unless ``engine="parallel"``)."""
+        if self.engine != "parallel" or queries <= 1:
+            return 1
+        from repro.relational.parallel import default_config
+
+        config = self.parallel if self.parallel is not None else default_config()
+        return max(1, min(config.resolved_workers(), queries))
 
     # ------------------------------------------------------------------ #
     def evaluate(
@@ -194,12 +217,18 @@ class BatchEvaluator(Evaluator):
             policy = global_plan.materialization_policy()
         batch_stats.merge(planning)
 
-        # Phase 3 — shared execution through one executor and one plan cache.
-        executor = Executor(database, cache=cache, policy=policy, engine=self.engine)
-        results: list[EvaluationResult] = []
-        for query, key in zip(queries, keys):
-            stats = first_stats.pop(key, None) or ExecutionStats()
-            executor.stats = stats
+        # Phase 3 — shared execution through one plan cache.  Serial engines
+        # reuse one executor (swapping the per-query stats); the parallel
+        # engine runs the workload's queries concurrently on a dedicated
+        # thread pool, one executor and one stats object per query, with
+        # shared materializations computed once behind a future.  (The
+        # inter-query pool is distinct from the morsel pool the executors
+        # submit operator shards to, so the two levels cannot deadlock.)
+        per_query_stats = [
+            first_stats.pop(key, None) or ExecutionStats() for key in keys
+        ]
+
+        def evaluate_one(query, key, stats, executor) -> EvaluationResult:
             distinct, unmatched_probability = clusters[key]
             answers = ProbabilisticAnswer()
             if unmatched_probability:
@@ -213,31 +242,63 @@ class BatchEvaluator(Evaluator):
                         answers.add_tuples(tuples, source_query.probability)
                     else:
                         answers.add_empty(source_query.probability)
-            results.append(
-                self._result(
-                    query,
-                    answers,
-                    stats,
-                    distinct_source_queries=len(distinct),
-                    plan_cache_hits=stats.plan_cache_hits,
-                    plan_cache_misses=stats.plan_cache_misses,
-                    operators_saved=stats.operators_saved,
-                )
+            return self._result(
+                query,
+                answers,
+                stats,
+                distinct_source_queries=len(distinct),
+                plan_cache_hits=stats.plan_cache_hits,
+                plan_cache_misses=stats.plan_cache_misses,
+                operators_saved=stats.operators_saved,
             )
-            batch_stats.merge(stats)
 
+        workers = self._query_workers(len(queries))
+        if workers > 1:
+            from repro.relational.parallel import InflightComputations
+            from repro.relational.parallel.pool import map_ordered
+
+            inflight = InflightComputations()
+
+            def job(index: int) -> EvaluationResult:
+                executor = self._executor(
+                    database,
+                    per_query_stats[index],
+                    cache=cache,
+                    policy=policy,
+                    optimizer=None,
+                    inflight=inflight,
+                )
+                return evaluate_one(
+                    queries[index], keys[index], per_query_stats[index], executor
+                )
+
+            results = map_ordered(workers, job, range(len(queries)))
+        else:
+            executor = self._executor(
+                database, ExecutionStats(), cache=cache, policy=policy, optimizer=None
+            )
+            results = []
+            for query, key, stats in zip(queries, keys, per_query_stats):
+                executor.stats = stats
+                results.append(evaluate_one(query, key, stats, executor))
+        for result in results:
+            batch_stats.merge(result.stats)
+
+        details = {
+            "queries": len(queries),
+            "distinct_target_queries": len(clusters),
+            "shared_subexpressions": global_plan.materialisation_points,
+            "plan_comparisons": global_plan.comparisons,
+            "engine": self.engine,
+            "optimize": self.optimize,
+        }
+        if workers > 1:
+            details["query_workers"] = workers
         return BatchResult(
             results=results,
             stats=batch_stats,
             plan_cache=cache.stats.snapshot(),
-            details={
-                "queries": len(queries),
-                "distinct_target_queries": len(clusters),
-                "shared_subexpressions": global_plan.materialisation_points,
-                "plan_comparisons": global_plan.comparisons,
-                "engine": self.engine,
-                "optimize": self.optimize,
-            },
+            details=details,
         )
 
     @staticmethod
@@ -255,9 +316,19 @@ def evaluate_many(
 ) -> BatchResult:
     """Evaluate a workload of target queries with shared execution.
 
+    Reformulation/clustering is amortised across repeated queries, one MQO
+    global plan covers the whole workload, and a single bounded plan cache
+    serves every query.  With ``engine="parallel"`` the workload's queries
+    additionally run concurrently (inter-query parallelism) with shared
+    materializations computed once behind a future.
+
     Convenience wrapper around :meth:`BatchEvaluator.evaluate_many`;
     ``options`` are forwarded to the :class:`BatchEvaluator` constructor
-    (e.g. ``cache_size=...``).
+    (e.g. ``cache_size=...``, ``engine=``, ``optimize=``, ``parallel=``).
+    Returns a :class:`BatchResult` with one
+    :class:`~repro.core.evaluators.base.EvaluationResult` per query in
+    workload order plus workload-aggregate statistics and a plan-cache
+    snapshot.
     """
     return BatchEvaluator(links=links, **options).evaluate_many(
         queries, mappings, database

@@ -29,7 +29,6 @@ from repro.core.target_query import TargetQuery
 from repro.matching.mappings import Mapping, MappingSet
 from repro.relational.algebra import PlanNode
 from repro.relational.database import Database
-from repro.relational.executor import Executor
 from repro.relational.stats import ExecutionStats
 
 
@@ -92,9 +91,7 @@ class EBasicEvaluator(Evaluator):
         database: Database,
     ) -> EvaluationResult:
         stats = ExecutionStats()
-        executor = Executor(
-            database, stats, engine=self.engine, optimizer=self._optimizer(database)
-        )
+        executor = self._executor(database, stats)
         answers = ProbabilisticAnswer()
 
         with stats.phase(PHASE_REWRITING):

@@ -229,7 +229,9 @@ class EMQOEvaluator(Evaluator):
             policy = global_plan.materialization_policy()
             cache = PlanCache(maxsize=max(1, global_plan.materialisation_points))
 
-        executor = Executor(database, stats, cache=cache, policy=policy, engine=self.engine)
+        executor = self._executor(
+            database, stats, cache=cache, policy=policy, optimizer=None
+        )
         for source_query, plan in zip(distinct, plans):
             with stats.phase(PHASE_EVALUATION):
                 result = executor.execute_query(plan)

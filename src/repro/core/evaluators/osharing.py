@@ -55,8 +55,9 @@ class OSharingEvaluator(Evaluator):
         prune_empty: bool = True,
         engine: str = DEFAULT_ENGINE,
         optimize: bool = True,
+        parallel=None,
     ):
-        super().__init__(links, engine=engine, optimize=optimize)
+        super().__init__(links, engine=engine, optimize=optimize, parallel=parallel)
         self.strategy = make_strategy(strategy, seed) if isinstance(strategy, str) else strategy
         #: the empty-intermediate shortcut (Case 2 of ``run_qt``); disabling it
         #: is only useful for the ablation benchmark.
@@ -70,9 +71,7 @@ class OSharingEvaluator(Evaluator):
         database: Database,
     ) -> EvaluationResult:
         stats = ExecutionStats()
-        executor = Executor(
-            database, stats, engine=self.engine, optimizer=self._optimizer(database)
-        )
+        executor = self._executor(database, stats)
         answers = ProbabilisticAnswer()
 
         # Steps 1-3 of Algorithm 2: partition, represent, initialise the u-trace.

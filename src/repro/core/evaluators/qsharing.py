@@ -38,7 +38,10 @@ class QSharingEvaluator(Evaluator):
 
         # Step 3 of Algorithm 1: run basic over the representative mappings.
         basic = BasicEvaluator(
-            links=self.links, engine=self.engine, optimize=self.optimize
+            links=self.links,
+            engine=self.engine,
+            optimize=self.optimize,
+            parallel=self.parallel,
         )
         inner = basic.evaluate_mappings(query, representatives, database)
 

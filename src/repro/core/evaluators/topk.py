@@ -72,8 +72,9 @@ class TopKEvaluator(Evaluator):
         seed: int = 0,
         engine: str = DEFAULT_ENGINE,
         optimize: bool = True,
+        parallel=None,
     ):
-        super().__init__(links, engine=engine, optimize=optimize)
+        super().__init__(links, engine=engine, optimize=optimize, parallel=parallel)
         if k <= 0:
             raise ValueError("k must be positive")
         self.k = k
@@ -87,9 +88,7 @@ class TopKEvaluator(Evaluator):
         database: Database,
     ) -> EvaluationResult:
         stats = ExecutionStats()
-        executor = Executor(
-            database, stats, engine=self.engine, optimizer=self._optimizer(database)
-        )
+        executor = self._executor(database, stats)
 
         with stats.phase(PHASE_REWRITING):
             partitions = partition(query.partition_keys, mappings)

@@ -23,6 +23,8 @@ queries* over a *source instance*:
   selections on base relations.
 * :mod:`repro.relational.plancache` — bounded plan-result cache and
   materialization policies powering shared (multi-query) execution.
+* :mod:`repro.relational.parallel` — horizontal sharding, worker pools and
+  the morsel-driven operator kernels behind the ``"parallel"`` engine.
 * :mod:`repro.relational.optimizer` — cost-based query optimizer (statistics
   catalog, rewrite rules, join ordering, ``explain()``) applied between
   reformulation and execution.
@@ -43,6 +45,7 @@ from repro.relational.algebra import (
 from repro.relational.columnar import ColumnBatch, expression_values, predicate_mask
 from repro.relational.database import Database
 from repro.relational.executor import DEFAULT_ENGINE, ENGINES, Executor
+from repro.relational.parallel import ParallelConfig
 from repro.relational.plancache import (
     MaterializationPolicy,
     MaterializeAll,
@@ -89,6 +92,7 @@ __all__ = [
     "DEFAULT_ENGINE",
     "ENGINES",
     "Executor",
+    "ParallelConfig",
     "MaterializationPolicy",
     "MaterializeAll",
     "MaterializeNone",

@@ -7,13 +7,18 @@ recursive, materialising — because every algorithm in the paper manipulates
 *which* operators get executed, not *how* an individual operator is executed.
 
 *How* an operator is executed is nevertheless pluggable: the ``engine``
-switch selects between the original tuple-at-a-time interpreter (``"row"``)
-and a columnar batch engine (``"columnar"``, the default) that evaluates
+switch selects between the original tuple-at-a-time interpreter (``"row"``),
+a columnar batch engine (``"columnar"``, the default) that evaluates
 operators column-wise over :class:`~repro.relational.columnar.ColumnBatch`
-instances with predicates compiled once per operator.  Both engines produce
-identical relations, identical :class:`ExecutionStats` counters and share the
-hash-index fast path, the plan cache and the materialization policies; the
-columnar engine is simply faster (see ``benchmarks/bench_engine_columnar.py``).
+instances with predicates compiled once per operator, and a parallel sharded
+engine (``"parallel"``) that runs the columnar operators morsel-wise over a
+worker pool (:mod:`repro.relational.parallel`) and falls back *per node* to
+the serial columnar code whenever an input is too small to shard.  All
+engines produce identical relations, identical :class:`ExecutionStats`
+counters and share the hash-index fast path, the plan cache and the
+materialization policies; the columnar engine is simply faster (see
+``benchmarks/bench_engine_columnar.py``) and the parallel engine scales the
+columnar sweeps with cores (``benchmarks/bench_engine_parallel.py``).
 
 Two physical optimisations are implemented because the figures depend on
 realistic relative costs:
@@ -69,10 +74,13 @@ from repro.relational.types import (
 )
 
 #: The available execution engines.
-ENGINES = ("row", "columnar")
+ENGINES = ("row", "columnar", "parallel")
 
 #: Engine used when none is requested (the columnar batch engine).
 DEFAULT_ENGINE = "columnar"
+
+#: Engines that evaluate plans over :class:`ColumnBatch` instances.
+_BATCH_ENGINES = ("columnar", "parallel")
 
 
 class Executor:
@@ -87,9 +95,20 @@ class Executor:
     the executor behaves exactly as before.
 
     ``engine`` selects the operator implementations: ``"columnar"`` (default)
-    evaluates whole batches column-wise, ``"row"`` interprets tuple-at-a-time.
-    A plan node the columnar engine has no implementation for falls back to
-    the row implementation transparently.
+    evaluates whole batches column-wise, ``"row"`` interprets tuple-at-a-time,
+    and ``"parallel"`` runs the columnar operators morsel-wise over a worker
+    pool (tuned by ``parallel``, a
+    :class:`~repro.relational.parallel.ParallelConfig`; the process-wide
+    default applies when omitted) and falls back per node to the serial
+    columnar code for inputs below the sharding threshold.  A plan node the
+    columnar engine has no implementation for falls back to the row
+    implementation transparently.
+
+    ``inflight`` (used by the batch evaluator's inter-query parallelism)
+    is a :class:`~repro.relational.parallel.InflightComputations` registry:
+    when several concurrent executors share one plan cache, a shared
+    materialization is computed by exactly one of them while the others wait
+    on its future.
     """
 
     def __init__(
@@ -100,6 +119,8 @@ class Executor:
         policy: MaterializationPolicy | None = None,
         engine: str = DEFAULT_ENGINE,
         optimizer=None,
+        parallel=None,
+        inflight=None,
     ):
         self.database = database
         self.stats = stats if stats is not None else ExecutionStats()
@@ -114,13 +135,22 @@ class Executor:
         #: every plan handed to :meth:`execute` is optimized first (memoized
         #: per canonical fingerprint inside the optimizer).
         self.optimizer = optimizer
+        #: :class:`~repro.relational.parallel.ParallelConfig` driving the
+        #: morsel operators; ``None`` on the serial engines.
+        if engine == "parallel" and parallel is None:
+            from repro.relational.parallel import default_config
+
+            parallel = default_config()
+        self.parallel = parallel if engine == "parallel" else None
+        #: compute-once registry shared with concurrent executors (see above).
+        self.inflight = inflight
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanNode) -> Relation:
         """Evaluate ``plan`` and return its result relation."""
         if self.optimizer is not None:
             plan = self.optimizer.optimize(plan, self.stats)
-        if self.engine == "columnar":
+        if self.engine in _BATCH_ENGINES:
             return self._evaluate_columnar(plan).to_relation()
         return self._evaluate(plan)
 
@@ -497,6 +527,8 @@ class Executor:
         key = self.policy.cache_key(node)
         if key is None:
             return self._dispatch_columnar(node)
+        if self.inflight is not None:
+            return self._compute_once(key, node)
         entry = self.cache.get(key, self.database)
         if entry is not None:
             self.stats.count_cache_hit(entry.operator_count)
@@ -505,6 +537,42 @@ class Executor:
         result = self._dispatch_columnar(node)
         self.cache.put(key, node, result.to_relation(), self.database)
         return result
+
+    def _compute_once(self, key: str, node: PlanNode) -> ColumnBatch:
+        """Compute a shared materialization exactly once across executors.
+
+        The first executor to claim ``key`` probes the shared plan cache
+        (one counting probe, like serial), executes the sub-plan on a miss,
+        stores it, and publishes ``(relation, operator_count)`` on the
+        claim's future; concurrent executors that lose the claim wait on the
+        future *without touching the cache* and account the result as a
+        plan-cache hit in their executor-level stats — so a shared sub-plan
+        can never execute twice and the cache's own hit/miss counters are
+        never double-counted (waiters served by a future simply don't appear
+        in the cache snapshot's lookups).
+        """
+        future, owner = self.inflight.claim(key)
+        if not owner:
+            relation, operator_count = future.result()
+            self.stats.count_cache_hit(operator_count)
+            return ColumnBatch.from_relation(relation)
+        try:
+            entry = self.cache.get(key, self.database)
+            if entry is not None:
+                self.stats.count_cache_hit(entry.operator_count)
+                self.inflight.resolve(
+                    key, future, (entry.relation, entry.operator_count)
+                )
+                return ColumnBatch.from_relation(entry.relation)
+            self.stats.count_cache_miss()
+            result = self._dispatch_columnar(node)
+            relation = result.to_relation()
+            entry = self.cache.put(key, node, relation, self.database)
+            self.inflight.resolve(key, future, (relation, entry.operator_count))
+            return result
+        except BaseException as error:
+            self.inflight.fail(key, future, error)
+            raise
 
     def _dispatch_columnar(self, node: PlanNode) -> ColumnBatch:
         if isinstance(node, Scan):
@@ -531,13 +599,32 @@ class Executor:
         self.stats.count_operator("Scan", rows_in=len(relation), rows_out=len(relation))
         return ColumnBatch.from_relation(relation)
 
+    # -- parallel hooks ---------------------------------------------------- #
+    def _use_parallel(self, batch: ColumnBatch) -> bool:
+        """True when ``batch`` is large enough for the parallel engine to shard.
+
+        Always False on the serial engines (``self.parallel`` is ``None``);
+        on the parallel engine a too-small input makes the operator fall back
+        to the serial columnar implementation — per node, so one plan can mix
+        sharded and serial operators freely.
+        """
+        return self.parallel is not None and self.parallel.shards_for(len(batch)) > 1
+
+    def _predicate_mask(self, predicate: Predicate, batch: ColumnBatch) -> list[bool]:
+        """Row mask for ``predicate``, morsel-parallel when worthwhile."""
+        if self._use_parallel(batch):
+            from repro.relational.parallel import parallel_predicate_mask
+
+            return parallel_predicate_mask(predicate, batch, self.parallel)
+        return predicate_mask(predicate, batch)
+
     # -- selection -------------------------------------------------------- #
     def _select_columnar(self, node: Select) -> ColumnBatch:
         indexed = self._try_indexed_select(node)
         if indexed is not None:
             return ColumnBatch.from_relation(indexed)
         child = self._evaluate_columnar(node.child)
-        mask = predicate_mask(node.predicate, child)
+        mask = self._predicate_mask(node.predicate, child)
         result = child.filter(mask)
         self.stats.count_operator("Select", rows_in=len(child), rows_out=len(result))
         return result
@@ -550,15 +637,20 @@ class Executor:
         data = [child.data[i] for i in positions]
         length = len(child)
         if node.distinct:
-            seen: set[tuple] = set()
-            keep: list[int] = []
-            if data:
-                for i, row in enumerate(zip(*data)):
-                    if row not in seen:
-                        seen.add(row)
-                        keep.append(i)
-            elif length:
-                keep.append(0)  # zero-column projection: one distinct empty row
+            if data and self._use_parallel(child):
+                from repro.relational.parallel import parallel_distinct_indices
+
+                keep = parallel_distinct_indices(data, length, self.parallel)
+            else:
+                seen: set[tuple] = set()
+                keep: list[int] = []
+                if data:
+                    for i, row in enumerate(zip(*data)):
+                        if row not in seen:
+                            seen.add(row)
+                            keep.append(i)
+                elif length:
+                    keep.append(0)  # zero-column projection: one distinct empty row
             data = [[column[i] for i in keep] for column in data]
             length = len(keep)
         self.stats.count_operator("Project", rows_in=len(child), rows_out=length)
@@ -594,7 +686,15 @@ class Executor:
         pure_equi = len(pairs) >= 1 and len(pairs) == len(node.predicate.conjuncts())
         left_idx: list[int] = []
         right_idx: list[int] = []
-        if len(pairs) == 1:
+        if pairs and (self._use_parallel(left) or self._use_parallel(right)):
+            # Morsel-parallel build + probe (identical index order — see
+            # repro.relational.parallel.operators.parallel_join_indices).
+            from repro.relational.parallel import parallel_join_indices
+
+            left_idx, right_idx = parallel_join_indices(
+                left, right, pairs, pure_equi, self.parallel
+            )
+        elif len(pairs) == 1:
             left_pos, right_pos = pairs[0]
             buckets: dict[Any, list[int]] = defaultdict(list)
             if pure_equi:
@@ -640,7 +740,7 @@ class Executor:
         if pure_equi:
             result = candidates
         else:
-            result = candidates.filter(predicate_mask(node.predicate, candidates))
+            result = candidates.filter(self._predicate_mask(node.predicate, candidates))
         self.stats.count_operator(
             "Join", rows_in=len(left) + len(right), rows_out=len(result)
         )
@@ -659,12 +759,17 @@ class Executor:
         length = len(left) + len(right)
         if node.distinct:
             if data:
-                seen: set[tuple] = set()
-                keep: list[int] = []
-                for i, row in enumerate(zip(*data)):
-                    if row not in seen:
-                        seen.add(row)
-                        keep.append(i)
+                if self.parallel is not None and self.parallel.shards_for(length) > 1:
+                    from repro.relational.parallel import parallel_distinct_indices
+
+                    keep = parallel_distinct_indices(data, length, self.parallel)
+                else:
+                    seen: set[tuple] = set()
+                    keep: list[int] = []
+                    for i, row in enumerate(zip(*data)):
+                        if row not in seen:
+                            seen.add(row)
+                            keep.append(i)
                 data = [[column[i] for i in keep] for column in data]
                 length = len(keep)
             elif length:
@@ -694,16 +799,41 @@ class Executor:
 
         positions = [child.resolve(ref.name, ref.qualifier) for ref in node.group_by]
         group_labels = [child.columns[i] for i in positions]
-        groups: dict[tuple, list[int]] = defaultdict(list)
         key_columns = [child.data[i] for i in positions]
-        for i, key in enumerate(zip(*key_columns)):
-            groups[key].append(i)
+        parallel = self._use_parallel(child)
+        if parallel:
+            from repro.relational.parallel import (
+                parallel_fold_groups,
+                parallel_group_indices,
+            )
+
+            groups = parallel_group_indices(key_columns, n, self.parallel)
+        else:
+            groups: dict[tuple, list[int]] = defaultdict(list)
+            for i, key in enumerate(zip(*key_columns)):
+                groups[key].append(i)
         data: list[list] = [[] for _ in positions] + [[]]
-        for key, members in groups.items():
-            for column, value in zip(data, key):
-                column.append(value)
-            member_values = None if values is None else [values[i] for i in members]
-            data[-1].append(self._aggregate_values(node, member_values, len(members)))
+        if parallel:
+            # Grouping ran sharded; the per-group folds are independent, so
+            # they parallelise too — each fold walks its members in ascending
+            # row order, the exact serial accumulation (bit-equal floats).
+            def fold(members: list) -> Any:
+                member_values = None if values is None else [values[i] for i in members]
+                return self._aggregate_values(node, member_values, len(members))
+
+            aggregated = parallel_fold_groups(
+                fold, list(groups.values()), self.parallel
+            )
+            for key, value in zip(groups, aggregated):
+                for column, part in zip(data, key):
+                    column.append(part)
+                data[-1].append(value)
+        else:
+            for key, members in groups.items():
+                for column, value in zip(data, key):
+                    column.append(value)
+                member_values = None if values is None else [values[i] for i in members]
+                data[-1].append(self._aggregate_values(node, member_values, len(members)))
         self.stats.count_operator("Aggregate", rows_in=n, rows_out=len(groups))
         return ColumnBatch(
             group_labels + [output_label], data, length=len(groups)

@@ -112,7 +112,17 @@ def explain(
     engine: str = DEFAULT_ENGINE,
     run: bool = True,
 ) -> str:
-    """Explain ``plan``: logical tree, optimized tree, estimated vs actual rows."""
+    """Explain ``plan``: logical tree, optimized tree, estimated vs actual rows.
+
+    Renders three sections: the logical plan as reformulation produced it
+    (with estimated rows per node), the optimized plan (rules fired, join
+    orders considered, estimated vs actual rows per node), and — when
+    ``run`` is true — an execution summary (operators executed, rows
+    scanned, rows out) obtained by actually running the optimized plan on
+    ``engine`` with a tracing executor.  Pass an existing ``optimizer`` to
+    reuse its memo and statistics catalog; ``run=False`` skips execution and
+    the per-node "actual" annotations.
+    """
     optimizer = optimizer if optimizer is not None else Optimizer(database)
     report = optimizer.optimize_with_report(plan)
     annotator = PlanAnnotator(database, optimizer.catalog)

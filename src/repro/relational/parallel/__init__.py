@@ -1,0 +1,77 @@
+"""Parallel sharded execution engine (``engine="parallel"``).
+
+The package adds intra-operator parallelism to the columnar batch engine:
+
+* :mod:`~repro.relational.parallel.partition` — horizontal sharding of
+  relations/batches (contiguous morsels, round-robin, hash co-partitioning)
+  with a version-keyed shard cache on base relations;
+* :mod:`~repro.relational.parallel.pool` — shared thread/process worker
+  pools (threaded fallback when pickling loses) and the compute-once
+  registry behind inter-query sharing;
+* :mod:`~repro.relational.parallel.operators` — morsel-driven select /
+  hash-join / aggregate / distinct kernels that are byte-identical to the
+  serial columnar operators by construction;
+* :mod:`~repro.relational.parallel.config` — the :class:`ParallelConfig`
+  knobs and the process-wide default the executor picks up.
+
+The engine switch itself lives on
+:class:`~repro.relational.executor.Executor`: ``engine="parallel"`` runs the
+columnar engine with these kernels wherever an operator's input is large
+enough (``min_partition_rows``), and falls back **per node** to the serial
+columnar code below that bound — answers are byte-identical in every mix,
+which the differential harness asserts.
+"""
+
+from repro.relational.parallel.config import (
+    ParallelConfig,
+    available_cpus,
+    configure,
+    default_config,
+    set_default_config,
+)
+from repro.relational.parallel.operators import (
+    parallel_distinct_indices,
+    parallel_fold_groups,
+    parallel_group_indices,
+    parallel_join_indices,
+    parallel_predicate_mask,
+)
+from repro.relational.parallel.partition import (
+    PARTITION_MODES,
+    ShardSet,
+    cached_chunk_columns,
+    chunk_spans,
+    hash_partition_indices,
+    round_robin_indices,
+    shard_batch,
+    shard_relation,
+)
+from repro.relational.parallel.pool import (
+    InflightComputations,
+    run_tasks,
+    shutdown_pools,
+)
+
+__all__ = [
+    "ParallelConfig",
+    "available_cpus",
+    "configure",
+    "default_config",
+    "set_default_config",
+    "parallel_distinct_indices",
+    "parallel_fold_groups",
+    "parallel_group_indices",
+    "parallel_join_indices",
+    "parallel_predicate_mask",
+    "PARTITION_MODES",
+    "ShardSet",
+    "cached_chunk_columns",
+    "chunk_spans",
+    "hash_partition_indices",
+    "round_robin_indices",
+    "shard_batch",
+    "shard_relation",
+    "InflightComputations",
+    "run_tasks",
+    "shutdown_pools",
+]

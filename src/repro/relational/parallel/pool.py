@@ -1,0 +1,180 @@
+"""Worker pools for morsel-driven execution.
+
+The parallel operators submit *leaf* tasks (per-morsel predicate sweeps,
+bucket builds, probes, group folds) to a shared pool.  Two pool kinds exist:
+
+* **threads** (default) — zero serialization cost and shared memory, which
+  hash-join probes and group merges rely on.  CPython's GIL limits the
+  speedup of pure-Python sweeps, but threaded morsels are always safe.
+* **processes** — CPU-bound sweeps sidestep the GIL.  Task arguments must
+  pickle; when they don't (closures, live objects), the call *falls back to
+  threads* without poisoning the healthy pool, so correctness never depends
+  on picklability.  Only a genuinely broken pool (dead worker, no fork) is
+  remembered and skipped for the rest of the process.
+
+Pools are created lazily, keyed by ``(kind, workers)``, and shared across
+executors — morsel tasks never submit further pool tasks, so a single level
+of pooling cannot deadlock.  The batch evaluator's *inter-query* parallelism
+uses a separate dedicated pool (see
+:class:`~repro.core.evaluators.batch.BatchEvaluator`) for the same reason.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.relational.parallel.config import ParallelConfig
+
+_LOCK = threading.Lock()
+_THREAD_POOLS: dict[int, ThreadPoolExecutor] = {}
+_PROCESS_POOLS: dict[int, ProcessPoolExecutor] = {}
+#: worker counts whose process pool is genuinely broken (a dead worker or no
+#: fork support); calls fall back to threads for the rest of the process.
+#: Mere pickling failures do NOT land here — they are per-task properties,
+#: handled per call without poisoning a healthy pool.
+_BROKEN_PROCESS_POOLS: set[int] = set()
+
+
+def _thread_pool(workers: int) -> ThreadPoolExecutor:
+    with _LOCK:
+        pool = _THREAD_POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-parallel"
+            )
+            _THREAD_POOLS[workers] = pool
+    return pool
+
+
+def _process_pool(workers: int) -> ProcessPoolExecutor | None:
+    with _LOCK:
+        if workers in _BROKEN_PROCESS_POOLS:
+            return None
+        pool = _PROCESS_POOLS.get(workers)
+        if pool is None:
+            try:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            except (OSError, ValueError):  # pragma: no cover - no fork available
+                _BROKEN_PROCESS_POOLS.add(workers)
+                return None
+            _PROCESS_POOLS[workers] = pool
+    return pool
+
+
+@atexit.register
+def shutdown_pools() -> None:
+    """Tear down every shared pool (registered atexit; callable from tests)."""
+    with _LOCK:
+        pools = list(_THREAD_POOLS.values()) + list(_PROCESS_POOLS.values())
+        _THREAD_POOLS.clear()
+        _PROCESS_POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_tasks(
+    config: ParallelConfig,
+    fn: Callable[..., Any],
+    args_list: Sequence[tuple],
+    picklable: bool = False,
+) -> list[Any]:
+    """Run ``fn(*args)`` for every args tuple, returning results in order.
+
+    One task (or one worker) short-circuits to a serial loop.  Process pools
+    are used only when the caller vouches the task is ``picklable`` *and*
+    the config asks for them; a task that does not actually pickle falls
+    back to the thread pool for that call (a cheap pre-flight pickle of the
+    first task catches the common case — e.g. a locally defined predicate
+    class — up front), a dead worker marks the pool broken for the rest of
+    the process, and a genuine task exception propagates to the caller
+    exactly as the serial and threaded paths would raise it.
+    """
+    workers = config.resolved_workers()
+    if workers <= 1 or len(args_list) <= 1:
+        return [fn(*args) for args in args_list]
+    if picklable and config.kind == "process":
+        results = _try_process_pool(workers, fn, args_list)
+        if results is not None:
+            return results
+    pool = _thread_pool(workers)
+    futures = [pool.submit(fn, *args) for args in args_list]
+    return [future.result() for future in futures]
+
+
+def _try_process_pool(
+    workers: int, fn: Callable[..., Any], args_list: Sequence[tuple]
+) -> list[Any] | None:
+    """Process-pool attempt; ``None`` means "use the thread pool instead"."""
+    pool = _process_pool(workers)
+    if pool is None:
+        return None
+    try:
+        pickle.dumps((fn, args_list[0]))
+    except Exception:
+        return None  # the task cannot cross a process boundary; pool is fine
+    try:
+        futures = [pool.submit(fn, *args) for args in args_list]
+        return [future.result() for future in futures]
+    except BrokenProcessPool:
+        with _LOCK:
+            _BROKEN_PROCESS_POOLS.add(workers)
+        return None
+    except (pickle.PicklingError, AttributeError):
+        # A later task (or a result) failed to serialize after the pre-flight
+        # passed; recompute the whole call on threads.  Any other exception
+        # is a real task error and propagates.
+        return None
+
+
+class InflightComputations:
+    """Compute-once registry for results shared between concurrent queries.
+
+    The batch evaluator's inter-query parallelism hands every per-query
+    executor the same registry: the first executor to reach a shared
+    materialization *claims* its key and computes it; every other executor
+    blocks on the claim's future and receives the finished relation (counted
+    as a plan-cache hit).  Claims always have a running owner, and waits
+    follow the strict sub-plan partial order, so no cycle of waits can form.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._futures: dict[str, Future] = {}
+
+    def claim(self, key: str) -> tuple[Future, bool]:
+        """Return ``(future, owner)``; ``owner`` is True for the first claimant."""
+        with self._lock:
+            future = self._futures.get(key)
+            if future is not None:
+                return future, False
+            future = Future()
+            self._futures[key] = future
+            return future, True
+
+    def resolve(self, key: str, future: Future, value: Any) -> None:
+        """Publish the owner's result and retire the claim."""
+        future.set_result(value)
+        with self._lock:
+            self._futures.pop(key, None)
+
+    def fail(self, key: str, future: Future, error: BaseException) -> None:
+        """Propagate the owner's failure to every waiter and retire the claim."""
+        future.set_exception(error)
+        with self._lock:
+            self._futures.pop(key, None)
+
+
+def map_ordered(
+    pool_workers: int, fn: Callable[[Any], Any], items: Iterable[Any]
+) -> list[Any]:
+    """Thread-pool map preserving item order (inter-query scheduling helper)."""
+    items = list(items)
+    if pool_workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=pool_workers) as pool:
+        return list(pool.map(fn, items))

@@ -18,6 +18,7 @@ entries that depend on a mutated relation.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -96,6 +97,10 @@ class PlanCache:
     executor); any other value evicts the least recently used entry once the
     cache is full.  Call :meth:`attach` to subscribe the cache to a
     database's mutation events so that stale entries can never be served.
+
+    Lookups, stores and invalidations are guarded by a re-entrant lock so
+    one cache can serve the batch evaluator's concurrently running queries
+    (the LRU reordering and the stats counters are not otherwise atomic).
     """
 
     def __init__(self, maxsize: int | None = 1024):
@@ -105,6 +110,7 @@ class PlanCache:
         self.stats = PlanCacheStats()
         self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
         self._attached: list = []
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     # lookup / store
@@ -118,19 +124,20 @@ class PlanCache:
         entry (e.g. after an in-place ``Relation.append``, which fires no
         mutation hook) is dropped and reported as a miss.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        if database is not None and not self._fresh(entry, database):
-            del self._entries[key]
-            self.stats.invalidations += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        self.stats.operators_saved += entry.operator_count
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            if database is not None and not self._fresh(entry, database):
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.operators_saved += entry.operator_count
+            return entry
 
     @staticmethod
     def _fresh(entry: CachedPlan, database) -> bool:
@@ -163,13 +170,14 @@ class PlanCache:
             dependencies=dependencies,
             dependency_versions=versions,
         )
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = entry
-        if self.maxsize is not None:
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            if self.maxsize is not None:
+                while len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
         return entry
 
     def __contains__(self, key: object) -> bool:
@@ -186,24 +194,26 @@ class PlanCache:
 
         Returns the number of entries dropped.
         """
-        if relation_name is None:
-            dropped = len(self._entries)
-            self._entries.clear()
-        else:
-            stale = [
-                key
-                for key, entry in self._entries.items()
-                if relation_name in entry.dependencies
-            ]
-            for key in stale:
-                del self._entries[key]
-            dropped = len(stale)
-        self.stats.invalidations += dropped
-        return dropped
+        with self._lock:
+            if relation_name is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [
+                    key
+                    for key, entry in self._entries.items()
+                    if relation_name in entry.dependencies
+                ]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            self.stats.invalidations += dropped
+            return dropped
 
     def clear(self) -> None:
         """Drop every entry and reset nothing else (stats are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     # ------------------------------------------------------------------ #
     # database hooks

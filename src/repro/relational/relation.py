@@ -112,6 +112,7 @@ class Relation:
         "version",
         "_column_positions",
         "_column_cache",
+        "_shard_cache",
         "_rows",
         "_length",
         "_shared_rows",
@@ -142,6 +143,10 @@ class Relation:
         # Shared one-slot holder for the lazily built column-major view (see
         # column_data); derived relations over the same rows share the holder.
         self._column_cache: list = [None]
+        # Shared one-slot holder for horizontal shards of the column data,
+        # keyed on the version token exactly like the column-major cache (see
+        # repro.relational.parallel.partition.shard_relation).
+        self._shard_cache: list = [None]
         # True while the row list is shared with a relabelled view; a
         # mutation copies it first (copy-on-write) so views stay isolated.
         self._shared_rows = False
@@ -223,6 +228,7 @@ class Relation:
                 [column if isinstance(column, list) else list(column) for column in data],
             )
         ]
+        relation._shard_cache = [None]
         relation._shared_rows = False
         return relation
 
@@ -272,6 +278,7 @@ class Relation:
         view.version = self.version
         view._column_positions = {label: i for i, label in enumerate(view.columns)}
         view._column_cache = self._column_cache
+        view._shard_cache = self._shard_cache
         if self._rows is not None:
             self._shared_rows = True
             view._shared_rows = True

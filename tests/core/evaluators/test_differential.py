@@ -8,9 +8,12 @@ invariant from three directions at once:
   map as the reference ``basic`` evaluator, within the probability tolerance
   (different algorithms may accumulate the same probabilities in different
   orders);
-* **engine equivalence** — for each evaluator, the columnar engine returns
-  *byte-identical* answers to the row engine (exact float equality: the two
-  engines execute the same operators over the same tuples in the same order);
+* **engine equivalence** — for each evaluator, the columnar and parallel
+  engines return *byte-identical* answers to the row engine (exact float
+  equality: the engines execute the same operators over the same tuples in
+  the same order, the parallel engine by reassembling morsel results in
+  span order); the parallel engine is additionally swept across shard
+  counts and sharding thresholds with forced (zero-threshold) sharding;
 * **optimizer equivalence** — for each evaluator × engine combination, the
   cost-based optimizer (``optimize=True``, the default) returns byte-identical
   answers to executing the reformulated plans verbatim (``optimize=False``):
@@ -137,7 +140,7 @@ def test_all_evaluators_engines_and_optimizer_agree(case):
 
 @pytest.mark.parametrize("method", ALL_EVALUATORS)
 def test_engines_report_identical_stats(method, paper_example):
-    """Same operators, same row counters, on both engines (deterministic pin)."""
+    """Same operators, same row counters, on every engine (deterministic pin)."""
     query = paper_example.q2()
     per_engine = {}
     for engine in ENGINES:
@@ -149,13 +152,88 @@ def test_engines_report_identical_stats(method, paper_example):
             links=paper_example.links,
             engine=engine,
         )
-    row, columnar = per_engine["row"].stats, per_engine["columnar"].stats
-    assert dict(row.operators) == dict(columnar.operators)
-    assert row.source_operators == columnar.source_operators
-    assert row.source_queries == columnar.source_queries
-    assert row.rows_scanned == columnar.rows_scanned
-    assert row.rows_output == columnar.rows_output
-    assert _answer_map(per_engine["row"]) == _answer_map(per_engine["columnar"])
+    row = per_engine["row"].stats
+    for engine in ENGINES[1:]:
+        other = per_engine[engine].stats
+        assert dict(row.operators) == dict(other.operators), engine
+        assert row.source_operators == other.source_operators, engine
+        assert row.source_queries == other.source_queries, engine
+        assert row.rows_scanned == other.rows_scanned, engine
+        assert row.rows_output == other.rows_output, engine
+        assert _answer_map(per_engine["row"]) == _answer_map(per_engine[engine])
+
+
+@pytest.mark.parametrize("method", ALL_EVALUATORS)
+@pytest.mark.parametrize("workers", (2, 4))
+def test_parallel_engine_byte_identical_across_shard_counts(method, workers):
+    """Forced sharding (every operator morsel-parallel) never changes answers.
+
+    ``min_partition_rows=0`` makes every operator shard to the worker count
+    regardless of input size, so this exercises the parallel kernels on every
+    node of every source plan — the differential pin the parallel engine's
+    per-node fallback cannot mask.
+    """
+    from repro.relational.parallel import ParallelConfig
+
+    scenario = _scenario("Excel")
+    query = paper_query(_QUERY_IDS["Excel"][0], scenario.target_schema)
+    reference = evaluate(
+        query,
+        scenario.mappings,
+        scenario.database,
+        method=method,
+        links=scenario.links,
+        engine="columnar",
+    )
+    result = evaluate(
+        query,
+        scenario.mappings,
+        scenario.database,
+        method=method,
+        links=scenario.links,
+        engine="parallel",
+        parallel=ParallelConfig(workers=workers, min_partition_rows=0),
+    )
+    assert _answer_map(result) == _answer_map(reference)
+    assert result.answers.empty_probability == reference.answers.empty_probability
+    assert dict(result.stats.operators) == dict(reference.stats.operators)
+    assert result.stats.rows_scanned == reference.stats.rows_scanned
+
+
+def test_parallel_batch_workload_matches_serial():
+    """Inter-query parallelism: same answers, same workload-total work."""
+    from repro.relational.parallel import ParallelConfig
+
+    scenario = _scenario("Excel")
+    queries = [
+        paper_query(query_id, scenario.target_schema)
+        for query_id in (_QUERY_IDS["Excel"] + _QUERY_IDS["Excel"])[:6]
+    ]
+    from repro.core import evaluate_many
+
+    serial = evaluate_many(
+        queries, scenario.mappings, scenario.database, links=scenario.links
+    )
+    concurrent = evaluate_many(
+        queries,
+        scenario.mappings,
+        scenario.database,
+        links=scenario.links,
+        engine="parallel",
+        parallel=ParallelConfig(workers=4, min_partition_rows=0),
+    )
+    assert concurrent.details["query_workers"] == 4
+    for serial_result, parallel_result in zip(serial.results, concurrent.results):
+        assert _answer_map(parallel_result) == _answer_map(serial_result)
+        assert (
+            parallel_result.answers.empty_probability
+            == serial_result.answers.empty_probability
+        )
+    # Shared materializations are computed exactly once: the workload-total
+    # operator count matches the serial batch run (only the per-query
+    # attribution of cache hits may vary with scheduling).
+    assert concurrent.stats.source_operators == serial.stats.source_operators
+    assert concurrent.stats.source_queries == serial.stats.source_queries
 
 
 @pytest.mark.parametrize("method", ALL_EVALUATORS)

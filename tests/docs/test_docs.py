@@ -1,0 +1,87 @@
+"""The documentation is real: links resolve and code snippets run.
+
+Two guard rails over ``README.md`` and ``docs/*.md``:
+
+* **link check** — every relative markdown link points at an existing file
+  (external ``http(s)``/``mailto`` links are skipped — the suite runs
+  offline), and every explicit ``src/...``/``tests/...``/``benchmarks/...``
+  path mentioned in the prose exists in the repository;
+* **snippet smoke** — every fenced ```python`` block is executed in a
+  fresh namespace (the same golden-output philosophy as
+  ``tests/examples/test_examples_smoke.py``: documentation that is not
+  executed rots silently).  Snippets are written to be self-contained and
+  laptop-fast; an ``assert`` inside a snippet is a real test assertion.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda path: path.name,
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_REPO_PATH = re.compile(r"(?:src|tests|benchmarks|docs|examples)/[A-Za-z0-9_/.-]+")
+_PYTHON_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def _doc_id(path: Path) -> str:
+    return str(path.relative_to(REPO_ROOT))
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_relative_links_resolve(doc):
+    text = doc.read_text(encoding="utf-8")
+    broken = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:  # pure in-page anchor
+            continue
+        if not (doc.parent / target).exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken relative links: {broken}"
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_id)
+def test_mentioned_repo_paths_exist(doc):
+    text = doc.read_text(encoding="utf-8")
+    missing = []
+    for match in _REPO_PATH.finditer(text):
+        path = match.group(0).rstrip(".")
+        # Only treat it as a path claim when it names a file or directory
+        # shape we can check (skip glob-ish mentions like ``docs/*.md``).
+        if "*" in path:
+            continue
+        if not (REPO_ROOT / path).exists():
+            missing.append(path)
+    assert not missing, f"{doc.name}: mentions nonexistent paths: {missing}"
+
+
+def _snippets():
+    cases = []
+    for doc in DOC_FILES:
+        text = doc.read_text(encoding="utf-8")
+        for i, match in enumerate(_PYTHON_BLOCK.finditer(text), start=1):
+            cases.append(
+                pytest.param(match.group(1), id=f"{_doc_id(doc)}#{i}")
+            )
+    return cases
+
+
+@pytest.mark.parametrize("snippet", _snippets())
+def test_documentation_snippets_run(snippet):
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    namespace: dict = {"__name__": "__doc_snippet__"}
+    exec(compile(snippet, "<doc snippet>", "exec"), namespace)
