@@ -18,7 +18,7 @@ Run it with::
 
 from __future__ import annotations
 
-from repro import evaluate, evaluate_top_k, generate_possible_mappings, match_schemas
+from repro import Session, generate_possible_mappings, match_schemas
 from repro.core import SchemaLinks, TargetQuery
 from repro.relational import Database, Relation
 from repro.relational.algebra import Aggregate, Product, Project, Scan, Select
@@ -146,59 +146,63 @@ def main() -> None:
     print(f"\n{mappings.size} possible mappings, o-ratio {mappings.o_ratio():.2f}")
     print()
 
-    # 4a. Which cities do our gold-tier customers live in?
-    city_query = TargetQuery(
-        Project(
-            Select(Scan("Customer"), Equals(col("tier"), "gold")),
-            [col("Customer.city")],
-        ),
-        target_schema,
-        name="gold-cities",
-    )
-    result = evaluate(city_query, mappings, database, method="o-sharing", links=links)
-    print("π city σ tier='gold' Customer")
-    print(result.answers.pretty())
-    print()
+    # A session is the serving surface: one connection to this
+    # (database, mappings) pair whose caches warm up across the queries.
+    with Session(database, mappings, links=links) as session:
 
-    # 4b. How many card-paid orders shipped to London?  (an aggregate query)
-    count_query = TargetQuery(
-        Aggregate(
-            Select(
-                Select(Scan("Order"), Equals(col("Order.city"), "London")),
-                Equals(col("Order.payment"), "card"),
+        # 4a. Which cities do our gold-tier customers live in?
+        city_query = TargetQuery(
+            Project(
+                Select(Scan("Customer"), Equals(col("tier"), "gold")),
+                [col("Customer.city")],
             ),
-            "COUNT",
-        ),
-        target_schema,
-        name="london-card-orders",
-    )
-    result = evaluate(count_query, mappings, database, method="o-sharing", links=links)
-    print("COUNT(σ city='London' σ payment='card' Order)")
-    print(result.answers.pretty())
-    print()
+            target_schema,
+            name="gold-cities",
+        )
+        result = session.query(city_query)
+        print("π city σ tier='gold' Customer")
+        print(result.answers.pretty())
+        print()
 
-    # 4c. A cross-schema query: customers paired with high-value orders.
-    join_query = TargetQuery(
-        Project(
-            Select(
-                Product(Scan("Customer"), Scan("Order")),
-                Equals(col("Customer.tier"), "gold"),
+        # 4b. How many card-paid orders shipped to London?  (an aggregate query)
+        count_query = TargetQuery(
+            Aggregate(
+                Select(
+                    Select(Scan("Order"), Equals(col("Order.city"), "London")),
+                    Equals(col("Order.payment"), "card"),
+                ),
+                "COUNT",
             ),
-            [col("Customer.name"), col("Order.total")],
-        ),
-        target_schema,
-        name="gold-order-pairs",
-    )
-    result = evaluate(join_query, mappings, database, method="o-sharing", links=links)
-    print("π name,total σ tier='gold' (Customer × Order)  — top 5 answers")
-    for answer in result.answers.ranked()[:5]:
-        print(f"  {answer.values}  p={answer.probability:.3f}")
-    print()
+            target_schema,
+            name="london-card-orders",
+        )
+        result = session.query(count_query)
+        print("COUNT(σ city='London' σ payment='card' Order)")
+        print(result.answers.pretty())
+        print()
 
-    # 5. Only the most confident answer matters?  Ask a top-k query.
-    top = evaluate_top_k(city_query, mappings, database, k=1, links=links)
-    print("Top-1 gold-tier city")
-    print(top.answers.pretty())
+        # 4c. A cross-schema query: customers paired with high-value orders.
+        join_query = TargetQuery(
+            Project(
+                Select(
+                    Product(Scan("Customer"), Scan("Order")),
+                    Equals(col("Customer.tier"), "gold"),
+                ),
+                [col("Customer.name"), col("Order.total")],
+            ),
+            target_schema,
+            name="gold-order-pairs",
+        )
+        result = session.query(join_query)
+        print("π name,total σ tier='gold' (Customer × Order)  — top 5 answers")
+        for answer in result.answers.ranked()[:5]:
+            print(f"  {answer.values}  p={answer.probability:.3f}")
+        print()
+
+        # 5. Only the most confident answer matters?  Ask a top-k query.
+        top = session.top_k(city_query, k=1)
+        print("Top-1 gold-tier city")
+        print(top.answers.pretty())
 
 
 if __name__ == "__main__":

@@ -1,10 +1,12 @@
-"""Quickstart: evaluate a probabilistic query over an uncertain schema matching.
+"""Quickstart: evaluate probabilistic queries over an uncertain schema matching.
 
 The script builds the library's ready-made experiment scenario — a TPC-H-like
 purchase-order source instance matched against the Excel target schema, with
 ``h`` possible mappings produced by a k-best bipartite matching over the
-composite matcher's scores — and evaluates one of the paper's queries with the
-o-sharing algorithm.
+composite matcher's scores — then opens a :class:`repro.Session` (the
+session-first public API: one long-lived connection owning the plan cache,
+statistics catalog, optimizer memo and worker pools) and serves the paper's
+queries through it.
 
 Run it with::
 
@@ -13,7 +15,7 @@ Run it with::
 
 from __future__ import annotations
 
-from repro import build_scenario, evaluate, evaluate_top_k
+from repro import build_scenario, connect
 from repro.workloads import paper_query
 
 
@@ -34,51 +36,58 @@ def main() -> None:
     print(query.describe())
     print()
 
-    # 3. Evaluate it with o-sharing (the paper's best algorithm).
-    result = evaluate(
-        query,
-        scenario.mappings,
-        scenario.database,
-        method="o-sharing",
-        links=scenario.links,
-    )
-    print("Probabilistic answers (o-sharing)")
-    print("---------------------------------")
-    print(result.answers.pretty())
-    print()
-    print(
-        f"executed {result.stats.source_operators} source operators in "
-        f"{result.elapsed_seconds:.3f}s "
-        f"({result.details['units_created']} e-units, "
-        f"{result.details['representative_mappings']} representative mappings)"
-    )
-    print()
+    # 3. Open a session.  All cross-query state (plan cache, statistics,
+    #    optimizer memo, worker pools) lives here and is reused by every
+    #    call; close() — or the context manager — releases it.
+    with connect(scenario) as session:
+        # 4. Evaluate with o-sharing (the paper's best algorithm — the
+        #    session's default policy).
+        result = session.query(query)
+        print("Probabilistic answers (o-sharing)")
+        print("---------------------------------")
+        print(result.answers.pretty())
+        print()
+        print(
+            f"executed {result.stats.source_operators} source operators in "
+            f"{result.elapsed_seconds:.3f}s "
+            f"({result.details['units_created']} e-units, "
+            f"{result.details['representative_mappings']} representative mappings)"
+        )
+        print()
 
-    # 4. Compare against the simple e-basic evaluator: identical answers,
-    #    more work.
-    baseline = evaluate(
-        query,
-        scenario.mappings,
-        scenario.database,
-        method="e-basic",
-        links=scenario.links,
-    )
-    assert baseline.answers.equals(result.answers)
-    print(
-        "e-basic computes the same answers with "
-        f"{baseline.stats.source_operators} source operators and "
-        f"{baseline.stats.reformulations} query reformulations "
-        f"(o-sharing needed {result.stats.reformulations})."
-    )
-    print()
+        # 5. Per-call overrides: compare against the simple e-basic
+        #    evaluator — identical answers, more work.
+        baseline = session.query(query, method="e-basic")
+        assert baseline.answers.equals(result.answers)
+        print(
+            "e-basic computes the same answers with "
+            f"{baseline.stats.source_operators} source operators and "
+            f"{baseline.stats.reformulations} query reformulations "
+            f"(o-sharing needed {result.stats.reformulations})."
+        )
+        print()
 
-    # 5. Top-k: only the most probable answers, without exact probabilities.
-    top = evaluate_top_k(
-        query, scenario.mappings, scenario.database, k=3, links=scenario.links
-    )
-    print("Top-3 answers")
-    print("-------------")
-    print(top.answers.pretty())
+        # 6. A repeated workload shows why sessions exist: the second pass
+        #    is served from the session's plan cache.
+        workload = [paper_query(qid, scenario.target_schema) for qid in ("Q1", "Q2")] * 3
+        cold_pass = session.query_many(workload)
+        warm_pass = session.query_many(workload)
+        print("Session reuse")
+        print("-------------")
+        print(
+            f"first pass executed {cold_pass.stats.source_operators} source "
+            f"operators; the repeat pass executed "
+            f"{warm_pass.stats.source_operators} "
+            f"({warm_pass.stats.plan_cache_hits} plan-cache hits, "
+            f"lifetime hit rate {session.stats.plan_cache_hit_rate:.0%})"
+        )
+        print()
+
+        # 7. Top-k: only the most probable answers, with early termination.
+        top = session.top_k(query, k=3)
+        print("Top-3 answers")
+        print("-------------")
+        print(top.answers.pretty())
 
 
 if __name__ == "__main__":

@@ -18,18 +18,21 @@ mappings* with probabilities.  It contains:
 * the benchmark harness regenerating the paper's figures and tables
   (:mod:`repro.bench`).
 
-Quickstart::
+Quickstart (session-first)::
 
-    from repro import build_scenario, evaluate
+    from repro import build_scenario, connect
     from repro.workloads import paper_query
 
     scenario = build_scenario(target="Excel", h=100, scale=0.05)
-    query = paper_query("Q1", scenario.target_schema)
-    result = evaluate(
-        query, scenario.mappings, scenario.database,
-        method="o-sharing", links=scenario.links,
-    )
-    print(result.answers.pretty())
+    with connect(scenario) as session:
+        result = session.query(paper_query("Q1", scenario.target_schema))
+        print(result.answers.pretty())
+
+A :class:`Session` owns all cross-query state (plan cache, statistics
+catalog, optimizer memo, worker pools) so repeated queries stop paying for
+work already done; how queries execute is an :class:`ExecutionPolicy`.  The
+legacy one-shot helpers ``evaluate``/``evaluate_many``/``evaluate_top_k``
+remain as deprecated shims over a throwaway session.
 """
 
 from repro.core import (
@@ -46,11 +49,17 @@ from repro.core import (
 )
 from repro.datagen import MatchingScenario, build_scenario
 from repro.matching import Mapping, MappingSet, generate_possible_mappings, match_schemas
+from repro.policy import ExecutionPolicy
 from repro.relational import Database, Relation
+from repro.session import Session, SessionStats, connect
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Session",
+    "SessionStats",
+    "ExecutionPolicy",
+    "connect",
     "BatchResult",
     "EvaluationResult",
     "Evaluator",

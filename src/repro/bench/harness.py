@@ -18,11 +18,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.core import evaluate
 from repro.core.evaluators.base import EvaluationResult
 from repro.core.target_query import TargetQuery
 from repro.datagen.generator import GeneratorConfig, generate_source_instance
 from repro.datagen.scenario import MatchingScenario
+from repro.policy import ExecutionPolicy
+from repro.session import Session
 
 #: The methods compared in Figures 11(a)-(e).
 DEFAULT_METHODS: tuple[str, ...] = ("e-basic", "q-sharing", "o-sharing")
@@ -124,16 +125,24 @@ def run_method(
     x: Any = None,
     **options: Any,
 ) -> ExperimentPoint:
-    """Run one method on one query and collect its measurements."""
+    """Run one method on one query and collect its measurements.
+
+    Each point runs in a fresh throwaway :class:`~repro.session.Session`
+    (cold caches — the paper's per-figure setting); :func:`run_session`
+    measures the warm-session regime instead.
+    """
+    from repro.relational.parallel import default_manager
+
     started = time.perf_counter()
-    result = evaluate(
-        query,
-        scenario.mappings,
+    policy = ExecutionPolicy.from_options(method=method, **options)
+    with Session(
         scenario.database,
-        method=method,
+        scenario.mappings,
         links=scenario.links,
-        **options,
-    )
+        policy=policy,
+        pools=default_manager(),  # per-point sessions share warm workers
+    ) as session:
+        result = session.query(query)
     elapsed = time.perf_counter() - started
     return point_from_result(result, method=method, x=x, seconds=elapsed)
 
@@ -266,6 +275,29 @@ def run_optimizer_modes(
     return points
 
 
+def _batch_point(batch, method: str, x: Any, seconds: float | None = None) -> ExperimentPoint:
+    """Turn a :class:`BatchResult` into an :class:`ExperimentPoint`.
+
+    Shared by :func:`run_workload` and :func:`run_session` so workload-point
+    details (plan-cache snapshot, operators saved) never diverge between the
+    two point kinds.
+    """
+    details = dict(batch.details)
+    details["plan_cache"] = dict(batch.plan_cache)
+    details["operators_saved"] = batch.stats.operators_saved
+    details["plan_cache_hits"] = batch.stats.plan_cache_hits
+    return ExperimentPoint(
+        method=method,
+        x=x,
+        seconds=batch.total_seconds if seconds is None else seconds,
+        source_operators=batch.stats.source_operators,
+        source_queries=batch.stats.source_queries,
+        answers=sum(len(result.answers) for result in batch.results),
+        reformulations=batch.stats.reformulations,
+        details=details,
+    )
+
+
 def run_workload(
     queries: Sequence[TargetQuery],
     scenario: MatchingScenario,
@@ -279,28 +311,54 @@ def run_workload(
     are the phase-time sum, the same basis :func:`point_from_result` uses, so
     batch points are comparable with per-query method points.
     """
-    from repro.core import evaluate_many
+    from repro.relational.parallel import default_manager
 
-    batch = evaluate_many(
-        queries,
-        scenario.mappings,
+    policy = ExecutionPolicy.from_options(method="batch", **options)
+    with Session(
         scenario.database,
+        scenario.mappings,
         links=scenario.links,
-        **options,
-    )
-    details = dict(batch.details)
-    details["plan_cache"] = dict(batch.plan_cache)
-    details["operators_saved"] = batch.stats.operators_saved
-    return ExperimentPoint(
-        method="batch",
-        x=x,
-        seconds=batch.total_seconds,
-        source_operators=batch.stats.source_operators,
-        source_queries=batch.stats.source_queries,
-        answers=sum(len(result.answers) for result in batch.results),
-        reformulations=batch.stats.reformulations,
-        details=details,
-    )
+        policy=policy,
+        pools=default_manager(),
+    ) as session:
+        batch = session.query_many(queries)
+    return _batch_point(batch, method="batch", x=x)
+
+
+def run_session(
+    queries: Sequence[TargetQuery],
+    scenario: MatchingScenario,
+    passes: int = 2,
+    x: Any = None,
+    **options: Any,
+) -> list[ExperimentPoint]:
+    """Run a workload repeatedly through ONE warm session, one point per pass.
+
+    This is the serving regime the session-first API exists for: the first
+    pass pays for reformulation, planning and materialization; later passes
+    are answered from the session's plan cache and optimizer memo.  Each
+    pass becomes a point labelled ``session[p]`` (``p`` starting at 1) whose
+    counters cover that pass only, so a series directly shows the warm-up
+    curve; ``point.details["session"]`` carries the session-lifetime
+    snapshot as of that pass.
+    """
+    if passes <= 0:
+        raise ValueError("passes must be positive")
+    policy = ExecutionPolicy.from_options(method="batch", **options)
+    points: list[ExperimentPoint] = []
+    with Session(
+        scenario.database, scenario.mappings, links=scenario.links, policy=policy
+    ) as session:
+        for number in range(1, passes + 1):
+            started = time.perf_counter()
+            batch = session.query_many(queries)
+            elapsed = time.perf_counter() - started
+            point = _batch_point(
+                batch, method=f"session[{number}]", x=x, seconds=elapsed
+            )
+            point.details["session"] = session.stats.snapshot()
+            points.append(point)
+    return points
 
 
 # --------------------------------------------------------------------------- #

@@ -13,11 +13,16 @@ The package is organised around the concepts of the paper:
 * :mod:`repro.core.evaluators` — basic, e-basic, e-MQO, q-sharing, o-sharing
   and top-k evaluation algorithms.
 
-The :func:`evaluate` and :func:`evaluate_top_k` helpers are the one-call entry
-points used by the examples and benchmarks.
+The :func:`evaluate` and :func:`evaluate_top_k` one-call helpers remain as
+**deprecated** shims over a throwaway :class:`repro.session.Session`; new
+code should hold a session (``repro.Session`` / ``repro.connect``) so the
+plan cache, statistics catalog, optimizer memo and worker pools survive
+between queries.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.core.answer import ProbabilisticAnswer, RankedAnswer
 from repro.core.evaluators import (
@@ -43,6 +48,16 @@ from repro.core.reformulation import (
 from repro.core.target_query import TargetAttribute, TargetQuery, TargetQueryError
 
 
+def _deprecated_one_shot(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"{name}() is deprecated: it rebuilds every cache and pool per call. "
+        f"Hold a repro.Session (or repro.connect(scenario)) and use "
+        f"{replacement} so cross-query state survives between calls.",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def evaluate(
     query: TargetQuery,
     mappings,
@@ -51,44 +66,34 @@ def evaluate(
     links: SchemaLinks | None = None,
     **options,
 ) -> EvaluationResult:
-    """Evaluate a probabilistic query with the named algorithm.
+    """Evaluate one probabilistic query (deprecated one-shot entry point).
 
-    Parameters
-    ----------
-    query:
-        The target query.
-    mappings:
-        The set of possible mappings (a :class:`~repro.matching.mappings.MappingSet`).
-    database:
-        The source instance ``D``.
-    method:
-        One of ``"basic"``, ``"e-basic"``, ``"e-mqo"``, ``"q-sharing"``,
-        ``"o-sharing"`` (default) or ``"batch"``.
-    links:
-        Optional source-schema join links shared by all reformulations.
-    options:
-        Forwarded to the evaluator constructor.  Common switches:
+    .. deprecated::
+        Use :class:`repro.Session` / :func:`repro.connect` —
+        ``session.query(query)`` — so the plan cache, statistics catalog,
+        optimizer memo and worker pools persist across queries.  This shim
+        runs a throwaway session per call: answers are byte-identical, the
+        amortisation is lost.
 
-        * ``engine=`` — ``"columnar"`` (default), ``"row"`` for the
-          tuple-at-a-time reference interpreter, or ``"parallel"`` for the
-          morsel-driven sharded engine (answers are byte-identical on every
-          engine);
-        * ``parallel=`` — a
-          :class:`~repro.relational.parallel.ParallelConfig` tuning the
-          parallel engine (worker count, thread vs process pool, sharding
-          threshold); the process-wide default applies when omitted;
-        * ``optimize=False`` — execute source plans exactly as reformulation
-          produced them instead of running them through the cost-based
-          optimizer first (identical answers, more operators);
-        * ``strategy="snf"`` / ``"sef"`` / ``"random"`` — o-sharing's
-          operator-selection strategy.
-
-    Returns an :class:`EvaluationResult`: the probabilistic ``answers``, the
-    :class:`~repro.relational.stats.ExecutionStats` collected while
-    evaluating, and evaluator-specific ``details``.
+    ``method`` is one of ``"basic"``, ``"e-basic"``, ``"e-mqo"``,
+    ``"q-sharing"``, ``"o-sharing"`` (default), ``"batch"`` or ``"top-k"``
+    (requires ``k=``); ``options`` are :class:`repro.ExecutionPolicy` fields
+    (``engine=``, ``optimize=``, ``parallel=``, ``strategy=``, ...), and an
+    unknown method or option name raises ``ValueError`` listing the valid
+    choices.  Returns an :class:`EvaluationResult`.
     """
-    evaluator = make_evaluator(method, links=links, **options)
-    return evaluator.evaluate(query, mappings, database)
+    _deprecated_one_shot("evaluate", "session.query(query)")
+    from repro.policy import ExecutionPolicy
+    from repro.session import Session
+    from repro.relational.parallel import default_manager
+
+    policy = ExecutionPolicy.from_options(method=method, **options)
+    # Throwaway session on the process-wide pools: a loop of one-shot calls
+    # keeps reusing warm workers, exactly as the pre-session API did.
+    with Session(
+        database, mappings, links=links, policy=policy, pools=default_manager()
+    ) as session:
+        return session.query(query)
 
 
 def evaluate_top_k(
@@ -99,9 +104,22 @@ def evaluate_top_k(
     links: SchemaLinks | None = None,
     **options,
 ) -> EvaluationResult:
-    """Evaluate a probabilistic top-k query (Section VII)."""
-    evaluator = TopKEvaluator(k=k, links=links, **options)
-    return evaluator.evaluate(query, mappings, database)
+    """Evaluate a probabilistic top-k query (deprecated one-shot entry point).
+
+    .. deprecated::
+        Use :class:`repro.Session` / :func:`repro.connect` —
+        ``session.top_k(query, k)`` — for the same answers on warm caches.
+    """
+    _deprecated_one_shot("evaluate_top_k", "session.top_k(query, k)")
+    from repro.policy import ExecutionPolicy
+    from repro.session import Session
+    from repro.relational.parallel import default_manager
+
+    policy = ExecutionPolicy.from_options(method="top-k", k=k, **options)
+    with Session(
+        database, mappings, links=links, policy=policy, pools=default_manager()
+    ) as session:
+        return session.top_k(query)
 
 
 __all__ = [

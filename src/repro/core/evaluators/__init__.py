@@ -20,6 +20,7 @@ from repro.core.evaluators.base import (
     PHASE_REWRITING,
     EvaluationResult,
     Evaluator,
+    SharedState,
 )
 from repro.core.evaluators.basic import BasicEvaluator
 from repro.core.evaluators.batch import BatchEvaluator, BatchResult, evaluate_many
@@ -41,10 +42,15 @@ EVALUATORS = {
 
 
 def make_evaluator(name: str, links=None, **options) -> Evaluator:
-    """Instantiate an exact-answer evaluator by its public name."""
-    key = name.lower()
-    if key not in EVALUATORS:
-        raise KeyError(f"unknown evaluator {name!r}; available: {sorted(EVALUATORS)}")
+    """Instantiate an exact-answer evaluator by its public name.
+
+    An unknown name raises ``ValueError`` listing the valid choices (with a
+    did-you-mean suggestion) — the same boundary validation
+    :class:`~repro.policy.ExecutionPolicy` applies.
+    """
+    from repro.policy import validate_choice
+
+    key = validate_choice("method", name, EVALUATORS)
     return EVALUATORS[key](links=links, **options)
 
 
@@ -55,6 +61,7 @@ __all__ = [
     "PHASE_REWRITING",
     "EvaluationResult",
     "Evaluator",
+    "SharedState",
     "BasicEvaluator",
     "BatchEvaluator",
     "BatchResult",

@@ -30,6 +30,49 @@ PHASE_PLANNING = "planning"
 
 
 @dataclass
+class SharedState:
+    """Long-lived cross-query state a :class:`~repro.session.Session` injects.
+
+    One-shot evaluation rebuilds everything per call; a session instead hands
+    every evaluator it constructs the same:
+
+    * ``plan_cache`` — one bounded
+      :class:`~repro.relational.plancache.PlanCache` (already attached to the
+      session's database) that e-MQO and the batch evaluator look shared
+      subexpressions up in, so materializations survive *between* calls;
+    * ``optimizer`` — one :class:`~repro.relational.optimizer.Optimizer`
+      whose canonical-fingerprint memo persists across calls (the session's
+      database supplies the statistics catalog);
+    * ``inflight`` — one
+      :class:`~repro.relational.parallel.InflightComputations` registry so
+      the batch evaluator's concurrently running workload queries compute
+      each shared materialization exactly once;
+    * ``pools`` — the session-owned
+      :class:`~repro.relational.parallel.PoolManager` whose worker pools are
+      started lazily and shut down by ``Session.close()``.
+
+    All fields are optional; an evaluator constructed without shared state
+    behaves exactly as the one-shot API always did.  ``database`` pins the
+    state to the database it serves: plan-cache keys are database-agnostic
+    canonical fingerprints (and the inflight registry shares live results),
+    so injected state must never leak across databases — a session always
+    sets it, and evaluators ignore the state when evaluated against any
+    other database.  With ``database=None`` (hand-built state) the explicit
+    pin is off, but each component still guards itself: the plan cache is
+    only reused for databases it is attached to
+    (:meth:`~repro.relational.plancache.PlanCache.serves`), the optimizer
+    only for its own database, and the inflight registry only alongside the
+    attached plan cache it deduplicates for.
+    """
+
+    plan_cache: Any = None
+    optimizer: Any = None
+    inflight: Any = None
+    pools: Any = None
+    database: Any = None
+
+
+@dataclass
 class EvaluationResult:
     """The outcome of evaluating one probabilistic query."""
 
@@ -102,6 +145,7 @@ class Evaluator(abc.ABC):
         engine: str = DEFAULT_ENGINE,
         optimize: bool = True,
         parallel=None,
+        shared: SharedState | None = None,
     ):
         self.links = links
         if engine not in ENGINES:
@@ -111,20 +155,56 @@ class Evaluator(abc.ABC):
         #: optional :class:`~repro.relational.parallel.ParallelConfig` handed
         #: to every executor when ``engine="parallel"`` (ignored otherwise).
         self.parallel = parallel
+        #: optional :class:`SharedState` a session injects so caches, the
+        #: optimizer memo and worker pools outlive this one evaluation.
+        self.shared = shared
 
     def _optimizer(self, database: Database):
-        """A per-evaluation optimizer instance, or ``None`` when disabled.
+        """The optimizer to plan with, or ``None`` when disabled.
 
-        The optimizer memoizes per canonical fingerprint (guarded by data
-        versions) and reads the database's lazily collected, version-keyed
-        statistics catalog, so repeated identical source queries are planned
-        once per evaluation.
+        With injected session state the session's long-lived optimizer is
+        reused (its fingerprint memo then spans *calls*, not just this
+        evaluation) as long as it serves the same database; otherwise a
+        per-evaluation instance is built.  Either way the optimizer memoizes
+        per canonical fingerprint (guarded by data versions) and reads the
+        database's lazily collected, version-keyed statistics catalog.
         """
         if not self.optimize:
             return None
+        shared = self._shared_state(database)
+        if (
+            shared is not None
+            and shared.optimizer is not None
+            and shared.optimizer.database is database
+        ):
+            return shared.optimizer
         from repro.relational.optimizer import Optimizer
 
         return Optimizer(database)
+
+    def _shared_state(self, database: Database) -> SharedState | None:
+        """The injected session state, when it serves ``database``."""
+        if self.shared is None:
+            return None
+        if self.shared.database is not None and self.shared.database is not database:
+            return None
+        return self.shared
+
+    def _shared_cache(self, database: Database):
+        """The session-owned plan cache, when one serves this database.
+
+        Belt and braces: besides the shared state's database pin, the cache
+        itself must be attached to this database's mutation hooks
+        (:meth:`~repro.relational.plancache.PlanCache.serves`) — cache keys
+        are database-agnostic fingerprints, so an unattached cache could
+        serve another database's materializations.
+        """
+        shared = self._shared_state(database)
+        if shared is None or shared.plan_cache is None:
+            return None
+        if not shared.plan_cache.serves(database):
+            return None
+        return shared.plan_cache
 
     def _executor(self, database: Database, stats: ExecutionStats, **kwargs):
         """An executor wired with this evaluator's engine/optimizer/parallel config.
@@ -132,11 +212,15 @@ class Evaluator(abc.ABC):
         ``kwargs`` forward to :class:`~repro.relational.executor.Executor`
         (``cache=``, ``policy=``, ``inflight=``...); pass ``optimizer=None``
         explicitly to skip per-plan optimization (the MQO evaluators optimize
-        up front, before their shared-subexpression analysis).
+        up front, before their shared-subexpression analysis).  Injected
+        session state supplies the worker-pool manager.
         """
         from repro.relational.executor import Executor
 
         kwargs.setdefault("optimizer", self._optimizer(database))
+        shared = self._shared_state(database)
+        if shared is not None:
+            kwargs.setdefault("pools", shared.pools)
         return Executor(
             database, stats, engine=self.engine, parallel=self.parallel, **kwargs
         )

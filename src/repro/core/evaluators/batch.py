@@ -129,19 +129,27 @@ class BatchEvaluator(Evaluator):
         engine: str = DEFAULT_ENGINE,
         optimize: bool = True,
         parallel=None,
+        shared=None,
     ):
-        super().__init__(links, engine=engine, optimize=optimize, parallel=parallel)
+        super().__init__(
+            links, engine=engine, optimize=optimize, parallel=parallel, shared=shared
+        )
         self.cache_size = cache_size
         self.exhaustive_planning = exhaustive_planning
+
+    def _parallel_config(self):
+        """The effective :class:`ParallelConfig` (explicit, else process default)."""
+        if self.parallel is not None:
+            return self.parallel
+        from repro.relational.parallel import default_config
+
+        return default_config()
 
     def _query_workers(self, queries: int) -> int:
         """Concurrent queries to run (1 unless ``engine="parallel"``)."""
         if self.engine != "parallel" or queries <= 1:
             return 1
-        from repro.relational.parallel import default_config
-
-        config = self.parallel if self.parallel is not None else default_config()
-        return max(1, min(config.resolved_workers(), queries))
+        return max(1, min(self._parallel_config().resolved_workers(), queries))
 
     # ------------------------------------------------------------------ #
     def evaluate(
@@ -159,8 +167,18 @@ class BatchEvaluator(Evaluator):
         mappings: MappingSet,
         database: Database,
     ) -> BatchResult:
-        """Evaluate every query of the workload with shared execution."""
+        """Evaluate every query of the workload with shared execution.
+
+        A session-owned plan cache (injected shared state) persists *across*
+        ``evaluate_many`` calls — a repeated workload is answered from the
+        shared materializations the first pass stored.  One-shot use builds
+        a throwaway cache wired to the database's invalidation hooks for
+        exactly this call.
+        """
         queries = list(queries)
+        cache = self._shared_cache(database)
+        if cache is not None:
+            return self._evaluate_many(queries, mappings, database, cache)
         cache = PlanCache(maxsize=self.cache_size)
         cache.attach(database)
         try:
@@ -177,6 +195,12 @@ class BatchEvaluator(Evaluator):
         cache: PlanCache,
     ) -> BatchResult:
         batch_stats = ExecutionStats()
+        # Per-call plan-cache reporting even on a long-lived session cache:
+        # hits/misses/savings come from this call's own ExecutionStats
+        # (attributed per executor, so concurrent query_many calls on one
+        # session cannot contaminate each other); only eviction/invalidation
+        # counts — which live on the cache alone — use a since-entry delta.
+        cache_since = cache.stats.snapshot()
 
         # Phase 1 — rewriting, amortised: cluster once per *distinct* target
         # query; repeated queries reuse the clustering without re-reformulating.
@@ -257,7 +281,20 @@ class BatchEvaluator(Evaluator):
             from repro.relational.parallel import InflightComputations
             from repro.relational.parallel.pool import map_ordered
 
-            inflight = InflightComputations()
+            # The cross-call inflight registry is only shared alongside the
+            # session cache it deduplicates for: its keys are
+            # database-agnostic fingerprints, so sharing it without the
+            # attached cache could hand one database's materialization to
+            # another's query.
+            shared = self._shared_state(database)
+            if (
+                shared is not None
+                and shared.inflight is not None
+                and self._shared_cache(database) is cache
+            ):
+                inflight = shared.inflight
+            else:
+                inflight = InflightComputations()
 
             def job(index: int) -> EvaluationResult:
                 executor = self._executor(
@@ -272,7 +309,16 @@ class BatchEvaluator(Evaluator):
                     queries[index], keys[index], per_query_stats[index], executor
                 )
 
-            results = map_ordered(workers, job, range(len(queries)))
+            pools = shared.pools if shared is not None else None
+            pool_cap = workers
+            if pools is not None:
+                # Key the long-lived inter-query pool at the config's full
+                # worker count, not at min(workers, len(queries)): workloads
+                # of varying size then share ONE pool per session instead of
+                # accumulating one idle pool per distinct size (threads grow
+                # lazily, so a wide pool serving few queries costs nothing).
+                pool_cap = self._parallel_config().resolved_workers()
+            results = map_ordered(pool_cap, job, range(len(queries)), pools=pools)
         else:
             executor = self._executor(
                 database, ExecutionStats(), cache=cache, policy=policy, optimizer=None
@@ -294,10 +340,19 @@ class BatchEvaluator(Evaluator):
         }
         if workers > 1:
             details["query_workers"] = workers
+        lookups = batch_stats.plan_cache_hits + batch_stats.plan_cache_misses
+        plan_cache = {
+            "hits": batch_stats.plan_cache_hits,
+            "misses": batch_stats.plan_cache_misses,
+            "evictions": cache.stats.evictions - cache_since["evictions"],
+            "invalidations": cache.stats.invalidations - cache_since["invalidations"],
+            "operators_saved": batch_stats.operators_saved,
+            "hit_rate": round(batch_stats.plan_cache_hits / lookups, 4) if lookups else 0.0,
+        }
         return BatchResult(
             results=results,
             stats=batch_stats,
-            plan_cache=cache.stats.snapshot(),
+            plan_cache=plan_cache,
             details=details,
         )
 
@@ -314,22 +369,37 @@ def evaluate_many(
     links=None,
     **options: Any,
 ) -> BatchResult:
-    """Evaluate a workload of target queries with shared execution.
+    """Evaluate a workload with shared execution (deprecated one-shot entry).
+
+    .. deprecated::
+        Use :class:`repro.Session` / :func:`repro.connect` —
+        ``session.query_many(queries)`` — so the plan cache the workload
+        warms keeps serving the *next* workload too.  This shim runs a
+        throwaway session per call: answers are byte-identical, the
+        cross-call amortisation is lost.
 
     Reformulation/clustering is amortised across repeated queries, one MQO
     global plan covers the whole workload, and a single bounded plan cache
     serves every query.  With ``engine="parallel"`` the workload's queries
     additionally run concurrently (inter-query parallelism) with shared
-    materializations computed once behind a future.
-
-    Convenience wrapper around :meth:`BatchEvaluator.evaluate_many`;
-    ``options`` are forwarded to the :class:`BatchEvaluator` constructor
-    (e.g. ``cache_size=...``, ``engine=``, ``optimize=``, ``parallel=``).
-    Returns a :class:`BatchResult` with one
+    materializations computed once behind a future.  ``options`` are
+    :class:`repro.ExecutionPolicy` fields (``cache_size=``, ``engine=``,
+    ``optimize=``, ``parallel=``, ``exhaustive_planning=``); unknown names
+    raise ``ValueError`` listing the valid choices.  Returns a
+    :class:`BatchResult` with one
     :class:`~repro.core.evaluators.base.EvaluationResult` per query in
     workload order plus workload-aggregate statistics and a plan-cache
     snapshot.
     """
-    return BatchEvaluator(links=links, **options).evaluate_many(
-        queries, mappings, database
-    )
+    from repro.core import _deprecated_one_shot
+
+    _deprecated_one_shot("evaluate_many", "session.query_many(queries)")
+    from repro.policy import ExecutionPolicy
+    from repro.relational.parallel import default_manager
+    from repro.session import Session
+
+    policy = ExecutionPolicy.from_options(method="batch", **options)
+    with Session(
+        database, mappings, links=links, policy=policy, pools=default_manager()
+    ) as session:
+        return session.query_many(queries)

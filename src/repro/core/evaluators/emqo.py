@@ -227,7 +227,12 @@ class EMQOEvaluator(Evaluator):
                 plans = [entry.plan for entry in distinct]
             global_plan = build_global_plan(plans)
             policy = global_plan.materialization_policy()
-            cache = PlanCache(maxsize=max(1, global_plan.materialisation_points))
+            # A session-owned plan cache (injected shared state) lets the
+            # shared subexpressions of *previous* calls answer this one;
+            # one-shot use keeps the per-evaluation cache sized to the plan.
+            cache = self._shared_cache(database)
+            if cache is None:
+                cache = PlanCache(maxsize=max(1, global_plan.materialisation_points))
 
         executor = self._executor(
             database, stats, cache=cache, policy=policy, optimizer=None

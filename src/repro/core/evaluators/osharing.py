@@ -56,8 +56,11 @@ class OSharingEvaluator(Evaluator):
         engine: str = DEFAULT_ENGINE,
         optimize: bool = True,
         parallel=None,
+        shared=None,
     ):
-        super().__init__(links, engine=engine, optimize=optimize, parallel=parallel)
+        super().__init__(
+            links, engine=engine, optimize=optimize, parallel=parallel, shared=shared
+        )
         self.strategy = make_strategy(strategy, seed) if isinstance(strategy, str) else strategy
         #: the empty-intermediate shortcut (Case 2 of ``run_qt``); disabling it
         #: is only useful for the ablation benchmark.

@@ -73,8 +73,11 @@ class TopKEvaluator(Evaluator):
         engine: str = DEFAULT_ENGINE,
         optimize: bool = True,
         parallel=None,
+        shared=None,
     ):
-        super().__init__(links, engine=engine, optimize=optimize, parallel=parallel)
+        super().__init__(
+            links, engine=engine, optimize=optimize, parallel=parallel, shared=shared
+        )
         if k <= 0:
             raise ValueError("k must be positive")
         self.k = k

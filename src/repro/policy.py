@@ -1,0 +1,260 @@
+"""Typed execution configuration for the session-first public API.
+
+:class:`ExecutionPolicy` replaces the stringly-typed ``**options`` sprawl the
+one-shot entry points used to forward three layers deep (``method=``,
+``engine=``, ``optimize=``, ``parallel=``, ``strategy=``, ``cache_size=``,
+...).  A policy is a frozen dataclass validated **eagerly** at construction:
+an unknown method, engine, strategy or option name raises a ``ValueError``
+that lists the valid choices (with a did-you-mean suggestion) instead of
+surfacing as a bare ``KeyError``/``TypeError`` deep inside an evaluator
+constructor.  The same validation serves three boundaries:
+
+* ``ExecutionPolicy(...)`` / ``policy.with_overrides(...)`` — the typed path;
+* ``ExecutionPolicy.from_options(method=..., **options)`` — the adapter the
+  legacy ``evaluate``/``evaluate_many``/``evaluate_top_k`` shims run their
+  keyword arguments through;
+* per-call overrides on :meth:`repro.session.Session.query` and friends.
+
+Every field applies to the evaluators that understand it (``strategy`` to
+o-sharing/top-k, ``cache_size`` to the session plan cache and the batch
+evaluator, ...); :meth:`evaluator_options` maps a policy onto the exact
+constructor keywords of the selected method.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, fields, replace
+from typing import Any
+
+#: The ranked evaluation method (Section VII); not in the exact-answer
+#: registry but a first-class policy choice for sessions.
+TOP_K_METHOD = "top-k"
+
+
+def _strategy_names():
+    from repro.core.operator_selection import STRATEGIES
+
+    return STRATEGIES
+
+
+#: Algorithm-tuning fields that only certain methods read.  An *explicitly
+#: passed* option from this table combined with an *explicitly chosen*
+#: method that ignores it is rejected (the old one-shot API raised a bare
+#: ``TypeError`` for the same mistake) — silently dropping it would let a
+#: user believe they ran a different configuration.  The remaining fields
+#: (``engine``, ``optimize``, ``parallel``, ``cache_size``, ``k``) configure
+#: session-level machinery every method shares and are never rejected.
+_METHOD_ONLY_OPTIONS: dict[str, tuple[str, ...]] = {
+    "strategy": ("o-sharing", TOP_K_METHOD),
+    "seed": ("o-sharing", TOP_K_METHOD),
+    "prune_empty": ("o-sharing",),
+    "exhaustive_planning": ("batch",),
+    # Only the explicit-override path is gated: ExecutionPolicy(k=...) or
+    # ExecutionPolicy(cache_size=...) as session-level defaults bypass
+    # check_applicable (a session's plan cache serves batch AND e-mqo).
+    "k": (TOP_K_METHOD,),
+    "cache_size": ("batch", "e-mqo"),
+}
+
+
+def check_applicable(method: str, option_names) -> None:
+    """Reject explicitly-passed options the chosen ``method`` would ignore."""
+    for name in option_names:
+        applies_to = _METHOD_ONLY_OPTIONS.get(name)
+        if applies_to is not None and method not in applies_to:
+            raise ValueError(
+                f"option {name!r} does not apply to method {method!r} "
+                f"(valid for: {', '.join(applies_to)})"
+            )
+
+
+def _method_names() -> tuple[str, ...]:
+    from repro.core.evaluators import EVALUATORS
+
+    return tuple(sorted(EVALUATORS)) + (TOP_K_METHOD,)
+
+
+def _engine_names() -> tuple[str, ...]:
+    from repro.relational.executor import ENGINES
+
+    return tuple(ENGINES)
+
+
+def suggest(name: str, choices) -> str:
+    """A did-you-mean suffix for an unknown-name error (empty when no match)."""
+    matches = difflib.get_close_matches(str(name), list(choices), n=1, cutoff=0.5)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+def validate_choice(kind: str, value: Any, choices) -> str:
+    """``value`` if it names one of ``choices``, else a did-you-mean ValueError."""
+    if not isinstance(value, str):
+        raise ValueError(
+            f"{kind} must be a string naming one of {sorted(choices)}, "
+            f"got {value!r}"
+        )
+    key = value.lower()
+    if key not in choices:
+        raise ValueError(
+            f"unknown {kind} {value!r}{suggest(value, choices)} "
+            f"(valid choices: {sorted(choices)})"
+        )
+    return key
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a :class:`~repro.session.Session` executes queries.
+
+    Attributes
+    ----------
+    method:
+        Evaluation algorithm: ``"basic"``, ``"e-basic"``, ``"e-mqo"``,
+        ``"q-sharing"``, ``"o-sharing"`` (default), ``"batch"`` or
+        ``"top-k"`` (requires ``k``).
+    engine:
+        Relational execution engine: ``"columnar"`` (default), ``"row"`` or
+        ``"parallel"``.  Answers are byte-identical on every engine.
+    optimize:
+        Run every source plan through the cost-based optimizer (default on).
+    strategy:
+        o-sharing/top-k operator-selection strategy: ``"sef"`` (default),
+        ``"snf"`` or ``"random"``.
+    seed:
+        Seed of the ``"random"`` strategy (ignored by the deterministic ones).
+    prune_empty:
+        o-sharing's empty-intermediate shortcut (disable only for ablations).
+    parallel:
+        Optional :class:`~repro.relational.parallel.ParallelConfig` tuning
+        the parallel engine; the process-wide default applies when ``None``.
+    cache_size:
+        Bound of the session-owned plan cache (entries, LRU-evicted); also
+        the batch evaluator's cache bound outside a session.
+    exhaustive_planning:
+        Use e-MQO's quadratic pairwise confirmation in the batch evaluator's
+        global planning instead of linear occurrence counting.
+    k:
+        Answer count for ``"top-k"`` (and the default ``k`` of
+        :meth:`~repro.session.Session.top_k`).
+    """
+
+    method: str = "o-sharing"
+    engine: str = "columnar"
+    optimize: bool = True
+    strategy: str = "sef"
+    seed: int = 0
+    prune_empty: bool = True
+    parallel: Any = None
+    cache_size: int = 4096
+    exhaustive_planning: bool = False
+    k: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "method", validate_choice("method", self.method, _method_names())
+        )
+        object.__setattr__(
+            self, "engine", validate_choice("engine", self.engine, _engine_names())
+        )
+        if isinstance(self.strategy, str):
+            object.__setattr__(
+                self,
+                "strategy",
+                validate_choice("strategy", self.strategy, _strategy_names()),
+            )
+        if self.parallel is not None:
+            from repro.relational.parallel import ParallelConfig
+
+            if not isinstance(self.parallel, ParallelConfig):
+                raise ValueError(
+                    "parallel must be a repro.relational.parallel.ParallelConfig "
+                    f"(or None), got {type(self.parallel).__name__}"
+                )
+        if not isinstance(self.cache_size, int) or self.cache_size <= 0:
+            raise ValueError(f"cache_size must be a positive int, got {self.cache_size!r}")
+        if self.k is not None and (not isinstance(self.k, int) or self.k <= 0):
+            raise ValueError(f"k must be a positive int (or None), got {self.k!r}")
+        if self.method == TOP_K_METHOD and self.k is None:
+            raise ValueError('method "top-k" requires k (e.g. ExecutionPolicy(method="top-k", k=10))')
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def option_names(cls) -> tuple[str, ...]:
+        """The valid option/field names (shared by every validation boundary)."""
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def _build(
+        cls, base: "ExecutionPolicy | None", options: dict[str, Any]
+    ) -> "ExecutionPolicy":
+        """Name-validated construction shared by every options boundary."""
+        valid = cls.option_names()
+        unknown = [name for name in options if name not in valid]
+        if unknown:
+            name = unknown[0]
+            raise ValueError(
+                f"unknown option {name!r}{suggest(name, valid)} "
+                f"(valid options: {sorted(valid)})"
+            )
+        if base is None:
+            return cls(**options)
+        return replace(base, **options)
+
+    @classmethod
+    def from_options(cls, base: "ExecutionPolicy | None" = None, **options: Any) -> "ExecutionPolicy":
+        """Build a policy from loose keyword options, validating every name.
+
+        This is the boundary the legacy one-shot shims (and per-call
+        overrides) run their ``**options`` through: an option that is not a
+        policy field raises a ``ValueError`` listing the valid names with a
+        did-you-mean suggestion, *before* anything is constructed.
+        """
+        policy = cls._build(base, options)
+        if "method" in options:
+            # An explicit method + an explicit option it ignores is a
+            # misconfiguration, not a default to fall back on.
+            check_applicable(policy.method, (n for n in options if n != "method"))
+        return policy
+
+    def with_overrides(self, **options: Any) -> "ExecutionPolicy":
+        """A copy with ``options`` applied (same validation as construction)."""
+        if not options:
+            return self
+        return type(self).from_options(self, **options)
+
+    def with_defaults(self, **options: Any) -> "ExecutionPolicy":
+        """A copy with *session-level configuration* applied.
+
+        Names are validated exactly like :meth:`with_overrides`, but
+        method-applicability is not enforced: a field set here (``k``,
+        ``strategy``, ...) is a default for whichever later calls read it,
+        not a per-call request — ``repro.connect(scenario, method="e-basic",
+        k=10)`` legitimately configures ``k`` for future ``top_k()`` calls.
+        """
+        if not options:
+            return self
+        return type(self)._build(self, options)
+
+    # ------------------------------------------------------------------ #
+    def evaluator_options(self, method: str | None = None) -> dict[str, Any]:
+        """Constructor keywords for ``method`` (default: this policy's method).
+
+        Only the fields the selected evaluator understands are included, so
+        the result can be splatted straight into the registry constructors.
+        """
+        method = self.method if method is None else method
+        options: dict[str, Any] = {
+            "engine": self.engine,
+            "optimize": self.optimize,
+            "parallel": self.parallel,
+        }
+        if method in ("o-sharing", TOP_K_METHOD):
+            options["strategy"] = self.strategy
+            options["seed"] = self.seed
+        if method == "o-sharing":
+            options["prune_empty"] = self.prune_empty
+        if method == "batch":
+            options["cache_size"] = self.cache_size
+            options["exhaustive_planning"] = self.exhaustive_planning
+        return options

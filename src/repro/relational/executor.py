@@ -121,6 +121,7 @@ class Executor:
         optimizer=None,
         parallel=None,
         inflight=None,
+        pools=None,
     ):
         self.database = database
         self.stats = stats if stats is not None else ExecutionStats()
@@ -144,6 +145,10 @@ class Executor:
         self.parallel = parallel if engine == "parallel" else None
         #: compute-once registry shared with concurrent executors (see above).
         self.inflight = inflight
+        #: optional :class:`~repro.relational.parallel.PoolManager` owning the
+        #: worker pools the morsel kernels run on (a session's, usually); the
+        #: process-wide default serves executors without one.
+        self.pools = pools
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanNode) -> Relation:
@@ -615,7 +620,9 @@ class Executor:
         if self._use_parallel(batch):
             from repro.relational.parallel import parallel_predicate_mask
 
-            return parallel_predicate_mask(predicate, batch, self.parallel)
+            return parallel_predicate_mask(
+                predicate, batch, self.parallel, pools=self.pools
+            )
         return predicate_mask(predicate, batch)
 
     # -- selection -------------------------------------------------------- #
@@ -640,7 +647,9 @@ class Executor:
             if data and self._use_parallel(child):
                 from repro.relational.parallel import parallel_distinct_indices
 
-                keep = parallel_distinct_indices(data, length, self.parallel)
+                keep = parallel_distinct_indices(
+                    data, length, self.parallel, pools=self.pools
+                )
             else:
                 seen: set[tuple] = set()
                 keep: list[int] = []
@@ -692,7 +701,7 @@ class Executor:
             from repro.relational.parallel import parallel_join_indices
 
             left_idx, right_idx = parallel_join_indices(
-                left, right, pairs, pure_equi, self.parallel
+                left, right, pairs, pure_equi, self.parallel, pools=self.pools
             )
         elif len(pairs) == 1:
             left_pos, right_pos = pairs[0]
@@ -762,7 +771,9 @@ class Executor:
                 if self.parallel is not None and self.parallel.shards_for(length) > 1:
                     from repro.relational.parallel import parallel_distinct_indices
 
-                    keep = parallel_distinct_indices(data, length, self.parallel)
+                    keep = parallel_distinct_indices(
+                        data, length, self.parallel, pools=self.pools
+                    )
                 else:
                     seen: set[tuple] = set()
                     keep: list[int] = []
@@ -807,7 +818,9 @@ class Executor:
                 parallel_group_indices,
             )
 
-            groups = parallel_group_indices(key_columns, n, self.parallel)
+            groups = parallel_group_indices(
+                key_columns, n, self.parallel, pools=self.pools
+            )
         else:
             groups: dict[tuple, list[int]] = defaultdict(list)
             for i, key in enumerate(zip(*key_columns)):
@@ -822,7 +835,7 @@ class Executor:
                 return self._aggregate_values(node, member_values, len(members))
 
             aggregated = parallel_fold_groups(
-                fold, list(groups.values()), self.parallel
+                fold, list(groups.values()), self.parallel, pools=self.pools
             )
             for key, value in zip(groups, aggregated):
                 for column, part in zip(data, key):

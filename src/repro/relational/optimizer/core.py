@@ -16,6 +16,7 @@ optimized plan and keep producing byte-identical results.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field, replace
 
@@ -91,6 +92,12 @@ class Optimizer:
         self._memo: "OrderedDict[str, OptimizationReport]" = OrderedDict()
         #: version-keyed Scan infos shared by every per-pass annotator
         self._scan_cache: dict = {}
+        # The memo's OrderedDict reordering/eviction is not atomic; a session
+        # shares one optimizer between concurrently running queries, so memo
+        # access is lock-guarded (the rewrite pipeline itself runs outside
+        # the lock — two threads may redundantly optimize the same new plan,
+        # which is correct, just not shared).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     def optimize(self, plan: PlanNode, stats: ExecutionStats | None = None) -> PlanNode:
@@ -114,16 +121,18 @@ class Optimizer:
             # (and the memo) entirely.
             return OptimizationReport(plan=plan)
         key = plan.canonical()
-        cached = self._memo.get(key)
-        if cached is not None:
-            if self._fresh(cached):
-                self._memo.move_to_end(key)
-                return replace(cached, memo_hit=True)
-            del self._memo[key]
+        with self._lock:
+            cached = self._memo.get(key)
+            if cached is not None:
+                if self._fresh(cached):
+                    self._memo.move_to_end(key)
+                    return replace(cached, memo_hit=True)
+                del self._memo[key]
         report = self._run_pipeline(plan)
-        self._memo[key] = report
-        while len(self._memo) > self.memo_size:
-            self._memo.popitem(last=False)
+        with self._lock:
+            self._memo[key] = report
+            while len(self._memo) > self.memo_size:
+                self._memo.popitem(last=False)
         return report
 
     def __len__(self) -> int:

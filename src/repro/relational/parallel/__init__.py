@@ -48,6 +48,8 @@ from repro.relational.parallel.partition import (
 )
 from repro.relational.parallel.pool import (
     InflightComputations,
+    PoolManager,
+    default_manager,
     run_tasks,
     shutdown_pools,
 )
@@ -72,6 +74,8 @@ __all__ = [
     "shard_batch",
     "shard_relation",
     "InflightComputations",
+    "PoolManager",
+    "default_manager",
     "run_tasks",
     "shutdown_pools",
 ]

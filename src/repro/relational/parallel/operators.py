@@ -63,7 +63,7 @@ def _referenced_restriction(
 
 
 def parallel_predicate_mask(
-    predicate: Predicate, batch: ColumnBatch, config: ParallelConfig
+    predicate: Predicate, batch: ColumnBatch, config: ParallelConfig, pools=None
 ) -> list[bool]:
     """``predicate_mask`` computed over contiguous morsels in parallel.
 
@@ -97,7 +97,7 @@ def parallel_predicate_mask(
             (predicate, labels, [column[a:b] for column in columns], b - a)
             for a, b in spans
         ]
-    masks = run_tasks(config, _mask_morsel, tasks, picklable=True)
+    masks = run_tasks(config, _mask_morsel, tasks, picklable=True, pools=pools)
     return list(chain.from_iterable(masks))
 
 
@@ -167,6 +167,7 @@ def parallel_join_indices(
     pairs: Sequence[tuple[int, int]],
     pure_equi: bool,
     config: ParallelConfig,
+    pools=None,
 ) -> tuple[list[int], list[int]]:
     """Matching ``(left_idx, right_idx)`` row indices of a hash equi-join.
 
@@ -190,10 +191,10 @@ def parallel_join_indices(
     build_spans = chunk_spans(len(right), max(build_shards, 1))
     if single:
         build_tasks = [(right_column, a, b, pure_equi) for a, b in build_spans]
-        locals_ = run_tasks(config, _build_single, build_tasks)
+        locals_ = run_tasks(config, _build_single, build_tasks, pools=pools)
     else:
         build_tasks = [(right_columns, a, b, pure_equi) for a, b in build_spans]
-        locals_ = run_tasks(config, _build_composite, build_tasks)
+        locals_ = run_tasks(config, _build_composite, build_tasks, pools=pools)
     if len(locals_) == 1:
         buckets = locals_[0]
     else:
@@ -210,10 +211,10 @@ def parallel_join_indices(
     probe_spans = chunk_spans(len(left), max(probe_shards, 1))
     if single:
         probe_tasks = [(left_column, a, b, buckets) for a, b in probe_spans]
-        parts = run_tasks(config, _probe_single, probe_tasks)
+        parts = run_tasks(config, _probe_single, probe_tasks, pools=pools)
     else:
         probe_tasks = [(left_columns, a, b, buckets) for a, b in probe_spans]
-        parts = run_tasks(config, _probe_composite, probe_tasks)
+        parts = run_tasks(config, _probe_composite, probe_tasks, pools=pools)
     left_idx = list(chain.from_iterable(part[0] for part in parts))
     right_idx = list(chain.from_iterable(part[1] for part in parts))
     return left_idx, right_idx
@@ -235,7 +236,7 @@ def _group_morsel(key_columns: list[list], start: int, stop: int) -> dict:
 
 
 def parallel_group_indices(
-    key_columns: list[list], length: int, config: ParallelConfig
+    key_columns: list[list], length: int, config: ParallelConfig, pools=None
 ) -> dict[tuple, list[int]]:
     """Group rows by key tuple, preserving serial insertion order exactly.
 
@@ -246,7 +247,7 @@ def parallel_group_indices(
     """
     spans = chunk_spans(length, max(config.shards_for(length), 1))
     tasks = [(key_columns, a, b) for a, b in spans]
-    locals_ = run_tasks(config, _group_morsel, tasks)
+    locals_ = run_tasks(config, _group_morsel, tasks, pools=pools)
     if len(locals_) == 1:
         return locals_[0]
     merged: dict[tuple, list[int]] = {}
@@ -261,7 +262,7 @@ def parallel_group_indices(
 
 
 def parallel_fold_groups(
-    fold, groups: Sequence[tuple], config: ParallelConfig
+    fold, groups: Sequence[tuple], config: ParallelConfig, pools=None
 ) -> list[Any]:
     """Apply ``fold(group)`` to every group, parallel over chunks of groups.
 
@@ -276,7 +277,7 @@ def parallel_fold_groups(
         return [fold(group) for group in groups]
     spans = chunk_spans(n, shards)
     tasks = [(fold, groups, a, b) for a, b in spans]
-    chunks = run_tasks(config, _fold_chunk, tasks)
+    chunks = run_tasks(config, _fold_chunk, tasks, pools=pools)
     return list(chain.from_iterable(chunks))
 
 
@@ -300,7 +301,7 @@ def _distinct_morsel(data: list[list], start: int, stop: int) -> list[tuple]:
 
 
 def parallel_distinct_indices(
-    data: list[list], length: int, config: ParallelConfig
+    data: list[list], length: int, config: ParallelConfig, pools=None
 ) -> list[int]:
     """Indices of first occurrences, in ascending order (serial dedup order).
 
@@ -310,7 +311,7 @@ def parallel_distinct_indices(
     """
     spans = chunk_spans(length, max(config.shards_for(length), 1))
     tasks = [(data, a, b) for a, b in spans]
-    locals_ = run_tasks(config, _distinct_morsel, tasks)
+    locals_ = run_tasks(config, _distinct_morsel, tasks, pools=pools)
     seen: set[tuple] = set()
     keep: list[int] = []
     for firsts in locals_:

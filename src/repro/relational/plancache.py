@@ -235,6 +235,17 @@ class PlanCache:
         if database in self._attached:
             self._attached.remove(database)
 
+    def serves(self, database) -> bool:
+        """True when this cache is attached to ``database``'s mutation hooks.
+
+        Cache keys are database-agnostic canonical fingerprints, so sharing
+        a cache with a database it is *not* attached to could serve another
+        database's materializations (version tokens are independent counters
+        that can coincide).  Callers injecting a long-lived cache gate on
+        this.
+        """
+        return database in self._attached
+
 
 # --------------------------------------------------------------------------- #
 # materialization policies

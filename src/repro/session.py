@@ -1,0 +1,496 @@
+"""The session-first public API: a persistent facade over the whole engine.
+
+The paper's point (conf_icde_ChengGCC12) is that probabilistic queries over
+uncertain mappings are dominated by *redundant* work that sharing amortises.
+The one-shot entry points (``evaluate``/``evaluate_many``/``evaluate_top_k``)
+could only share within a single call: every call rebuilt the evaluator, plan
+cache, statistics catalog, optimizer memo and worker pools, then threw them
+away.  A :class:`Session` is the serving-engine shape instead — a long-lived
+connection to one ``(database, mappings)`` pair owning all cross-query state:
+
+* one bounded :class:`~repro.relational.plancache.PlanCache`, attached to the
+  database's invalidation hooks (a ``set_relation`` drops exactly the
+  dependent entries — the session can never serve stale results);
+* one :class:`~repro.relational.optimizer.Optimizer` whose
+  canonical-fingerprint memo and statistics catalog persist across calls;
+* one :class:`~repro.relational.parallel.InflightComputations` compute-once
+  registry, so shared materializations are computed exactly once across the
+  concurrently running queries of ``query_many`` workloads;
+* a lazily-started, session-owned
+  :class:`~repro.relational.parallel.PoolManager` (``close()`` shuts the
+  pools down; nothing starts until the parallel engine first needs a worker).
+
+How queries execute is typed configuration — an
+:class:`~repro.policy.ExecutionPolicy` validated eagerly at the API boundary
+— with per-call keyword overrides::
+
+    from repro import Session, ExecutionPolicy, build_scenario
+    from repro.workloads import paper_query
+
+    scenario = build_scenario(target="Excel", h=8, scale=0.01, seed=3)
+    with Session(scenario.database, scenario.mappings, links=scenario.links,
+                 policy=ExecutionPolicy(method="o-sharing")) as session:
+        result = session.query(paper_query("Q1", scenario.target_schema))
+        again = session.query(paper_query("Q1", scenario.target_schema),
+                              method="e-mqo")   # per-call override
+        print(session.stats.snapshot())
+
+``query()`` answers one query, ``query_many()`` a workload with shared
+execution, ``top_k()`` ranked answers, ``explain()`` the optimizer's
+reasoning, and ``serve()`` is the serving loop: it consumes a request stream
+and yields results while every cache stays warm.  Sessions are thread-safe —
+concurrent ``query()`` calls share the lock-guarded plan cache, optimizer
+memo and pools.
+
+Answers are byte-identical to the one-shot API (the differential harness
+asserts warm-vs-cold parity for every evaluator × engine); only the work
+performed shrinks as the session warms up.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.evaluators import EVALUATORS, SharedState
+from repro.core.evaluators.base import EvaluationResult
+from repro.core.evaluators.batch import BatchEvaluator, BatchResult
+from repro.core.evaluators.topk import TopKEvaluator
+from repro.core.links import SchemaLinks
+from repro.core.target_query import TargetQuery
+from repro.policy import TOP_K_METHOD, ExecutionPolicy, check_applicable
+from repro.relational.database import Database
+from repro.relational.plancache import PlanCache
+from repro.relational.stats import ExecutionStats
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Aggregate effectiveness counters across a session's lifetime.
+
+    ``totals`` is a point-in-time *copy* of the cumulative
+    :class:`ExecutionStats` of every call the session served (later calls do
+    not mutate a snapshot you hold); ``plan_cache`` is a point-in-time
+    snapshot of the session-owned cache (hits, misses, evictions,
+    invalidations, hit rate, operators saved).  Build one via
+    :attr:`Session.stats`.
+    """
+
+    #: single queries served (``query``/``top_k``/``serve`` items)
+    queries: int
+    #: workloads served (``query_many`` calls)
+    workloads: int
+    #: cumulative execution statistics across every call
+    totals: ExecutionStats
+    #: session plan-cache snapshot (see :class:`~repro.relational.plancache.PlanCacheStats`)
+    plan_cache: dict[str, Any]
+    #: entries currently memoized by the session optimizer
+    optimizer_memo_entries: int
+    #: worker pools the session has actually started (lazily)
+    pools_started: int
+
+    @property
+    def source_operators(self) -> int:
+        """Source operators executed across the session lifetime."""
+        return self.totals.source_operators
+
+    @property
+    def operators_saved(self) -> int:
+        """Operators cache hits avoided executing, session-wide."""
+        return self.totals.operators_saved
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Fraction of plan-cache probes answered without execution."""
+        return float(self.plan_cache.get("hit_rate", 0.0))
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict summary (reports, logging, benchmark tables)."""
+        return {
+            "queries": self.queries,
+            "workloads": self.workloads,
+            "source_queries": self.totals.source_queries,
+            "source_operators": self.totals.source_operators,
+            "reformulations": self.totals.reformulations,
+            "operators_saved": self.totals.operators_saved,
+            "plans_optimized": self.totals.plans_optimized,
+            "optimizer_memo_hits": self.totals.optimizer_memo_hits,
+            "optimizer_memo_entries": self.optimizer_memo_entries,
+            "plan_cache": dict(self.plan_cache),
+            "plan_cache_hit_rate": self.plan_cache_hit_rate,
+            "pools_started": self.pools_started,
+            "seconds": self.totals.total_seconds,
+        }
+
+
+class Session:
+    """A persistent connection to one ``(database, mappings)`` pair.
+
+    Parameters
+    ----------
+    database:
+        The source instance ``D`` queries execute against.
+    mappings:
+        The possible mappings (a :class:`~repro.matching.mappings.MappingSet`).
+    links:
+        Optional source-schema join links shared by all reformulations.
+    policy:
+        The default :class:`ExecutionPolicy`; every call accepts keyword
+        overrides (``session.query(q, method="e-mqo", engine="row")``)
+        validated exactly like the policy itself.
+    pools:
+        Optional :class:`~repro.relational.parallel.PoolManager` to run the
+        parallel engine's workers on.  Default: a private, session-owned
+        manager whose pools start lazily and are shut down by
+        :meth:`close`.  Pass
+        :func:`repro.relational.parallel.default_manager` to share the
+        process-wide pools instead (the legacy one-shot shims do this so a
+        loop of deprecated calls keeps reusing warm worker pools); shared
+        managers are left running on ``close()``.
+
+    Sessions are context managers; :meth:`close` is idempotent and detaches
+    the plan cache and shuts the worker pools down.  All cross-query state is
+    invalidation-safe: mutating the database through
+    :meth:`~repro.relational.database.Database.set_relation` drops dependent
+    plan-cache entries, and the statistics catalog, optimizer memo and shard
+    caches are keyed on relation data versions.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        mappings,
+        links: SchemaLinks | None = None,
+        policy: ExecutionPolicy | None = None,
+        pools=None,
+    ):
+        policy = _validated_policy(policy)
+        from repro.relational.optimizer import Optimizer
+        from repro.relational.parallel import InflightComputations, PoolManager
+
+        self.database = database
+        self.mappings = mappings
+        self.links = links
+        self.policy = policy
+        #: the session plan cache: one bounded LRU shared by every call
+        self.plan_cache = PlanCache(maxsize=policy.cache_size)
+        self.plan_cache.attach(database)
+        #: the session optimizer: fingerprint memo + statistics catalog
+        self.optimizer = Optimizer(database)
+        #: compute-once registry shared by concurrent calls
+        self.inflight = InflightComputations()
+        #: worker pools (session-owned and lazily started unless injected)
+        self._owns_pools = pools is None
+        self.pools = PoolManager() if pools is None else pools
+        self._shared = SharedState(
+            plan_cache=self.plan_cache,
+            optimizer=self.optimizer,
+            inflight=self.inflight,
+            pools=self.pools,
+            database=database,
+        )
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
+        self._totals = ExecutionStats()
+        self._queries = 0
+        self._workloads = 0
+        self._closed = False
+        self._released = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the session's resources (idempotent).
+
+        New serving calls raise ``RuntimeError`` immediately; calls already
+        in flight are **drained** — close blocks until they finish, so a
+        concurrent ``close()`` can never yank the worker pools out from
+        under a running parallel query.  Then the plan cache is detached
+        from the database's invalidation hooks and every worker pool the
+        session started is shut down.  Statistics stay readable after
+        closing.
+        """
+        with self._lock:
+            self._closed = True
+            # Every closer waits for the drain, so "close() returned"
+            # always means "no call is in flight and resources are
+            # released" — a second concurrent close() must not return
+            # early while the first is still draining.
+            while self._active:
+                self._idle.wait()
+            if self._released:
+                return
+            self._released = True
+            self.plan_cache.detach(self.database)
+            if self._owns_pools:
+                self.pools.shutdown()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @contextmanager
+    def _serving(self) -> Iterator[None]:
+        """Mark one serving call in flight (close() drains these)."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            self._active += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._active -= 1
+                if not self._active:
+                    self._idle.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # serving calls
+    # ------------------------------------------------------------------ #
+    def query(self, query: TargetQuery, **overrides: Any) -> EvaluationResult:
+        """Evaluate one probabilistic query under the session policy.
+
+        ``overrides`` are per-call policy changes (``method=``, ``engine=``,
+        ``optimize=``, ...), validated eagerly with did-you-mean errors.
+        Returns the same :class:`EvaluationResult` the one-shot API returns —
+        byte-identical answers, served through the session's warm caches.
+        """
+        with self._serving():
+            policy = self._resolve(overrides)
+            if policy.method == TOP_K_METHOD:
+                return self._run_top_k(query, policy)
+            evaluator = EVALUATORS[policy.method](
+                links=self.links, shared=self._shared, **policy.evaluator_options()
+            )
+            if policy.method == "batch":
+                # A batch evaluation of one query keeps its planning-phase
+                # counters on the workload-level stats; record those so the
+                # session lifetime totals stay complete.
+                batch = evaluator.evaluate_many(
+                    [query], self.mappings, self.database
+                )
+                self._record(batch.stats, queries=1)
+                return batch.results[0]
+            result = evaluator.evaluate(query, self.mappings, self.database)
+            self._record(result.stats, queries=1)
+            return result
+
+    def query_many(
+        self, queries: Sequence[TargetQuery], **overrides: Any
+    ) -> BatchResult:
+        """Evaluate a workload with shared execution through the session cache.
+
+        One MQO global plan covers the workload and the *session-owned* plan
+        cache serves (and keeps) every shared materialization — a repeated
+        workload's second pass reports plan-cache hits and executes strictly
+        fewer source operators than its first.
+        """
+        with self._serving():
+            policy = self._resolve(overrides, method="batch")
+            evaluator = BatchEvaluator(
+                links=self.links,
+                shared=self._shared,
+                **policy.evaluator_options("batch"),
+            )
+            batch = evaluator.evaluate_many(queries, self.mappings, self.database)
+            self._record(batch.stats, workloads=1)
+            return batch
+
+    def top_k(
+        self, query: TargetQuery, k: int | None = None, **overrides: Any
+    ) -> EvaluationResult:
+        """Evaluate a probabilistic top-k query (Section VII).
+
+        ``k`` defaults to the policy's ``k``; one of the two must be set.
+        """
+        with self._serving():
+            if k is not None:
+                overrides = {**overrides, "k": k}
+            policy = self._resolve(overrides, method=TOP_K_METHOD)
+            return self._run_top_k(query, policy)
+
+    def _resolve(
+        self, overrides: dict[str, Any], method: str | None = None
+    ) -> ExecutionPolicy:
+        """The effective per-call policy (validated like the policy itself).
+
+        ``cache_size`` sizes the *session-owned* plan cache, fixed when the
+        session is created — a per-call attempt to change it would be
+        silently ignored, so it is rejected instead.  Likewise an explicit
+        override the effective ``method`` would ignore (``strategy`` on a
+        batch call, say) is rejected, not dropped.
+        """
+        if (
+            "cache_size" in overrides
+            and overrides["cache_size"] != self.policy.cache_size
+        ):
+            raise ValueError(
+                "cache_size sizes the session-owned plan cache and is fixed "
+                "when the session is created; open the session with "
+                f"ExecutionPolicy(cache_size={overrides['cache_size']}) instead"
+            )
+        explicit = overrides.get("method")
+        if (
+            method is not None
+            and explicit is not None
+            and str(explicit).lower() != method
+        ):
+            raise ValueError(
+                f"method override {explicit!r} does not apply here: this "
+                f"call always runs {method!r} (use session.query for a "
+                "per-call method choice)"
+            )
+        policy = self.policy.with_overrides(**overrides)
+        effective = method if method is not None else policy.method
+        check_applicable(effective, (name for name in overrides if name != "method"))
+        return policy
+
+    def _run_top_k(self, query: TargetQuery, policy: ExecutionPolicy) -> EvaluationResult:
+        if policy.k is None:
+            raise ValueError(
+                "top-k needs k: pass session.top_k(query, k=10) or set "
+                "ExecutionPolicy(k=10)"
+            )
+        evaluator = TopKEvaluator(
+            k=policy.k,
+            links=self.links,
+            shared=self._shared,
+            **policy.evaluator_options(TOP_K_METHOD),
+        )
+        result = evaluator.evaluate(query, self.mappings, self.database)
+        self._record(result.stats, queries=1)
+        return result
+
+    def serve(
+        self, requests: Iterable[TargetQuery | tuple[TargetQuery, dict]]
+    ) -> Iterator[EvaluationResult]:
+        """The serving loop: answer a stream of requests on warm caches.
+
+        ``requests`` yields target queries, or ``(query, overrides)`` pairs
+        for per-request policy changes.  Results are yielded in request
+        order as they complete; the stream may be unbounded (a generator
+        draining a network queue, for instance) — the session never buffers
+        more than the request in flight::
+
+            for result in session.serve(request_stream()):
+                respond(result.answers)
+        """
+        for request in requests:
+            if isinstance(request, tuple):
+                query, overrides = request
+                yield self.query(query, **dict(overrides))
+            else:
+                yield self.query(request)
+
+    def explain(self, query: TargetQuery, mapping_index: int = 0) -> str:
+        """What the optimizer does to ``query``'s reformulated source plan.
+
+        Reformulates the query under the ``mapping_index``-th possible
+        mapping (0 = most probable) and renders the logical plan, the
+        optimized plan and estimated vs actual rows — through the *session*
+        optimizer, so the memo and statistics it warms benefit later calls.
+        """
+        with self._serving():
+            from repro.core.reformulation import reformulate_query
+            from repro.relational.optimizer import explain as explain_plan
+
+            plan = reformulate_query(query, self.mappings[mapping_index], self.links)
+            return explain_plan(
+                plan, self.database, optimizer=self.optimizer, engine=self.policy.engine
+            )
+
+    # ------------------------------------------------------------------ #
+    # statistics
+    # ------------------------------------------------------------------ #
+    def _record(self, stats: ExecutionStats, queries: int = 0, workloads: int = 0) -> None:
+        with self._lock:
+            self._totals.merge(stats)
+            self._queries += queries
+            self._workloads += workloads
+
+    @property
+    def stats(self) -> SessionStats:
+        """Aggregate hit rates and operators saved across the session lifetime."""
+        totals = ExecutionStats()
+        with self._lock:
+            # Copy under the lock: a snapshot must not alias the live
+            # accumulator (held snapshots would mutate retroactively, and a
+            # concurrent _record() could be observed half-merged).
+            totals.merge(self._totals)
+            queries = self._queries
+            workloads = self._workloads
+        return SessionStats(
+            queries=queries,
+            workloads=workloads,
+            totals=totals,
+            plan_cache=self.plan_cache.stats.snapshot(),
+            optimizer_memo_entries=len(self.optimizer),
+            pools_started=self.pools.started_pools,
+        )
+
+    @property
+    def stats_catalog(self):
+        """The (lazy, version-keyed) statistics catalog the optimizer reads."""
+        return self.database.stats_catalog
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"Session({self.database!r}, mappings={getattr(self.mappings, 'size', '?')}, "
+            f"method={self.policy.method!r}, {state})"
+        )
+
+
+def _validated_policy(policy: ExecutionPolicy | None) -> ExecutionPolicy:
+    """Shared type boundary of :class:`Session` and :func:`connect`."""
+    if policy is None:
+        return ExecutionPolicy()
+    if not isinstance(policy, ExecutionPolicy):
+        raise ValueError(
+            "policy must be an ExecutionPolicy "
+            f"(got {type(policy).__name__}); build one with "
+            "ExecutionPolicy(method=..., engine=...) or pass keyword "
+            "overrides to the individual calls"
+        )
+    return policy
+
+
+def connect(
+    scenario,
+    policy: ExecutionPolicy | None = None,
+    pools=None,
+    **overrides: Any,
+) -> Session:
+    """Open a :class:`Session` on a scenario (or any scenario-shaped object).
+
+    ``scenario`` needs ``database``, ``mappings`` and (optionally) ``links``
+    attributes — a :class:`~repro.datagen.scenario.MatchingScenario` fits.
+    ``pools`` forwards to :class:`Session` (pass
+    :func:`repro.relational.parallel.default_manager` to share the
+    process-wide worker pools).  Keyword overrides configure the policy in
+    place::
+
+        with repro.connect(scenario, method="e-mqo", engine="parallel") as s:
+            result = s.query(query)
+    """
+    base = _validated_policy(policy)
+    return Session(
+        scenario.database,
+        scenario.mappings,
+        links=getattr(scenario, "links", None),
+        # Session-level configuration, not a per-call override: fields set
+        # here are defaults for whichever later calls read them.
+        policy=base.with_defaults(**overrides),
+        pools=pools,
+    )

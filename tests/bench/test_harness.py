@@ -11,6 +11,7 @@ from repro.bench.harness import (
     run_engines,
     run_method,
     run_methods,
+    run_session,
     run_workload,
     sweep_mapping_count,
     sweep_queries,
@@ -163,6 +164,22 @@ class TestRunners:
         assert point.details["queries"] == 3
         assert point.details["distinct_target_queries"] == 2
         assert "plan_cache" in point.details
+
+    def test_run_session_reports_one_point_per_pass(self, excel_scenario):
+        queries = [
+            paper_query(qid, excel_scenario.target_schema) for qid in ("Q1", "Q2")
+        ] * 3
+        points = run_session(queries, excel_scenario, passes=2, x="reuse")
+        assert [point.method for point in points] == ["session[1]", "session[2]"]
+        warm = points[1]
+        # The warm pass runs on the session's persistent plan cache.
+        assert warm.details["plan_cache_hits"] > 0
+        assert warm.source_operators < points[0].source_operators
+        assert warm.details["session"]["workloads"] == 2
+
+    def test_run_session_rejects_nonpositive_passes(self, excel_scenario):
+        with pytest.raises(ValueError, match="passes"):
+            run_session([], excel_scenario, passes=0)
 
     def test_default_methods_constant(self):
         assert DEFAULT_METHODS == ("e-basic", "q-sharing", "o-sharing")

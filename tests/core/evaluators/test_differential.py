@@ -306,6 +306,121 @@ def test_batch_workload_stats_count_optimizations(paper_example):
     assert dict(batch.results[1].answers.items()) == dict(off.results[1].answers.items())
 
 
+# --------------------------------------------------------------------------- #
+# session parity: warm Session == cold one-shot, for all evaluators × engines
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("method", ALL_EVALUATORS)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_warm_session_matches_cold_one_shot(method, engine, paper_example):
+    """Byte-identical answers on warm session state, every evaluator × engine.
+
+    The session serves the *second* round of queries from its persistent
+    plan cache / optimizer memo — sharing must change how much work runs,
+    never what it produces.  Cold rounds go through the deprecated one-shot
+    shims, which doubles as their regression pin.
+    """
+    from repro import ExecutionPolicy, Session
+    from repro.core import evaluate_many
+
+    queries = [paper_example.q0(), paper_example.q2()]
+    workload = queries * 2
+    cold = [
+        evaluate(
+            query,
+            paper_example.mappings,
+            paper_example.database,
+            method=method,
+            links=paper_example.links,
+            engine=engine,
+        )
+        for query in queries
+    ]
+    cold_batch = evaluate_many(
+        workload,
+        paper_example.mappings,
+        paper_example.database,
+        links=paper_example.links,
+        engine=engine,
+    )
+    policy = ExecutionPolicy(method=method, engine=engine)
+    with Session(
+        paper_example.database,
+        paper_example.mappings,
+        links=paper_example.links,
+        policy=policy,
+    ) as session:
+        warm_first = [session.query(query) for query in queries]
+        warm_second = [session.query(query) for query in queries]
+        warm_batch_first = session.query_many(workload)
+        warm_batch_second = session.query_many(workload)
+
+    for one, first, second in zip(cold, warm_first, warm_second):
+        assert _answer_map(one) == _answer_map(first) == _answer_map(second), (
+            f"{method}@{engine}: warm session diverges from cold evaluate"
+        )
+        assert (
+            one.answers.empty_probability
+            == first.answers.empty_probability
+            == second.answers.empty_probability
+        )
+    for one, first, second in zip(
+        cold_batch.results, warm_batch_first.results, warm_batch_second.results
+    ):
+        assert _answer_map(one) == _answer_map(first) == _answer_map(second), (
+            f"{method}@{engine}: warm query_many diverges from cold evaluate_many"
+        )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_warm_session_top_k_matches_cold_one_shot(engine, paper_example):
+    from repro import Session
+    from repro.core import evaluate_top_k
+
+    cold = evaluate_top_k(
+        paper_example.q2(),
+        paper_example.mappings,
+        paper_example.database,
+        k=3,
+        links=paper_example.links,
+        engine=engine,
+    )
+    with Session(
+        paper_example.database, paper_example.mappings, links=paper_example.links
+    ) as session:
+        warm = session.top_k(paper_example.q2(), k=3, engine=engine)
+        again = session.top_k(paper_example.q2(), k=3, engine=engine)
+    assert _answer_map(cold) == _answer_map(warm) == _answer_map(again)
+
+
+@pytest.mark.parametrize("method", ALL_EVALUATORS)
+def test_warm_session_matches_cold_on_scenario_queries(method):
+    """Session parity on the bigger generated scenario (default engine)."""
+    from repro import connect
+
+    scenario = _scenario("Excel")
+    queries = [
+        paper_query(query_id, scenario.target_schema)
+        for query_id in _QUERY_IDS["Excel"][:2]
+    ]
+    cold = [
+        evaluate(
+            query,
+            scenario.mappings,
+            scenario.database,
+            method=method,
+            links=scenario.links,
+        )
+        for query in queries
+    ]
+    with connect(scenario, method=method) as session:
+        for round_number in range(2):
+            for query, reference in zip(queries, cold):
+                result = session.query(query)
+                assert _answer_map(result) == _answer_map(reference), (
+                    f"{method}: session round {round_number} diverges"
+                )
+
+
 @pytest.mark.parametrize("method", ALL_EVALUATORS)
 def test_optimizer_never_executes_more(method):
     """Optimized runs execute no more operators and scan no more rows."""

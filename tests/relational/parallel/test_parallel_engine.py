@@ -353,3 +353,42 @@ class TestInflight:
         )
         # Claim was retired on resolve, so this computes normally...
         assert waiter.execute(plan).rows == result.rows
+
+
+class TestMapOrderedErrorSemantics:
+    def test_error_waits_out_siblings_on_a_long_lived_pool(self):
+        """One failing job must not leave orphan siblings running.
+
+        On a session-owned (long-lived) pool the call must drain every
+        sibling task before re-raising — otherwise Session.close()'s drain
+        guarantee could shut the pools down under a still-running job.
+        """
+        import time
+
+        import pytest
+
+        from repro.relational.parallel import PoolManager
+        from repro.relational.parallel.pool import map_ordered
+
+        pools = PoolManager()
+        started = []
+        finished = []
+
+        def job(i):
+            if i == 0:
+                raise ValueError("boom")
+            started.append(i)
+            time.sleep(0.05)
+            finished.append(i)
+            return i
+
+        try:
+            with pytest.raises(ValueError, match="boom"):
+                map_ordered(4, job, range(4), pools=pools)
+            # Every sibling that started also finished before the error
+            # propagated (not-yet-started ones were cancelled): nothing is
+            # left running on the long-lived pool.
+            assert sorted(finished) == sorted(started)
+            assert not pools.closed
+        finally:
+            pools.shutdown()
