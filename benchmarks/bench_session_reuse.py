@@ -15,14 +15,22 @@ gated — this may run on a 1-core container):
 * across both passes the warm session executes **strictly fewer** source
   operators than the same two workloads served cold;
 * answers are byte-identical, pass for pass.
+
+Emits ``BENCH_session_reuse.json`` at the repo root with operator counts and
+wall-clock per series.
 """
 
 from __future__ import annotations
+
+import json
+from pathlib import Path
 
 from repro import ExecutionPolicy, Session
 from repro.bench.reporting import format_table
 from repro.core import evaluate_many
 from repro.workloads.queries import PAPER_QUERIES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Each Excel query of Table III, repeated as serving traffic would repeat it.
 WORKLOAD_QUERY_IDS = ["Q1", "Q2", "Q3", "Q4", "Q5"] * 4
@@ -118,6 +126,44 @@ def test_session_reuse(benchmark, small_excel_bench, report_writer):
         "deterministic metric on 1-core CI)\n"
     )
     report_writer("session_reuse", text)
+
+    payload = {
+        "benchmark": "session_reuse",
+        "workload": {"queries": len(queries), "passes": passes},
+        "series": {
+            "cold": {
+                "passes": [
+                    {
+                        "seconds": batch.total_seconds,
+                        "source_operators": batch.source_operators,
+                    }
+                    for batch in cold
+                ],
+                "total_source_operators": cold_ops,
+                "total_seconds": cold_seconds,
+            },
+            "warm": {
+                "passes": [
+                    {
+                        "seconds": batch.total_seconds,
+                        "source_operators": batch.source_operators,
+                        "plan_cache_hits": batch.stats.plan_cache_hits,
+                    }
+                    for batch in warm
+                ],
+                "total_source_operators": warm_ops,
+                "total_seconds": warm_seconds,
+            },
+        },
+        "session": session_snapshot,
+        "gates": {
+            "warm_repeat_pass_hits_cache": warm[-1].stats.plan_cache_hits > 0,
+            "warm_ops_strictly_fewer_than_cold": warm_ops < cold_ops,
+        },
+    }
+    (REPO_ROOT / "BENCH_session_reuse.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
 
     # Answers are byte-identical in every pass.
     for cold_batch, warm_batch in zip(cold, warm):

@@ -172,6 +172,25 @@ class ColumnBatch:
             return iter([()] * self.length)
         return zip(*self.data)
 
+    def concat(self, extra: "ColumnBatch") -> "ColumnBatch":
+        """Vertical concatenation: this batch's rows, then ``extra``'s rows.
+
+        This is the delta-application primitive: a cached materialization is
+        extended with the rows a monotone plan produced over just the
+        appended source rows.  Every output column is a brand-new list — both
+        inputs may alias version-cached or shared lists, which must never be
+        mutated.
+        """
+        if self.columns != extra.columns:
+            raise ValueError(
+                f"cannot concat batches with different columns: "
+                f"{list(self.columns)} vs {list(extra.columns)}"
+            )
+        data = [column + other for column, other in zip(self.data, extra.data)]
+        return ColumnBatch(
+            self.columns, data, name=self.name, length=self.length + extra.length
+        )
+
     # ------------------------------------------------------------------ #
     # dunder plumbing
     # ------------------------------------------------------------------ #

@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.relational.indexes import HashIndex, IndexCatalog
-from repro.relational.relation import Relation
+from repro.relational.relation import Delta, Relation
 from repro.relational.schema import DatabaseSchema, RelationSchema
+
+#: Signature of a write listener: ``listener(relation_name, delta)``.
+#: ``delta`` is ``None`` for a wholesale replacement (``set_relation``).
+WriteListener = Callable[[str, "Delta | None"], None]
 
 
 class Database:
@@ -22,6 +26,7 @@ class Database:
         self._relations: dict[str, Relation] = {}
         self._indexes = IndexCatalog()
         self._stats_catalog = None
+        self._write_listeners: list[WriteListener] = []
         if relations:
             for name, relation in relations.items():
                 self.set_relation(name, relation)
@@ -50,8 +55,61 @@ class Database:
         self._relations[name] = relation
         # Invalidates stale indexes and, through the catalog's listener
         # chain, any attached caches (e.g. a PlanCache) that depend on the
-        # mutated relation.
+        # mutated relation.  The scope is ``name`` only: caches for
+        # relations that were not written keep their state, and the
+        # replaced relation's own version-keyed caches (column-major,
+        # shards, statistics) become unreachable with the old object.
         self._indexes.invalidate(name)
+
+    # ------------------------------------------------------------------ #
+    # the delta-aware write API
+    # ------------------------------------------------------------------ #
+    def append_rows(self, name: str, rows: Iterable[Sequence[Any]]) -> Delta | None:
+        """Append ``rows`` to relation ``name``, publishing the delta.
+
+        Unlike :meth:`set_relation` (the wholesale path), the write is
+        described precisely: cached hash indexes are patched in place, and
+        registered write listeners (plan caches, sessions) receive the
+        :class:`~repro.relational.relation.Delta` so they can patch — rather
+        than drop — entries that depend on ``name``.  Returns ``None`` for an
+        empty input (nothing written, nothing published).
+        """
+        relation = self.relation(name)
+        delta = relation.append_rows(rows)
+        return self._finish_write(name, relation, delta)
+
+    def update_rows(
+        self, name: str, positions: Sequence[int], rows: Iterable[Sequence[Any]]
+    ) -> Delta | None:
+        """Replace the rows of ``name`` at ``positions`` with ``rows``."""
+        relation = self.relation(name)
+        delta = relation.update_rows(positions, rows)
+        return self._finish_write(name, relation, delta)
+
+    def delete_rows(self, name: str, positions: Sequence[int]) -> Delta | None:
+        """Delete the rows of ``name`` at ``positions``."""
+        relation = self.relation(name)
+        delta = relation.delete_rows(positions)
+        return self._finish_write(name, relation, delta)
+
+    def _finish_write(
+        self, name: str, relation: Relation, delta: Delta | None
+    ) -> Delta | None:
+        if delta is None:
+            return None
+        self._indexes.apply_delta(name, relation, delta)
+        for listener in list(self._write_listeners):
+            listener(name, delta)
+        return delta
+
+    def add_write_listener(self, listener: WriteListener) -> None:
+        """Call ``listener(name, delta)`` after every delta-producing write."""
+        self._write_listeners.append(listener)
+
+    def remove_write_listener(self, listener: WriteListener) -> None:
+        """Detach a previously registered write listener."""
+        if listener in self._write_listeners:
+            self._write_listeners.remove(listener)
 
     @property
     def index_catalog(self) -> IndexCatalog:

@@ -149,10 +149,22 @@ class Executor:
         #: worker pools the morsel kernels run on (a session's, usually); the
         #: process-wide default serves executors without one.
         self.pools = pools
+        # Per-execute scan snapshots: the first scan of each base relation
+        # pins a relabelled view (shared rows + version token), so every
+        # later scan in the same plan — a self-join, say — reads the same
+        # snapshot even if a concurrent writer swaps the data mid-execution.
+        self._scan_pins: dict[str, Relation] = {}
+        # Version tokens captured *before* reading data (from scan pins and
+        # from cache hits' recorded versions); handed to PlanCache.put so a
+        # result computed over pre-write data is never recorded under a
+        # post-write token.
+        self._version_pins: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     def execute(self, plan: PlanNode) -> Relation:
         """Evaluate ``plan`` and return its result relation."""
+        self._scan_pins = {}
+        self._version_pins = {}
         if self.optimizer is not None:
             plan = self.optimizer.optimize(plan, self.stats)
         if self.engine in _BATCH_ENGINES:
@@ -176,10 +188,11 @@ class Executor:
         entry = self.cache.get(key, self.database)
         if entry is not None:
             self.stats.count_cache_hit(entry.operator_count)
+            self._merge_version_pins(entry.dependency_versions)
             return entry.relation
         self.stats.count_cache_miss()
         result = self._dispatch(node)
-        self.cache.put(key, node, result, self.database)
+        self.cache.put(key, node, result, self.database, versions=self._version_pins)
         return result
 
     def _dispatch(self, node: PlanNode) -> Relation:
@@ -200,8 +213,37 @@ class Executor:
         raise TypeError(f"cannot execute plan node of type {type(node).__name__}")
 
     # -- leaves ---------------------------------------------------------- #
+    def _pinned_base(self, name: str) -> Relation:
+        """This execution's snapshot of base relation ``name`` (pinned once)."""
+        pinned = self._scan_pins.get(name)
+        if pinned is None:
+            pinned = self.database.relation(name).rename({})
+            self._scan_pins[name] = pinned
+            self._merge_version_pins({name: pinned.version})
+        return pinned
+
+    def _pinned_scan(self, name: str, alias: str | None) -> Relation:
+        """The pinned snapshot of ``name``, requalified under ``alias``."""
+        relation = self._pinned_base(name)
+        if alias is None or alias == relation.name:
+            return relation
+        return relation.prefixed(alias)
+
+    def _merge_version_pins(self, versions: dict[str, int]) -> None:
+        """Fold dependency versions into this execution's capture set.
+
+        On a conflict (the same relation seen at two versions within one
+        execution — only possible under a concurrent write) the *older*
+        token wins: recording the entry as older than it might be can only
+        cause a spurious recompute, never a stale serve.
+        """
+        pins = self._version_pins
+        for name, version in versions.items():
+            current = pins.get(name)
+            pins[name] = version if current is None else min(current, version)
+
     def _evaluate_scan(self, node: Scan) -> Relation:
-        relation = self.database.scan(node.relation, node.alias)
+        relation = self._pinned_scan(node.relation, node.alias)
         self.stats.count_operator("Scan", rows_in=len(relation), rows_out=len(relation))
         return relation
 
@@ -233,7 +275,7 @@ class Executor:
             return None
         scan = node.child
         try:
-            base = self.database.relation(scan.relation)
+            base = self._pinned_base(scan.relation)
         except KeyError:
             return None
         conjuncts = node.predicate.conjuncts()
@@ -537,10 +579,13 @@ class Executor:
         entry = self.cache.get(key, self.database)
         if entry is not None:
             self.stats.count_cache_hit(entry.operator_count)
+            self._merge_version_pins(entry.dependency_versions)
             return ColumnBatch.from_relation(entry.relation)
         self.stats.count_cache_miss()
         result = self._dispatch_columnar(node)
-        self.cache.put(key, node, result.to_relation(), self.database)
+        self.cache.put(
+            key, node, result.to_relation(), self.database, versions=self._version_pins
+        )
         return result
 
     def _compute_once(self, key: str, node: PlanNode) -> ColumnBatch:
@@ -558,22 +603,32 @@ class Executor:
         """
         future, owner = self.inflight.claim(key)
         if not owner:
-            relation, operator_count = future.result()
+            relation, operator_count, versions = future.result()
             self.stats.count_cache_hit(operator_count)
+            self._merge_version_pins(versions)
             return ColumnBatch.from_relation(relation)
         try:
             entry = self.cache.get(key, self.database)
             if entry is not None:
                 self.stats.count_cache_hit(entry.operator_count)
+                self._merge_version_pins(entry.dependency_versions)
                 self.inflight.resolve(
-                    key, future, (entry.relation, entry.operator_count)
+                    key,
+                    future,
+                    (entry.relation, entry.operator_count, dict(entry.dependency_versions)),
                 )
                 return ColumnBatch.from_relation(entry.relation)
             self.stats.count_cache_miss()
             result = self._dispatch_columnar(node)
             relation = result.to_relation()
-            entry = self.cache.put(key, node, relation, self.database)
-            self.inflight.resolve(key, future, (relation, entry.operator_count))
+            entry = self.cache.put(
+                key, node, relation, self.database, versions=self._version_pins
+            )
+            self.inflight.resolve(
+                key,
+                future,
+                (relation, entry.operator_count, dict(entry.dependency_versions)),
+            )
             return result
         except BaseException as error:
             self.inflight.fail(key, future, error)
@@ -600,7 +655,7 @@ class Executor:
 
     # -- leaves ---------------------------------------------------------- #
     def _scan_columnar(self, node: Scan) -> ColumnBatch:
-        relation = self.database.scan(node.relation, node.alias)
+        relation = self._pinned_scan(node.relation, node.alias)
         self.stats.count_operator("Scan", rows_in=len(relation), rows_out=len(relation))
         return ColumnBatch.from_relation(relation)
 

@@ -21,13 +21,28 @@ class HashIndex:
     def __init__(self, relation: Relation, column: str):
         self.relation = relation
         self.column = column
-        position = relation.column_index(column)
+        self._position = relation.column_index(column)
         buckets: dict[Hashable, list[int]] = defaultdict(list)
         for row_number, row in enumerate(relation.rows):
-            value = row[position]
+            value = row[self._position]
             if isinstance(value, Hashable):
                 buckets[value].append(row_number)
         self._buckets = dict(buckets)
+
+    def apply_append(self, rows: list[tuple], start: int) -> None:
+        """Fold appended ``rows`` (at positions ``start``...) into the buckets.
+
+        Copy-on-write: the affected buckets and the bucket dict are replaced
+        by new objects and swapped in with a single assignment, so a reader
+        holding the old dict keeps a consistent pre-append view.
+        """
+        position = self._position
+        buckets = dict(self._buckets)
+        for offset, row in enumerate(rows):
+            value = row[position]
+            if isinstance(value, Hashable):
+                buckets[value] = buckets.get(value, []) + [start + offset]
+        self._buckets = buckets
 
     def lookup(self, value: Any) -> list[int]:
         """Row positions whose indexed column equals ``value``."""
@@ -60,6 +75,33 @@ class IndexCatalog:
         self._listeners: list[Callable[[str | None], None]] = []
         #: number of hash indexes physically built since creation
         self.builds: int = 0
+        #: number of cached indexes patched in place by append deltas
+        self.patches: int = 0
+
+    def apply_delta(self, relation_name: str, relation: Relation, delta) -> int:
+        """Maintain cached indexes on ``relation_name`` through a write.
+
+        Append deltas whose base version matches the cached entry are folded
+        into the buckets (no rebuild, no listener notification — the write
+        path has its own delta-aware listener chain on the
+        :class:`~repro.relational.database.Database`).  Anything else drops
+        just that relation's entries.  Returns the number patched.
+        """
+        patched = 0
+        for key in [key for key in self._indexes if key[0] == relation_name]:
+            index, version = self._indexes[key]
+            if (
+                delta is not None
+                and delta.is_append
+                and version == delta.base_version
+            ):
+                index.apply_append(list(delta.rows), len(relation) - len(delta.rows))
+                self._indexes[key] = (index, delta.version)
+                patched += 1
+            else:
+                del self._indexes[key]
+        self.patches += patched
+        return patched
 
     def get(self, relation: Relation, relation_name: str, column: str) -> HashIndex:
         """Return (building if needed) the index on ``relation_name.column``."""

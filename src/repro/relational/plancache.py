@@ -36,6 +36,8 @@ class PlanCacheStats:
     invalidations: int = 0
     #: operators that cache hits avoided executing
     operators_saved: int = 0
+    #: entries delta-patched in place by a write instead of being dropped
+    patches: int = 0
 
     @property
     def lookups(self) -> int:
@@ -55,6 +57,7 @@ class PlanCacheStats:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "operators_saved": self.operators_saved,
+            "patches": self.patches,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -71,6 +74,8 @@ class CachedPlan:
     dependencies: frozenset[str] = field(default_factory=frozenset)
     #: data-version token of each dependency at store time (staleness check)
     dependency_versions: dict[str, int] = field(default_factory=dict)
+    #: the plan itself, kept so append deltas can be replayed through it
+    node: PlanNode | None = None
 
 
 def plan_cost(node: PlanNode) -> int:
@@ -88,6 +93,43 @@ def plan_dependencies(node: PlanNode) -> frozenset[str]:
     return frozenset(
         child.relation for child in node.walk() if isinstance(child, Scan)
     )
+
+
+def append_shape(node: PlanNode) -> str | None:
+    """``"plain"``/``"distinct"`` when ``node`` is monotone under appends.
+
+    Monotone means a cached result can be *extended* by executing the plan
+    over just the appended rows: exactly one :class:`Scan`, and above it only
+    order-preserving unary operators (:class:`Select` and
+    :class:`~repro.relational.algebra.Project`) — appended source rows can
+    then only append output rows, in source order, exactly as a full
+    recompute would place them.  ``"distinct"`` marks a set-semantic output
+    (a distinct projection with only selections above it): delta outputs
+    already present in the cached result must be filtered out.  A distinct
+    below an ordinary projection is rejected (the projection may legitimately
+    re-duplicate rows, so membership filtering would be wrong), as is
+    everything binary or aggregating — ``Union`` included, because rows
+    appended to its left input belong *mid*-output, not at the end.
+    """
+    from repro.relational.algebra import Project, Select
+
+    shape = "plain"
+    reprojected = False
+    current = node
+    while not isinstance(current, Scan):
+        if isinstance(current, Select):
+            current = current.child
+        elif isinstance(current, Project):
+            if current.distinct:
+                if reprojected:
+                    return None
+                shape = "distinct" if shape == "plain" else shape
+            else:
+                reprojected = True
+            current = current.child
+        else:
+            return None
+    return shape
 
 
 class PlanCache:
@@ -110,6 +152,7 @@ class PlanCache:
         self.stats = PlanCacheStats()
         self._entries: "OrderedDict[str, CachedPlan]" = OrderedDict()
         self._attached: list = []
+        self._write_hooks: dict[int, object] = {}
         self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
@@ -149,18 +192,34 @@ class PlanCache:
                 return False
         return True
 
-    def put(self, key: str, node: PlanNode, relation: Relation, database=None) -> CachedPlan:
+    def put(
+        self,
+        key: str,
+        node: PlanNode,
+        relation: Relation,
+        database=None,
+        versions: dict[str, int] | None = None,
+    ) -> CachedPlan:
         """Store the result of ``node`` under ``key`` (evicting LRU if full).
 
-        With a ``database``, the current version token of every scanned base
-        relation is recorded so :meth:`get` can detect staleness.
+        With a ``database``, the version token of every scanned base relation
+        is recorded so :meth:`get` can detect staleness.  ``versions`` lets
+        the executor supply tokens captured *before* it read the data: if a
+        concurrent write swapped the data mid-execution, the entry is
+        recorded under the pre-write token and the next version-checked
+        lookup discards it — recording the post-write token would instead
+        serve pre-write rows as current forever.  Missing names fall back to
+        the live token.
         """
         dependencies = plan_dependencies(node)
-        versions: dict[str, int] = {}
+        recorded: dict[str, int] = {}
         if database is not None:
             for name in dependencies:
+                if versions is not None and name in versions:
+                    recorded[name] = versions[name]
+                    continue
                 try:
-                    versions[name] = database.relation(name).version
+                    recorded[name] = database.relation(name).version
                 except KeyError:
                     pass
         entry = CachedPlan(
@@ -168,7 +227,8 @@ class PlanCache:
             relation=relation,
             operator_count=plan_cost(node),
             dependencies=dependencies,
-            dependency_versions=versions,
+            dependency_versions=recorded,
+            node=node,
         )
         with self._lock:
             if key in self._entries:
@@ -216,22 +276,125 @@ class PlanCache:
             self._entries.clear()
 
     # ------------------------------------------------------------------ #
+    # delta maintenance
+    # ------------------------------------------------------------------ #
+    def apply_write(self, database, relation_name: str, delta) -> tuple[int, int]:
+        """Maintain the entries that read ``relation_name`` through one write.
+
+        Entries that never read the written relation are untouched.  For an
+        append delta, entries whose plan is append-monotone (see
+        :func:`append_shape`) and whose recorded version matches the delta's
+        base are *patched*: the cached plan is replayed over a shadow
+        database holding only the appended rows, and the delta output is
+        folded onto the cached result — byte-identical to a full recompute
+        because the monotone operators preserve input row order.  Everything
+        else (updates, deletes, wholesale replacements, non-monotone plans,
+        version gaps) drops the entry.  Returns ``(patched, dropped)``.
+        """
+        with self._lock:
+            patched = dropped = 0
+            for key in list(self._entries):
+                entry = self._entries[key]
+                if relation_name not in entry.dependencies:
+                    continue
+                replacement = None
+                if delta is not None and delta.is_append:
+                    replacement = self._patched_entry(
+                        database, entry, relation_name, delta
+                    )
+                if replacement is None:
+                    del self._entries[key]
+                    dropped += 1
+                else:
+                    self._entries[key] = replacement
+                    patched += 1
+            self.stats.patches += patched
+            self.stats.invalidations += dropped
+            return patched, dropped
+
+    @staticmethod
+    def _patched_entry(database, entry: CachedPlan, relation_name: str, delta):
+        """``entry`` with an append delta folded in, or ``None`` to drop it."""
+        node = entry.node
+        if node is None:
+            return None
+        if entry.dependency_versions.get(relation_name) != delta.base_version:
+            return None
+        shape = append_shape(node)
+        if shape is None:
+            return None
+        # Replay the cached plan over just the appended rows, through the
+        # real operator implementations (a throwaway database + executor),
+        # so the patch can never drift from execution semantics.
+        from repro.relational.database import Database
+        from repro.relational.executor import Executor
+
+        schema = database.schema.relation(relation_name)
+        shadow = Database(
+            database.schema, {relation_name: Relation.from_schema(schema, delta.rows)}
+        )
+        extra = Executor(shadow).execute(node)
+        cached = entry.relation
+        if shape == "distinct":
+            seen = set(cached.rows)
+            rows = cached.rows + [row for row in extra.rows if row not in seen]
+            patched = Relation(cached.columns, rows, name=cached.name)
+        elif cached.columns and cached.columns == extra.columns:
+            # Columnar-native concat: the patched entry keeps a column-major
+            # backing, so serving it back into the columnar engine stays a
+            # free round trip.
+            from repro.relational.columnar import ColumnBatch
+
+            patched = (
+                ColumnBatch.from_relation(cached)
+                .concat(ColumnBatch.from_relation(extra))
+                .to_relation()
+            )
+        else:
+            patched = Relation(
+                cached.columns, cached.rows + extra.rows, name=cached.name
+            )
+        versions = dict(entry.dependency_versions)
+        versions[relation_name] = delta.version
+        return CachedPlan(
+            key=entry.key,
+            relation=patched,
+            operator_count=entry.operator_count,
+            dependencies=entry.dependencies,
+            dependency_versions=versions,
+            node=node,
+        )
+
+    # ------------------------------------------------------------------ #
     # database hooks
     # ------------------------------------------------------------------ #
     def attach(self, database) -> None:
-        """Subscribe to ``database`` so mutations invalidate dependent entries.
+        """Subscribe to ``database`` so mutations maintain dependent entries.
 
-        The hook is the database's :meth:`IndexCatalog.invalidate` listener
-        chain, which both :meth:`Database.set_relation` (every data change
-        routes through it) and direct
-        ``database.index_catalog.invalidate(...)`` calls trigger.
+        Two hooks: the database's :meth:`IndexCatalog.invalidate` listener
+        chain (fired by the wholesale :meth:`Database.set_relation` and by
+        direct ``database.index_catalog.invalidate(...)`` calls) drops the
+        written relation's dependents, and the delta-aware write-listener
+        chain (fired by ``append_rows``/``update_rows``/``delete_rows``)
+        routes into :meth:`apply_write` so append deltas patch instead of
+        drop.
         """
         database.index_catalog.add_invalidation_listener(self.invalidate)
+        if hasattr(database, "add_write_listener"):
+
+            def hook(name, delta, _database=database):
+                self.apply_write(_database, name, delta)
+
+            self._write_hooks[id(database)] = hook
+            database.add_write_listener(hook)
         self._attached.append(database)
 
     def detach(self, database) -> None:
         """Undo :meth:`attach`."""
         database.index_catalog.remove_invalidation_listener(self.invalidate)
+        hook = self._write_hooks.pop(id(database), None)
+        if hook is not None:
+            database.remove_write_listener(hook)
         if database in self._attached:
             self._attached.remove(database)
 

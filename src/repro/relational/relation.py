@@ -11,6 +11,7 @@ already covers the source attributes an operator needs.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.relational.schema import RelationSchema
@@ -19,6 +20,48 @@ Row = tuple
 
 #: Monotonic source of data-version tokens (see :attr:`Relation.version`).
 _DATA_VERSIONS = itertools.count(1)
+
+#: The delta kinds a :class:`Relation` write can produce.
+DELTA_APPEND = "append"
+DELTA_UPDATE = "update"
+DELTA_DELETE = "delete"
+
+#: Deltas retained per relation lineage; consumers needing a chain older
+#: than this fall back to full recomputation (the conservative path).
+DELTA_LOG_LIMIT = 64
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One write, described precisely enough to maintain caches incrementally.
+
+    A delta records the transition ``base_version → version`` of one
+    relation's data: ``append`` carries the appended rows, ``update`` the
+    affected row positions plus their replacement rows, ``delete`` the
+    removed positions (positions refer to the *pre-write* row numbering).
+    A wholesale :meth:`~repro.relational.database.Database.set_relation`
+    has no delta — consumers receive ``None`` and must invalidate.
+    """
+
+    kind: str
+    base_version: int
+    version: int
+    #: appended rows (``append``) or replacement rows (``update``)
+    rows: tuple[Row, ...] = ()
+    #: affected pre-write row positions (``update``/``delete``), ascending
+    positions: tuple[int, ...] = ()
+
+    @property
+    def is_append(self) -> bool:
+        """True for the monotone (cache-extending) delta kind."""
+        return self.kind == DELTA_APPEND
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        payload = len(self.positions) if self.positions else len(self.rows)
+        return (
+            f"Delta({self.kind}, v{self.base_version}->v{self.version}, "
+            f"{payload} rows)"
+        )
 
 
 def missing_column_error(columns: Sequence[str], label: str, display_name: str) -> KeyError:
@@ -116,6 +159,7 @@ class Relation:
         "_rows",
         "_length",
         "_shared_rows",
+        "_deltas",
     )
 
     def __init__(
@@ -150,6 +194,10 @@ class Relation:
         # True while the row list is shared with a relabelled view; a
         # mutation copies it first (copy-on-write) so views stay isolated.
         self._shared_rows = False
+        # Bounded log of Delta records describing this lineage's writes;
+        # shared with relabelled views (they share the data the deltas
+        # describe).  See deltas_between.
+        self._deltas: list[Delta] = []
 
     @property
     def rows(self) -> list[Row]:
@@ -230,6 +278,7 @@ class Relation:
         ]
         relation._shard_cache = [None]
         relation._shared_rows = False
+        relation._deltas = []
         return relation
 
     # ------------------------------------------------------------------ #
@@ -279,6 +328,7 @@ class Relation:
         view._column_positions = {label: i for i, label in enumerate(view.columns)}
         view._column_cache = self._column_cache
         view._shard_cache = self._shard_cache
+        view._deltas = self._deltas
         if self._rows is not None:
             self._shared_rows = True
             view._shared_rows = True
@@ -319,24 +369,204 @@ class Relation:
     # ------------------------------------------------------------------ #
     # row handling
     # ------------------------------------------------------------------ #
+    def _validated(self, rows: Iterable[Sequence[Any]]) -> list[Row]:
+        """Rows as width-checked tuples."""
+        validated = [tuple(row) for row in rows]
+        width = len(self.columns)
+        for row in validated:
+            if len(row) != width:
+                raise ValueError(
+                    f"row width {len(row)} does not match column count {width}"
+                )
+        return validated
+
+    def _record_delta(self, delta: Delta) -> None:
+        log = self._deltas
+        log.append(delta)
+        if len(log) > DELTA_LOG_LIMIT:
+            del log[: len(log) - DELTA_LOG_LIMIT]
+
+    def _fresh_columns(self, version: int) -> list[list] | None:
+        """The cached column-major lists, only if they match ``version``."""
+        cached = self._column_cache[0]
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        return None
+
+    def _patched_shards(self, delta: Delta) -> list:
+        """A replacement shard-cache holder with ``delta`` applied, or empty.
+
+        Only the chunk-sharded (monotone) entries can be extended by an
+        append; anything else drops the cache and lets the next parallel
+        execution rebuild it.
+        """
+        cached = self._shard_cache[0]
+        if cached is None or cached[0] != delta.base_version or not delta.is_append:
+            return [None]
+        from repro.relational.parallel.partition import patch_shard_entries
+
+        patched = patch_shard_entries(cached[1], delta)
+        if patched is None:
+            return [None]
+        return [(delta.version, patched)]
+
+    def append_rows(self, rows: Iterable[Sequence[Any]]) -> Delta | None:
+        """Append many rows, returning the :class:`Delta` describing the write.
+
+        The append is applied *incrementally* to the version-keyed caches:
+        fresh column-major lists are extended (into brand-new lists — the old
+        ones may be aliased by views and cached batches) and chunk-sharded
+        entries grow their last span.  Data is swapped before the version
+        token is bumped, so a concurrent version-checked reader can observe
+        (old version, new data) — which it treats as stale — but never the
+        reverse.  Returns ``None`` (and writes nothing) for an empty input.
+        """
+        appended = self._validated(rows)
+        if not appended:
+            return None
+        base_version = self.version
+        old_rows = self.rows  # materialise before the swap
+        fresh = self._fresh_columns(base_version)
+        new_version = next(_DATA_VERSIONS)
+        delta = Delta(
+            DELTA_APPEND, base_version, new_version, rows=tuple(appended)
+        )
+        # New list: relabelled views keep aliasing the old one untouched.
+        self._rows = old_rows + appended
+        self._length += len(appended)
+        self._shared_rows = False
+        if fresh is not None:
+            patched = [
+                old + [row[i] for row in appended] for i, old in enumerate(fresh)
+            ]
+            self._column_cache = [(new_version, patched)]
+        else:
+            self._column_cache = [None]
+        self._shard_cache = self._patched_shards(delta)
+        self._record_delta(delta)
+        self.version = new_version
+        return delta
+
+    def update_rows(
+        self, positions: Sequence[int], rows: Iterable[Sequence[Any]]
+    ) -> Delta | None:
+        """Replace the rows at ``positions`` (pre-write numbering) with ``rows``."""
+        replacements = self._validated(rows)
+        targets = [int(position) for position in positions]
+        if len(targets) != len(replacements):
+            raise ValueError(
+                f"{len(targets)} positions for {len(replacements)} replacement rows"
+            )
+        if not targets:
+            return None
+        if len(set(targets)) != len(targets):
+            raise ValueError(f"duplicate update positions: {targets}")
+        for position in targets:
+            if not 0 <= position < self._length:
+                raise IndexError(
+                    f"row position {position} out of range for {self._length} rows"
+                )
+        order = sorted(range(len(targets)), key=targets.__getitem__)
+        targets = [targets[i] for i in order]
+        replacements = [replacements[i] for i in order]
+        base_version = self.version
+        old_rows = self.rows
+        fresh = self._fresh_columns(base_version)
+        new_version = next(_DATA_VERSIONS)
+        delta = Delta(
+            DELTA_UPDATE,
+            base_version,
+            new_version,
+            rows=tuple(replacements),
+            positions=tuple(targets),
+        )
+        new_rows = list(old_rows)
+        for position, row in zip(targets, replacements):
+            new_rows[position] = row
+        self._rows = new_rows
+        self._shared_rows = False
+        if fresh is not None:
+            patched = []
+            for i, old in enumerate(fresh):
+                column = list(old)
+                for position, row in zip(targets, replacements):
+                    column[position] = row[i]
+                patched.append(column)
+            self._column_cache = [(new_version, patched)]
+        else:
+            self._column_cache = [None]
+        self._shard_cache = [None]
+        self._record_delta(delta)
+        self.version = new_version
+        return delta
+
+    def delete_rows(self, positions: Sequence[int]) -> Delta | None:
+        """Remove the rows at ``positions`` (pre-write numbering)."""
+        targets = sorted({int(position) for position in positions})
+        if not targets:
+            return None
+        for position in targets:
+            if not 0 <= position < self._length:
+                raise IndexError(
+                    f"row position {position} out of range for {self._length} rows"
+                )
+        base_version = self.version
+        old_rows = self.rows
+        fresh = self._fresh_columns(base_version)
+        new_version = next(_DATA_VERSIONS)
+        delta = Delta(
+            DELTA_DELETE, base_version, new_version, positions=tuple(targets)
+        )
+        doomed = set(targets)
+        self._rows = [row for i, row in enumerate(old_rows) if i not in doomed]
+        self._length -= len(targets)
+        self._shared_rows = False
+        if fresh is not None:
+            patched = [
+                [value for i, value in enumerate(old) if i not in doomed]
+                for old in fresh
+            ]
+            self._column_cache = [(new_version, patched)]
+        else:
+            self._column_cache = [None]
+        self._shard_cache = [None]
+        self._record_delta(delta)
+        self.version = new_version
+        return delta
+
+    def deltas_between(
+        self, old_version: int, new_version: int | None = None
+    ) -> list[Delta] | None:
+        """The delta chain taking ``old_version`` to ``new_version``, oldest first.
+
+        ``new_version`` defaults to the current :attr:`version`.  Returns an
+        empty list when the versions are equal, and ``None`` when the chain
+        cannot be reconstructed (log truncation, or an unrelated lineage such
+        as a wholesale replacement) — callers must then recompute from
+        scratch.
+        """
+        target = self.version if new_version is None else new_version
+        if old_version == target:
+            return []
+        by_version = {delta.version: delta for delta in self._deltas}
+        chain: list[Delta] = []
+        cursor = target
+        while cursor != old_version:
+            delta = by_version.get(cursor)
+            if delta is None:
+                return None
+            chain.append(delta)
+            cursor = delta.base_version
+        chain.reverse()
+        return chain
+
     def append(self, row: Sequence[Any]) -> None:
         """Append one row (validated for width)."""
-        row = tuple(row)
-        if len(row) != len(self.columns):
-            raise ValueError(
-                f"row width {len(row)} does not match column count {len(self.columns)}"
-            )
-        if self._shared_rows:
-            self._rows = list(self.rows)
-            self._shared_rows = False
-        self.rows.append(row)
-        self._length += 1
-        self.version = next(_DATA_VERSIONS)
+        self.append_rows([row])
 
     def extend(self, rows: Iterable[Sequence[Any]]) -> None:
         """Append many rows."""
-        for row in rows:
-            self.append(row)
+        self.append_rows(rows)
 
     def value(self, row: Row, label: str) -> Any:
         """Value of ``label`` within ``row``."""

@@ -53,6 +53,13 @@ class ExecutionStats:
     join_orders_considered: int = 0
     #: estimated root-result rows across all optimized plans
     estimated_rows: float = 0.0
+    #: plan-cache entries delta-patched in place by writes (kept warm)
+    entries_patched: int = 0
+    #: plan-cache entries dropped by write/replace invalidation
+    entries_invalidated: int = 0
+    #: statistics-catalog entries refreshed from an append delta instead of
+    #: a full profiling pass
+    stats_refreshed_incrementally: int = 0
     #: per-phase wall-clock seconds
     phase_seconds: dict = field(default_factory=dict)
 
@@ -139,6 +146,9 @@ class ExecutionStats:
         self.optimizer_rules.update(other.optimizer_rules)
         self.join_orders_considered += other.join_orders_considered
         self.estimated_rows += other.estimated_rows
+        self.entries_patched += other.entries_patched
+        self.entries_invalidated += other.entries_invalidated
+        self.stats_refreshed_incrementally += other.stats_refreshed_incrementally
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
@@ -160,6 +170,9 @@ class ExecutionStats:
             "optimizer_rules": dict(self.optimizer_rules),
             "join_orders_considered": self.join_orders_considered,
             "estimated_rows": self.estimated_rows,
+            "entries_patched": self.entries_patched,
+            "entries_invalidated": self.entries_invalidated,
+            "stats_refreshed_incrementally": self.stats_refreshed_incrementally,
             "phase_seconds": dict(self.phase_seconds),
         }
 

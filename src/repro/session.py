@@ -90,6 +90,13 @@ class SessionStats:
     optimizer_memo_entries: int
     #: worker pools the session has actually started (lazily)
     pools_started: int
+    #: plan-cache entries delta-patched in place by writes (kept warm)
+    entries_patched: int = 0
+    #: plan-cache entries dropped by write/replace invalidation
+    entries_invalidated: int = 0
+    #: statistics-catalog entries refreshed from an append delta instead of
+    #: a full profiling pass
+    stats_refreshed_incrementally: int = 0
 
     @property
     def source_operators(self) -> int:
@@ -120,6 +127,9 @@ class SessionStats:
             "optimizer_memo_entries": self.optimizer_memo_entries,
             "plan_cache": dict(self.plan_cache),
             "plan_cache_hit_rate": self.plan_cache_hit_rate,
+            "entries_patched": self.entries_patched,
+            "entries_invalidated": self.entries_invalidated,
+            "stats_refreshed_incrementally": self.stats_refreshed_incrementally,
             "pools_started": self.pools_started,
             "seconds": self.totals.total_seconds,
         }
@@ -152,10 +162,17 @@ class Session:
 
     Sessions are context managers; :meth:`close` is idempotent and detaches
     the plan cache and shuts the worker pools down.  All cross-query state is
-    invalidation-safe: mutating the database through
-    :meth:`~repro.relational.database.Database.set_relation` drops dependent
-    plan-cache entries, and the statistics catalog, optimizer memo and shard
-    caches are keyed on relation data versions.
+    invalidation-safe *and* delta-aware: replacing a relation wholesale
+    through :meth:`~repro.relational.database.Database.set_relation` drops
+    exactly the dependent plan-cache entries, while the incremental write API
+    (:meth:`~repro.relational.database.Database.append_rows` /
+    ``update_rows`` / ``delete_rows``) publishes
+    :class:`~repro.relational.relation.Delta` records that *patch* cached
+    plans, indexes, shard layouts and column statistics in place whenever the
+    delta admits it — so a warm session survives interleaved writes without
+    going cold.  :attr:`stats` reports ``entries_patched`` /
+    ``entries_invalidated`` / ``stats_refreshed_incrementally`` so the saving
+    is observable.
     """
 
     def __init__(
@@ -430,13 +447,25 @@ class Session:
             totals.merge(self._totals)
             queries = self._queries
             workloads = self._workloads
+        # The delta counters accrue on the session-owned caches (writes
+        # arrive through Database hooks, not through evaluator calls), so
+        # they are read live and promoted into the snapshot copy.
+        cache = self.plan_cache.stats
+        totals.entries_patched = cache.patches
+        totals.entries_invalidated = cache.invalidations
+        totals.stats_refreshed_incrementally = (
+            self.database.stats_catalog.incremental_refreshes
+        )
         return SessionStats(
             queries=queries,
             workloads=workloads,
             totals=totals,
-            plan_cache=self.plan_cache.stats.snapshot(),
+            plan_cache=cache.snapshot(),
             optimizer_memo_entries=len(self.optimizer),
             pools_started=self.pools.started_pools,
+            entries_patched=totals.entries_patched,
+            entries_invalidated=totals.entries_invalidated,
+            stats_refreshed_incrementally=totals.stats_refreshed_incrementally,
         )
 
     @property

@@ -122,7 +122,20 @@ class TestShardCache:
         relation.append((99, "z"))
         after = shard_relation(relation, 3)
         assert after.total_rows == before.total_rows + 1
-        assert before.shards[0].data[0] is not after.shards[0].data[0]
+        # The append extends only the *last* shard (a brand-new list); the
+        # pre-append ShardSet keeps its snapshot untouched.
+        assert before.shards[-1].data[0] is not after.shards[-1].data[0]
+        assert after.shards[-1].data[0][-1] == 99
+        assert before.total_rows == 20
+        assert after.reassemble().data[0] == [row[0] for row in relation.rows]
+
+    def test_nonappend_mutation_rebuilds_shards(self):
+        relation = make_relation()
+        before = shard_relation(relation, 3)
+        relation.delete_rows([0])
+        after = shard_relation(relation, 3)
+        assert after.total_rows == before.total_rows - 1
+        assert after.reassemble().data[0] == [row[0] for row in relation.rows]
 
     def test_set_relation_yields_fresh_shards(self):
         schema = DatabaseSchema(
