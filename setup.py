@@ -3,9 +3,26 @@
 The reproduction environment is offline and has no ``wheel`` package, so the
 PEP 517 editable-install path (which builds a wheel) is unavailable.  This
 shim lets ``pip install -e .`` fall back to the classic ``setup.py develop``
-code path; all metadata lives in ``pyproject.toml``.
+code path.
+
+The package itself has **no required third-party dependencies**.  NumPy is
+an optional extra: ``pip install .[vector]`` unlocks ``engine="vector"``
+(NumPy array kernels over the columnar batches, byte-identical answers);
+without it the vector engine is absent from ``available_engines()`` and
+requesting it raises a ``ValueError`` naming the valid engines.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    extras_require={
+        # engine="vector": NumPy-backed kernels; pure-Python engines serve
+        # everything when absent (see repro.relational.vector).
+        "vector": ["numpy"],
+        # faster Hungarian cross-check in the matcher tests
+        "matching": ["scipy"],
+    },
+)

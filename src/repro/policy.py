@@ -76,9 +76,12 @@ def _method_names() -> tuple[str, ...]:
 
 
 def _engine_names() -> tuple[str, ...]:
-    from repro.relational.executor import ENGINES
+    from repro.relational.executor import available_engines
 
-    return tuple(ENGINES)
+    # Only the engines usable *here*: "vector" is absent without NumPy, so a
+    # policy naming it fails eagerly with the same message shape as any other
+    # unavailable choice instead of deep inside an executor constructor.
+    return available_engines()
 
 
 def suggest(name: str, choices) -> str:
@@ -114,8 +117,9 @@ class ExecutionPolicy:
         ``"q-sharing"``, ``"o-sharing"`` (default), ``"batch"`` or
         ``"top-k"`` (requires ``k``).
     engine:
-        Relational execution engine: ``"columnar"`` (default), ``"row"`` or
-        ``"parallel"``.  Answers are byte-identical on every engine.
+        Relational execution engine: ``"columnar"`` (default), ``"row"``,
+        ``"parallel"`` or ``"vector"`` (NumPy-backed; requires the optional
+        NumPy extra).  Answers are byte-identical on every engine.
     optimize:
         Run every source plan through the cost-based optimizer (default on).
     strategy:

@@ -65,7 +65,15 @@ class ColumnBatch:
     every transformation builds new lists.
     """
 
-    __slots__ = ("columns", "data", "name", "length", "_column_positions", "_source")
+    __slots__ = (
+        "columns",
+        "data",
+        "name",
+        "length",
+        "_column_positions",
+        "_source",
+        "_vectors",
+    )
 
     def __init__(
         self,
@@ -86,6 +94,9 @@ class ColumnBatch:
         #: the Relation this batch was built from, when it still holds exactly
         #: that relation's data (lets to_relation() return the original object)
         self._source: Relation | None = None
+        #: lazily-built {column position: classified array entry} cache for
+        #: the vector engine (see repro.relational.vector.column_entry)
+        self._vectors: dict | None = None
 
     # ------------------------------------------------------------------ #
     # conversions

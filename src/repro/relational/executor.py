@@ -10,15 +10,21 @@ recursive, materialising — because every algorithm in the paper manipulates
 switch selects between the original tuple-at-a-time interpreter (``"row"``),
 a columnar batch engine (``"columnar"``, the default) that evaluates
 operators column-wise over :class:`~repro.relational.columnar.ColumnBatch`
-instances with predicates compiled once per operator, and a parallel sharded
+instances with predicates compiled once per operator, a parallel sharded
 engine (``"parallel"``) that runs the columnar operators morsel-wise over a
 worker pool (:mod:`repro.relational.parallel`) and falls back *per node* to
-the serial columnar code whenever an input is too small to shard.  All
-engines produce identical relations, identical :class:`ExecutionStats`
-counters and share the hash-index fast path, the plan cache and the
-materialization policies; the columnar engine is simply faster (see
-``benchmarks/bench_engine_columnar.py``) and the parallel engine scales the
-columnar sweeps with cores (``benchmarks/bench_engine_parallel.py``).
+the serial columnar code whenever an input is too small to shard, and a
+NumPy-vectorized engine (``"vector"``, requires the optional NumPy extra)
+that replaces the columnar sweeps with dtype-specialized array kernels
+(:mod:`repro.relational.vector`) and falls back *per node* to the serial
+columnar code for columns without a clean dtype.  All engines produce
+identical relations, identical :class:`ExecutionStats` counters and share
+the hash-index fast path, the plan cache and the materialization policies;
+the columnar engine is simply faster (see
+``benchmarks/bench_engine_columnar.py``), the parallel engine scales the
+columnar sweeps with cores (``benchmarks/bench_engine_parallel.py``) and
+the vector engine replaces them with C-speed array kernels
+(``benchmarks/bench_engine_vector.py``).
 
 Two physical optimisations are implemented because the figures depend on
 realistic relative costs:
@@ -72,15 +78,37 @@ from repro.relational.types import (
     column_family,
     hash_compatible,
 )
+from repro.relational.vector import (
+    numpy_available,
+    vector_distinct_indices,
+    vector_group_indices,
+    vector_join_indices,
+    vector_product_select_positions,
+    vector_select_indices,
+    vector_union_distinct_indices,
+)
 
-#: The available execution engines.
-ENGINES = ("row", "columnar", "parallel")
+#: Every engine this build knows about (``"vector"`` additionally needs the
+#: optional NumPy dependency — see :func:`available_engines`).
+ENGINES = ("row", "columnar", "parallel", "vector")
 
 #: Engine used when none is requested (the columnar batch engine).
 DEFAULT_ENGINE = "columnar"
 
 #: Engines that evaluate plans over :class:`ColumnBatch` instances.
-_BATCH_ENGINES = ("columnar", "parallel")
+_BATCH_ENGINES = ("columnar", "parallel", "vector")
+
+
+def available_engines() -> tuple[str, ...]:
+    """The engines usable in this environment.
+
+    ``"vector"`` requires NumPy (an optional extra); without it the engine is
+    excluded here and requesting it raises a ``ValueError`` naming exactly
+    this list.
+    """
+    if numpy_available():
+        return ENGINES
+    return tuple(engine for engine in ENGINES if engine != "vector")
 
 
 class Executor:
@@ -96,11 +124,13 @@ class Executor:
 
     ``engine`` selects the operator implementations: ``"columnar"`` (default)
     evaluates whole batches column-wise, ``"row"`` interprets tuple-at-a-time,
-    and ``"parallel"`` runs the columnar operators morsel-wise over a worker
+    ``"parallel"`` runs the columnar operators morsel-wise over a worker
     pool (tuned by ``parallel``, a
     :class:`~repro.relational.parallel.ParallelConfig`; the process-wide
     default applies when omitted) and falls back per node to the serial
-    columnar code for inputs below the sharding threshold.  A plan node the
+    columnar code for inputs below the sharding threshold, and ``"vector"``
+    (requires NumPy) runs dtype-specialized array kernels and falls back per
+    node for columns the kernels cannot represent exactly.  A plan node the
     columnar engine has no implementation for falls back to the row
     implementation transparently.
 
@@ -130,8 +160,19 @@ class Executor:
             policy = MaterializeAll()
         self.policy = policy
         if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
+            raise ValueError(
+                f"unknown engine {engine!r}; available: {available_engines()}"
+            )
+        if engine == "vector" and not numpy_available():
+            raise ValueError(
+                "engine 'vector' requires NumPy, which is not installed; "
+                f"available: {available_engines()} "
+                "(install the optional extra: pip install repro[vector])"
+            )
         self.engine = engine
+        #: True on the vector engine: operators try the NumPy kernels in
+        #: :mod:`repro.relational.vector` first and fall back per node.
+        self.vector = engine == "vector"
         #: optional :class:`~repro.relational.optimizer.Optimizer`; when set,
         #: every plan handed to :meth:`execute` is optimized first (memoized
         #: per canonical fingerprint inside the optimizer).
@@ -680,15 +721,72 @@ class Executor:
             )
         return predicate_mask(predicate, batch)
 
+    def _filtered(self, predicate: Predicate, batch: ColumnBatch) -> ColumnBatch:
+        """``batch`` filtered by ``predicate``, vector kernel first when enabled."""
+        if self.vector:
+            indices = vector_select_indices(predicate, batch)
+            if indices is not None:
+                return batch.take(indices)
+        return batch.filter(self._predicate_mask(predicate, batch))
+
     # -- selection -------------------------------------------------------- #
     def _select_columnar(self, node: Select) -> ColumnBatch:
         indexed = self._try_indexed_select(node)
         if indexed is not None:
             return ColumnBatch.from_relation(indexed)
+        if (
+            self.vector
+            and isinstance(node.child, Product)
+            and (
+                self.cache is None
+                or self.policy is None
+                or self.policy.cache_key(node.child) is None
+            )
+        ):
+            # Fused path: mask the virtual product, materialise only
+            # survivors.  Skipped when the Product node itself is cacheable
+            # so warm-cache runs keep identical get/put behaviour.
+            return self._select_over_product(node, node.child)
         child = self._evaluate_columnar(node.child)
-        mask = self._predicate_mask(node.predicate, child)
-        result = child.filter(mask)
+        result = self._filtered(node.predicate, child)
         self.stats.count_operator("Select", rows_in=len(child), rows_out=len(result))
+        return result
+
+    def _select_over_product(self, node: Select, product: Product) -> ColumnBatch:
+        """Selection fused over a cross product (vector engine only).
+
+        The columnar product's cost is dominated by materialising ``n × m``
+        value lists that a selective predicate immediately throws away.  When
+        the whole predicate vectorises, the mask is computed over a *virtual*
+        product (per-side masks repeated/tiled, cross-side comparisons
+        broadcast — see :func:`vector_product_select_positions`) and only
+        surviving rows are gathered from the original side columns.  Operator
+        counts and gathered values are byte-identical to the unfused
+        Product → Select pair; a predicate that does not fully vectorise
+        materialises the product exactly as before.
+        """
+        left = self._evaluate_columnar(product.left)
+        right = self._evaluate_columnar(product.right)
+        columns = self._combine_columns(left, right)
+        left_n, right_n = len(left), len(right)
+        out = left_n * right_n
+        positions = vector_product_select_positions(
+            node.predicate, left, right, columns
+        )
+        self.stats.count_operator("Product", rows_in=left_n + right_n, rows_out=out)
+        if positions is None:
+            child = ColumnBatch(
+                columns, self._product_data(left, right), length=out
+            )
+            result = self._filtered(node.predicate, child)
+        else:
+            left_rows, right_rows = positions
+            data = [list(map(column.__getitem__, left_rows)) for column in left.data]
+            data += [
+                list(map(column.__getitem__, right_rows)) for column in right.data
+            ]
+            result = ColumnBatch(columns, data, length=len(left_rows))
+        self.stats.count_operator("Select", rows_in=out, rows_out=len(result))
         return result
 
     # -- projection -------------------------------------------------------- #
@@ -699,15 +797,20 @@ class Executor:
         data = [child.data[i] for i in positions]
         length = len(child)
         if node.distinct:
-            if data and self._use_parallel(child):
+            keep = (
+                vector_distinct_indices(child, positions)
+                if self.vector and data
+                else None
+            )
+            if keep is None and data and self._use_parallel(child):
                 from repro.relational.parallel import parallel_distinct_indices
 
                 keep = parallel_distinct_indices(
                     data, length, self.parallel, pools=self.pools
                 )
-            else:
+            if keep is None:
                 seen: set[tuple] = set()
-                keep: list[int] = []
+                keep = []
                 if data:
                     for i, row in enumerate(zip(*data)):
                         if row not in seen:
@@ -721,22 +824,30 @@ class Executor:
         return ColumnBatch(labels, data, name=child.name, length=length)
 
     # -- product / join ---------------------------------------------------- #
-    def _product_columnar(self, node: Product) -> ColumnBatch:
-        left = self._evaluate_columnar(node.left)
-        right = self._evaluate_columnar(node.right)
-        columns = self._combine_columns(left, right)
+    @staticmethod
+    def _product_data(left: ColumnBatch, right: ColumnBatch) -> list[list]:
+        """Materialised cross-product columns (left-outer/right-inner order).
+
+        Left columns repeat each value ``len(right)`` times in place (map/
+        repeat/chain run the whole expansion at C speed); right columns tile
+        whole, matching the row engine's ordering.
+        """
         left_n, right_n = len(left), len(right)
-        # Left columns repeat each value right_n times in place (map/repeat/
-        # chain run the whole expansion at C speed); right columns tile whole,
-        # matching the row engine's left-outer/right-inner ordering.
         data = [
             list(chain.from_iterable(map(repeat, column, repeat(right_n))))
             for column in left.data
         ]
         data += [column * left_n for column in right.data]
+        return data
+
+    def _product_columnar(self, node: Product) -> ColumnBatch:
+        left = self._evaluate_columnar(node.left)
+        right = self._evaluate_columnar(node.right)
+        columns = self._combine_columns(left, right)
+        left_n, right_n = len(left), len(right)
         out = left_n * right_n
         self.stats.count_operator("Product", rows_in=left_n + right_n, rows_out=out)
-        return ColumnBatch(columns, data, length=out)
+        return ColumnBatch(columns, self._product_data(left, right), length=out)
 
     def _join_columnar(self, node: Join) -> ColumnBatch:
         left = self._evaluate_columnar(node.left)
@@ -750,7 +861,15 @@ class Executor:
         pure_equi = len(pairs) >= 1 and len(pairs) == len(node.predicate.conjuncts())
         left_idx: list[int] = []
         right_idx: list[int] = []
-        if pairs and (self._use_parallel(left) or self._use_parallel(right)):
+        vectorized = (
+            vector_join_indices(left, right, pairs) if self.vector and pairs else None
+        )
+        if vectorized is not None:
+            # Factorize + searchsorted emitted the exact serial probe order;
+            # None/NaN keys cannot occur on classified columns, so pure_equi
+            # changes nothing here (the residual pass is still skipped).
+            left_idx, right_idx = vectorized
+        elif pairs and (self._use_parallel(left) or self._use_parallel(right)):
             # Morsel-parallel build + probe (identical index order — see
             # repro.relational.parallel.operators.parallel_join_indices).
             from repro.relational.parallel import parallel_join_indices
@@ -804,7 +923,7 @@ class Executor:
         if pure_equi:
             result = candidates
         else:
-            result = candidates.filter(self._predicate_mask(node.predicate, candidates))
+            result = self._filtered(node.predicate, candidates)
         self.stats.count_operator(
             "Join", rows_in=len(left) + len(right), rows_out=len(result)
         )
@@ -823,15 +942,20 @@ class Executor:
         length = len(left) + len(right)
         if node.distinct:
             if data:
-                if self.parallel is not None and self.parallel.shards_for(length) > 1:
+                keep = (
+                    vector_union_distinct_indices(left, right) if self.vector else None
+                )
+                if keep is None and (
+                    self.parallel is not None and self.parallel.shards_for(length) > 1
+                ):
                     from repro.relational.parallel import parallel_distinct_indices
 
                     keep = parallel_distinct_indices(
                         data, length, self.parallel, pools=self.pools
                     )
-                else:
+                if keep is None:
                     seen: set[tuple] = set()
-                    keep: list[int] = []
+                    keep = []
                     for i, row in enumerate(zip(*data)):
                         if row not in seen:
                             seen.add(row)
@@ -866,7 +990,12 @@ class Executor:
         positions = [child.resolve(ref.name, ref.qualifier) for ref in node.group_by]
         group_labels = [child.columns[i] for i in positions]
         key_columns = [child.data[i] for i in positions]
-        parallel = self._use_parallel(child)
+        groups = (
+            vector_group_indices(child, positions, key_columns, n)
+            if self.vector
+            else None
+        )
+        parallel = groups is None and self._use_parallel(child)
         if parallel:
             from repro.relational.parallel import (
                 parallel_fold_groups,
@@ -876,8 +1005,8 @@ class Executor:
             groups = parallel_group_indices(
                 key_columns, n, self.parallel, pools=self.pools
             )
-        else:
-            groups: dict[tuple, list[int]] = defaultdict(list)
+        elif groups is None:
+            groups = defaultdict(list)
             for i, key in enumerate(zip(*key_columns)):
                 groups[key].append(i)
         data: list[list] = [[] for _ in positions] + [[]]

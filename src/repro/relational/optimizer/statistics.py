@@ -311,6 +311,11 @@ class StatsCatalog:
             stats, distinct = _profile_column(relation, label, attribute)
             self.collections += 1
             self._columns[key] = (stats, version)
+            # Reset the drift counters on every full profile: appended_before
+            # restarts at 0 and the staleness ratio's base_count is the count
+            # *at this profile*.  Without the reset, every append past the
+            # first HISTOGRAM_STALENESS crossing would re-profile forever
+            # (tests/relational/optimizer pins the rebuild cadence).
             self._aux[key] = [distinct, 0, stats.count]
             return stats
 

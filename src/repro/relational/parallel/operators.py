@@ -24,6 +24,7 @@ from repro.relational.parallel.config import ParallelConfig
 from repro.relational.parallel.partition import cached_chunk_columns, chunk_spans
 from repro.relational.parallel.pool import run_tasks
 from repro.relational.predicates import Predicate
+from repro.relational.vector import vector_predicate_mask
 
 
 # --------------------------------------------------------------------------- #
@@ -32,8 +33,18 @@ from repro.relational.predicates import Predicate
 def _mask_morsel(
     predicate: Predicate, labels: tuple, data: list[list], length: int
 ) -> list[bool]:
-    """One morsel's mask (module-level so process pools can pickle the task)."""
-    return predicate_mask(predicate, ColumnBatch(labels, data, length=length))
+    """One morsel's mask (module-level so process pools can pickle the task).
+
+    When NumPy is importable the morsel tries the vector kernel first — the
+    mask is plain Python bools either way, so the parallel engine's results
+    stay byte-identical while its sweeps run at array speed (this is what
+    makes ``engine="parallel"`` pay off on column scans).
+    """
+    batch = ColumnBatch(labels, data, length=length)
+    mask = vector_predicate_mask(predicate, batch)
+    if mask is not None:
+        return mask
+    return predicate_mask(predicate, batch)
 
 
 def _referenced_restriction(

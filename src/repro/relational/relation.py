@@ -11,6 +11,7 @@ already covers the source attributes an operator needs.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
@@ -156,10 +157,12 @@ class Relation:
         "_column_positions",
         "_column_cache",
         "_shard_cache",
+        "_vector_cache",
         "_rows",
         "_length",
         "_shared_rows",
         "_deltas",
+        "_delta_lock",
     )
 
     def __init__(
@@ -191,6 +194,9 @@ class Relation:
         # keyed on the version token exactly like the column-major cache (see
         # repro.relational.parallel.partition.shard_relation).
         self._shard_cache: list = [None]
+        # Shared one-slot holder for the vector engine's classified NumPy
+        # columns, keyed on the version token (see repro.relational.vector).
+        self._vector_cache: list = [None]
         # True while the row list is shared with a relabelled view; a
         # mutation copies it first (copy-on-write) so views stay isolated.
         self._shared_rows = False
@@ -198,6 +204,10 @@ class Relation:
         # shared with relabelled views (they share the data the deltas
         # describe).  See deltas_between.
         self._deltas: list[Delta] = []
+        # Guards append/trim/walk of the shared delta log: a writer trimming
+        # the list while a deltas_between walker snapshots it must never
+        # produce a torn chain.  Shared with relabelled views like the log.
+        self._delta_lock = threading.Lock()
 
     @property
     def rows(self) -> list[Row]:
@@ -277,8 +287,10 @@ class Relation:
             )
         ]
         relation._shard_cache = [None]
+        relation._vector_cache = [None]
         relation._shared_rows = False
         relation._deltas = []
+        relation._delta_lock = threading.Lock()
         return relation
 
     # ------------------------------------------------------------------ #
@@ -328,7 +340,9 @@ class Relation:
         view._column_positions = {label: i for i, label in enumerate(view.columns)}
         view._column_cache = self._column_cache
         view._shard_cache = self._shard_cache
+        view._vector_cache = self._vector_cache
         view._deltas = self._deltas
+        view._delta_lock = self._delta_lock
         if self._rows is not None:
             self._shared_rows = True
             view._shared_rows = True
@@ -381,10 +395,11 @@ class Relation:
         return validated
 
     def _record_delta(self, delta: Delta) -> None:
-        log = self._deltas
-        log.append(delta)
-        if len(log) > DELTA_LOG_LIMIT:
-            del log[: len(log) - DELTA_LOG_LIMIT]
+        with self._delta_lock:
+            log = self._deltas
+            log.append(delta)
+            if len(log) > DELTA_LOG_LIMIT:
+                del log[: len(log) - DELTA_LOG_LIMIT]
 
     def _fresh_columns(self, version: int) -> list[list] | None:
         """The cached column-major lists, only if they match ``version``."""
@@ -443,6 +458,10 @@ class Relation:
         else:
             self._column_cache = [None]
         self._shard_cache = self._patched_shards(delta)
+        # New holder carrying the old payload: relabelled views keep their
+        # snapshot via the old holder, while the vector engine rolls this
+        # one forward lazily through the append-delta chain on next use.
+        self._vector_cache = [self._vector_cache[0]]
         self._record_delta(delta)
         self.version = new_version
         return delta
@@ -496,6 +515,7 @@ class Relation:
         else:
             self._column_cache = [None]
         self._shard_cache = [None]
+        self._vector_cache = [None]  # non-append: arrays cannot roll forward
         self._record_delta(delta)
         self.version = new_version
         return delta
@@ -530,6 +550,7 @@ class Relation:
         else:
             self._column_cache = [None]
         self._shard_cache = [None]
+        self._vector_cache = [None]  # non-append: arrays cannot roll forward
         self._record_delta(delta)
         self.version = new_version
         return delta
@@ -548,7 +569,13 @@ class Relation:
         target = self.version if new_version is None else new_version
         if old_version == target:
             return []
-        by_version = {delta.version: delta for delta in self._deltas}
+        # Snapshot under the shared lock: a concurrent writer appending and
+        # trimming the shared log mid-walk could otherwise tear the chain
+        # into one that silently skips a delta.  A chain the snapshot cannot
+        # complete returns None — the full-recompute fallback.
+        with self._delta_lock:
+            deltas = list(self._deltas)
+        by_version = {delta.version: delta for delta in deltas}
         chain: list[Delta] = []
         cursor = target
         while cursor != old_version:

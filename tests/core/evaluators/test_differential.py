@@ -33,7 +33,12 @@ from hypothesis import strategies as st
 from repro.core import evaluate
 from repro.core.evaluators import EVALUATORS
 from repro.datagen.scenario import MatchingScenario, build_scenario
-from repro.relational.executor import ENGINES
+from repro.relational.executor import available_engines
+
+# The engines axis adapts to the install: without NumPy the vector
+# engine cannot be constructed, and the remaining engines must still
+# agree byte-identically.
+ENGINES = available_engines()
 from repro.workloads import paper_query, product_query, selection_query
 from repro.workloads.queries import queries_for_target
 

@@ -19,7 +19,9 @@ from repro import ExecutionPolicy, Session
 from repro.core import evaluate
 from repro.core.evaluators import EVALUATORS
 from repro.datagen.paper_example import build_paper_example
-from repro.relational.executor import ENGINES
+from repro.relational.executor import available_engines
+
+ENGINES = available_engines()  # vector drops out on NumPy-less installs
 from repro.relational.relation import Relation
 
 ALL_EVALUATORS = tuple(EVALUATORS)

@@ -25,7 +25,14 @@ from repro.relational.algebra import (
 )
 from repro.relational.columnar import ColumnBatch, expression_values, predicate_mask
 from repro.relational.database import Database
-from repro.relational.executor import DEFAULT_ENGINE, ENGINES, Executor, execute
+from repro.relational.executor import (
+    DEFAULT_ENGINE,
+    Executor,
+    available_engines,
+    execute,
+)
+
+ENGINES = available_engines()  # vector drops out on NumPy-less installs
 from repro.relational.expressions import Arithmetic, col, lit
 from repro.relational.predicates import (
     And,

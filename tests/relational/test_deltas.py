@@ -12,6 +12,8 @@ the delta path must be *byte-identical* to recomputing from scratch.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.relational.algebra import (
@@ -186,6 +188,55 @@ class TestDeltaChains:
         assert view.deltas_between(v0, delta.version) == [delta]
 
 
+class TestDeltaLogThreadSafety:
+    def test_concurrent_writes_and_walks_never_tear(self):
+        # Regression: the bounded delta log was appended/trimmed and walked
+        # without a lock, so a walker racing a writer could see the deque
+        # mutate mid-iteration or reconstruct a torn chain.  The log is now
+        # guarded by a per-lineage lock: every walk returns either None
+        # (base version fell off the bounded log) or a contiguous chain.
+        relation = Relation(["t.a"], [(0,)], name="t")
+        stop = threading.Event()
+        errors: list[BaseException] = []
+
+        def writer():
+            try:
+                for i in range(400):
+                    relation.append_rows([(i,)])
+                    if i % 50 == 10:
+                        relation.update_rows([0], [(i,)])
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def walker():
+            try:
+                while not stop.is_set():
+                    # Walk repeatedly from a base that goes stale while the
+                    # writer races on.
+                    base = relation.version
+                    for _ in range(10):
+                        chain = relation.deltas_between(base)
+                        if chain is None:  # base fell off the bounded log
+                            continue
+                        if chain:
+                            assert chain[0].base_version == base
+                            for earlier, later in zip(chain, chain[1:]):
+                                assert later.base_version == earlier.version
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=walker) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+
 # --------------------------------------------------------------------------- #
 # database write API
 # --------------------------------------------------------------------------- #
@@ -251,14 +302,33 @@ class TestIndexPatching:
         scratch = db.index_catalog.get(db.relation("emp"), "emp", "emp.dept")
         assert scratch is fresh
 
-    def test_nonappend_write_drops_cached_index(self):
+    def test_nonappend_write_patches_cached_index(self):
+        # Regression: delete/update deltas used to drop the cached index and
+        # force a full rebuild on the next indexed select.  They now patch
+        # the buckets in place, exactly like appends.
+        db = make_database()
+        index = db.index("emp", "dept")
+        builds = db.index_catalog.builds
+        db.delete_rows("emp", [0])
+        db.update_rows("emp", [0], [(2, 30)])
+        fresh = db.index("emp", "dept")
+        assert fresh is index  # same object: patched, not rebuilt
+        assert db.index_catalog.builds == builds
+        assert db.index_catalog.patches == 2
+        assert db.index_catalog.rebuilds == 0
+        assert fresh.lookup(10) == [1]  # positions renumbered after the delete
+        assert fresh.lookup(30) == [0]  # re-keyed by the update
+
+    def test_wholesale_replacement_drops_cached_index(self):
         db = make_database()
         db.index("emp", "dept")
         builds = db.index_catalog.builds
-        db.delete_rows("emp", [0])
+        db.set_relation(
+            "emp", Relation.from_schema(db.schema.relation("emp"), [(9, 90)])
+        )
         fresh = db.index("emp", "dept")
         assert db.index_catalog.builds == builds + 1
-        assert fresh.lookup(10) == [1]  # positions renumbered after the delete
+        assert fresh.lookup(90) == [0]
 
 
 # --------------------------------------------------------------------------- #

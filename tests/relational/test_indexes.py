@@ -94,3 +94,106 @@ class TestIndexCatalog:
         catalog.get(relation(), "r", "r.a")
         catalog.invalidate()
         assert len(catalog) == 0
+
+
+class TestDeltaPatching:
+    """In-place index maintenance through write deltas (``apply_delta``)."""
+
+    def test_append_patches_in_place(self):
+        catalog = IndexCatalog()
+        rel = relation()
+        index = catalog.get(rel, "r", "r.a")
+        delta = rel.append_rows([(2, "w"), (4, "u")])
+        assert catalog.apply_delta("r", rel, delta) == 1
+        assert catalog.get(rel, "r", "r.a") is index
+        assert index.lookup(2) == [1, 3]
+        assert index.lookup(4) == [4]
+        assert (catalog.builds, catalog.patches, catalog.rebuilds) == (1, 1, 0)
+
+    def test_delete_patches_in_place(self):
+        # Regression: delete/update deltas used to drop the cached index and
+        # force a full rebuild on next use.  Deleting positions 1 and 3 keeps
+        # rows 0/2/4, which shift down to 0/1/2 — the patched buckets must be
+        # exactly what a fresh build over the post-write rows produces.
+        catalog = IndexCatalog()
+        rel = Relation(["r.a"], [(1,), (2,), (1,), (3,), (2,)], name="r")
+        index = catalog.get(rel, "r", "r.a")
+        delta = rel.delete_rows([1, 3])
+        assert catalog.apply_delta("r", rel, delta) == 1
+        assert catalog.get(rel, "r", "r.a") is index
+        assert index.lookup(1) == [0, 1]
+        assert index.lookup(2) == [2]
+        assert 3 not in index
+        assert index._buckets == HashIndex(rel, "r.a")._buckets
+        assert (catalog.builds, catalog.patches, catalog.rebuilds) == (1, 1, 0)
+
+    def test_update_patches_in_place(self):
+        catalog = IndexCatalog()
+        rel = Relation(["r.a"], [(1,), (2,), (1,)], name="r")
+        index = catalog.get(rel, "r", "r.a")
+        delta = rel.update_rows([0, 2], [(2,), (4,)])
+        assert catalog.apply_delta("r", rel, delta) == 1
+        assert catalog.get(rel, "r", "r.a") is index
+        assert index.lookup(1) == []
+        assert index.lookup(2) == [0, 1]
+        assert index.lookup(4) == [2]
+        assert index._buckets == HashIndex(rel, "r.a")._buckets
+        assert (catalog.builds, catalog.patches, catalog.rebuilds) == (1, 1, 0)
+
+    def test_mixed_write_sequence_tracks_fresh_build(self):
+        catalog = IndexCatalog()
+        rel = Relation(["r.a"], [(i % 3,) for i in range(9)], name="r")
+        index = catalog.get(rel, "r", "r.a")
+        for delta in (
+            rel.append_rows([(5,), (0,)]),
+            rel.update_rows([0, 4, 9], [(7,), (7,), (1,)]),
+            rel.delete_rows([2, 3, 10]),
+        ):
+            assert catalog.apply_delta("r", rel, delta) == 1
+        assert catalog.get(rel, "r", "r.a") is index
+        assert index._buckets == HashIndex(rel, "r.a")._buckets
+        assert (catalog.builds, catalog.patches, catalog.rebuilds) == (1, 3, 0)
+
+    def test_broken_chain_drops_entry(self):
+        catalog = IndexCatalog()
+        rel = relation()
+        index = catalog.get(rel, "r", "r.a")
+        rel.append_rows([(7, "a")])  # this delta is never applied
+        delta = rel.append_rows([(8, "b")])
+        assert catalog.apply_delta("r", rel, delta) == 0
+        assert (catalog.patches, catalog.rebuilds) == (0, 1)
+        rebuilt = catalog.get(rel, "r", "r.a")
+        assert rebuilt is not index
+        assert rebuilt.lookup(7) == [3]
+        assert catalog.builds == 2
+
+    def test_none_delta_drops_entry(self):
+        catalog = IndexCatalog()
+        rel = relation()
+        catalog.get(rel, "r", "r.a")
+        assert catalog.apply_delta("r", rel, None) == 0
+        assert len(catalog) == 0
+        assert catalog.rebuilds == 1
+
+    def test_database_write_path_patches_every_kind(self):
+        from repro.relational.database import Database
+        from repro.relational.schema import DatabaseSchema, RelationSchema
+        from repro.relational.types import DataType
+
+        schema = DatabaseSchema(
+            "S",
+            [RelationSchema.build("emp", [("id", DataType.INTEGER), ("dept", DataType.INTEGER)])],
+        )
+        db = Database(schema)
+        db.set_relation(
+            "emp",
+            Relation.from_schema(schema.relation("emp"), [(1, 10), (2, 20), (3, 10)]),
+        )
+        index = db.index("emp", "dept")
+        db.append_rows("emp", [(4, 20)])
+        db.update_rows("emp", [0], [(1, 30)])
+        db.delete_rows("emp", [1])
+        catalog = db.index_catalog
+        assert catalog.get(db.relation("emp"), "emp", "emp.dept") is index
+        assert index._buckets == HashIndex(db.relation("emp"), "emp.dept")._buckets
+        assert (catalog.builds, catalog.patches, catalog.rebuilds) == (1, 3, 0)

@@ -1,6 +1,8 @@
 """Unit tests for the plan-result cache and materialization policies."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.relational.algebra import Join, Scan, Select
 from repro.relational.database import Database
@@ -206,3 +208,74 @@ class TestPolicies:
         assert policy.cache_key(plan) == plan.canonical()
         assert policy.cache_key(other) is None
         assert len(policy) == 1
+
+
+class TestDistinctPatchingProperty:
+    """Property: distinct-shape patching is byte-identical to a cold run.
+
+    ``PlanCache.apply_write`` patches a cached DISTINCT projection by
+    membership-filtering the delta's output rows.  Two classes of schedule
+    must never desynchronise the warm entry from a cold recompute: appends
+    whose rows duplicate values the entry already contains (they must not
+    reappear), and appends interleaved with updates to an *unrelated*
+    relation (they must not drop or disturb the entry).
+    """
+
+    @staticmethod
+    def _fresh_database(emp_rows):
+        schema = DatabaseSchema(
+            "S",
+            [
+                RelationSchema.build("emp", [("id", _I), ("dept", _I)]),
+                RelationSchema.build("dept", [("id", _I), ("dname", _S)]),
+            ],
+        )
+        db = Database(schema)
+        db.set_relation(
+            "emp", Relation.from_schema(schema.relation("emp"), emp_rows)
+        )
+        db.set_relation(
+            "dept", Relation.from_schema(schema.relation("dept"), [(10, "db")])
+        )
+        return db
+
+    @given(
+        initial=st.lists(
+            st.tuples(st.integers(0, 9), st.integers(0, 4)), max_size=12
+        ),
+        schedule=st.lists(
+            st.one_of(
+                st.lists(
+                    st.tuples(st.integers(0, 9), st.integers(0, 4)),
+                    min_size=1,
+                    max_size=4,
+                ),
+                st.text("ab", min_size=1, max_size=3),
+            ),
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_patched_entry_matches_cold_recompute(self, initial, schedule):
+        from repro.relational.algebra import Project
+        from repro.relational.executor import Executor
+
+        db = self._fresh_database(initial)
+        cache = PlanCache()
+        cache.attach(db)
+        plan = Project(Scan("emp"), [col("emp.dept")], distinct=True)
+        key = plan.canonical()
+        Executor(db, cache=cache).execute(plan)  # warm the entry
+        assert key in cache
+        for step in schedule:
+            if isinstance(step, str):
+                # An update to the *unrelated* relation must leave the
+                # emp-dependent entry intact (only emp writes touch it).
+                db.update_rows("dept", [0], [(10, step)])
+            else:
+                db.append_rows("emp", step)  # values overlap by construction
+        entry = cache.get(key, db)
+        assert entry is not None, "append/unrelated-update schedule dropped entry"
+        cold = Executor(self._fresh_database(db.relation("emp").rows)).execute(plan)
+        assert entry.relation.columns == cold.columns
+        assert entry.relation.rows == cold.rows
