@@ -21,6 +21,7 @@ import time
 from repro.bench.reporting import format_table
 from repro.core import evaluate
 from repro.datagen.scenario import build_scenario
+from repro.obs import write_bench_artifact
 from repro.workloads.queries import PAPER_QUERIES
 
 SMOKE_METHODS = ("e-basic", "o-sharing")
@@ -98,6 +99,34 @@ def test_columnar_engine_beats_row_engine(benchmark, report_writer):
         "engine_columnar",
         "== Columnar vs row engine (Q4, Excel, CI smoke) ==\n\n"
         f"h={SMOKE_H}, scale={SMOKE_SCALE}, best of {ROUNDS} rounds\n\n" + table + "\n",
+    )
+
+    write_bench_artifact(
+        "engine_columnar",
+        {
+            "workload": {
+                "query": "Q4",
+                "target": "Excel",
+                "h": SMOKE_H,
+                "scale": SMOKE_SCALE,
+                "rounds": ROUNDS,
+                "optimize": False,
+            },
+            "series": [
+                {
+                    "method": method,
+                    "row_seconds": row_s,
+                    "columnar_seconds": col_s,
+                    "speedup": speedup,
+                }
+                for method, row_s, col_s, speedup in rows
+            ],
+            "gates": {
+                "columnar_faster_than_row": True,
+                "answers_byte_identical": True,
+                "operator_counts_identical": True,
+            },
+        },
     )
 
     # One pedantic round through pytest-benchmark for the timing artefact.

@@ -32,6 +32,7 @@ import time
 from repro.bench.reporting import format_table
 from repro.core import evaluate
 from repro.datagen.scenario import build_scenario
+from repro.obs import write_bench_artifact
 from repro.relational.parallel import ParallelConfig, available_cpus
 from repro.workloads.queries import PAPER_QUERIES
 
@@ -148,6 +149,39 @@ def test_parallel_engine_speedup(benchmark, report_writer):
             f"columnar with {WORKERS} workers on {cores} cores "
             f"(target {TARGET_SPEEDUP}x)"
         )
+
+    write_bench_artifact(
+        "engine_parallel",
+        {
+            "workload": {
+                "query": "Q4",
+                "target": "Excel",
+                "h": BENCH_H,
+                "scale": BENCH_SCALE,
+                "rounds": ROUNDS,
+                "optimize": False,
+                "workers": WORKERS,
+                "cores": cores,
+            },
+            "series": [
+                {
+                    "method": method,
+                    "config": label,
+                    "columnar_seconds": col_s,
+                    "parallel_seconds": par_s,
+                    "speedup": speedup,
+                }
+                for method, label, col_s, par_s, speedup in rows
+            ],
+            "gates": {
+                "answers_byte_identical": True,
+                "operator_counts_identical": True,
+                "target_speedup": TARGET_SPEEDUP,
+                "speedup_gate": gate_note,
+                "best_speedup": best_speedup,
+            },
+        },
+    )
 
     # One pedantic round through pytest-benchmark for the timing artefact.
     benchmark.pedantic(

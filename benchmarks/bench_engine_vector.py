@@ -24,9 +24,7 @@ the gate compares the two engines on the same machine within the same run.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 import pytest
 
@@ -35,9 +33,9 @@ np = pytest.importorskip("numpy")
 from repro.bench.reporting import format_table
 from repro.core import evaluate
 from repro.datagen.scenario import build_scenario
+from repro.obs import write_bench_artifact
 from repro.workloads.queries import PAPER_QUERIES
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
 ENGINES = ("columnar", "vector")
 SMOKE_H = 30
 #: database-size ladder (datagen scale factors); the gate lands on the last.
@@ -135,7 +133,6 @@ def test_vector_engine_beats_columnar(benchmark, report_writer):
     )
 
     payload = {
-        "benchmark": "engine_vector",
         "workload": {
             "query": "Q4",
             "target": "Excel",
@@ -153,9 +150,7 @@ def test_vector_engine_beats_columnar(benchmark, report_writer):
             "on the same machine within the same run"
         ),
     }
-    (REPO_ROOT / "BENCH_engine_vector.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    write_bench_artifact("engine_vector", payload)
 
     # One pedantic round through pytest-benchmark for the timing artefact.
     smallest = build_scenario(target="Excel", h=SMOKE_H, scale=SCALES[0], seed=7)

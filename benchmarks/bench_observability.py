@@ -1,0 +1,224 @@
+"""Observability overhead gates: tracing/metrics must observe, not slow down.
+
+The unified tracing + metrics subsystem carries a pinned invariant
+(docs/ARCHITECTURE.md): **instrumentation never changes answers or operator
+counts**, and it must stay cheap enough to leave on in serving.  This
+benchmark runs the session-reuse workload (20 queries — 5 distinct Table III
+queries repeated as traffic repeats them — through one warm session) in
+three instrumentation regimes and gates the ratios:
+
+* **off** (``trace=False, metrics=False``) — every call site takes its
+  strict no-op path (one thread-local read per operator/phase);
+* **on** (``trace=True, metrics=True``) — full span trees + the registry;
+* **baseline** — the off regime with the instrumentation hooks monkeypatched
+  back to their pre-observability bodies, i.e. the engine as it was before
+  this subsystem existed.
+
+Gates (best-of-``ROUNDS``, interleaved to shield against machine drift):
+
+* fully instrumented ≤ ``INSTRUMENTED_SLACK``x the off regime;
+* the off regime ≤ ``DISABLED_SLACK``x the monkeypatched baseline (the
+  disabled path must stay within noise of uninstrumented code);
+* answers and operator counts byte-identical across all three regimes;
+* the metrics snapshot renders Prometheus text that regex-parses, and the
+  Chrome trace export round-trips through ``json.loads``.
+
+Wall-clock gates can be disabled on a known-noisy runner with
+``REPRO_BENCH_OBS_GATE=off`` (the identity and format gates always run).
+Emits ``BENCH_observability.json`` through the shared serializer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from contextlib import contextmanager
+
+from repro import ExecutionPolicy, Session
+from repro.bench.reporting import format_table
+from repro.obs import write_bench_artifact
+from repro.relational.stats import ExecutionStats
+from repro.workloads.queries import PAPER_QUERIES
+
+#: the session-reuse serving workload: Table III Excel queries, repeated
+WORKLOAD_QUERY_IDS = ["Q1", "Q2", "Q3", "Q4", "Q5"] * 4
+ROUNDS = 5
+#: fully traced + metered must stay within this factor of uninstrumented
+INSTRUMENTED_SLACK = 1.25
+#: the disabled path must stay within this factor of the pre-obs baseline
+DISABLED_SLACK = 1.05
+
+#: one Prometheus text-format line: ``name{labels} value`` or ``# HELP/TYPE``
+_PROM_LINE = re.compile(
+    r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [0-9.eE+-]+(inf|nan)?)$"
+)
+
+
+@contextmanager
+def _pre_observability_stats():
+    """Run with ``ExecutionStats`` hooks as they were before the obs PR.
+
+    Restores the exact pre-instrumentation bodies of ``count_operator`` and
+    ``phase`` (no ambient-tracer read at all), giving the honest baseline
+    the disabled-path gate compares against.
+    """
+    from contextlib import contextmanager as cm
+
+    original_count = ExecutionStats.count_operator
+    original_phase = ExecutionStats.phase
+
+    def count_operator(self, name, rows_in=0, rows_out=0):
+        self.operators[name] += 1
+        self.source_operators += 1
+        self.rows_scanned += rows_in
+        self.rows_output += rows_out
+
+    @cm
+    def phase(self, name):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    ExecutionStats.count_operator = count_operator
+    ExecutionStats.phase = phase
+    try:
+        yield
+    finally:
+        ExecutionStats.count_operator = original_count
+        ExecutionStats.phase = original_phase
+
+
+def _run_workload(queries, scenario, trace, metrics):
+    """One 20-query pass through a fresh session; returns (seconds, batch)."""
+    policy = ExecutionPolicy(method="batch", trace=trace, metrics=metrics)
+    started = time.perf_counter()
+    with Session(
+        scenario.database, scenario.mappings, links=scenario.links, policy=policy
+    ) as session:
+        batch = session.query_many(queries)
+    return time.perf_counter() - started, batch
+
+
+def _answers_key(batch):
+    return [
+        (dict(result.answers.items()), result.answers.empty_probability)
+        for result in batch.results
+    ]
+
+
+def test_observability_overhead(benchmark, small_excel_bench, report_writer):
+    scenario = small_excel_bench
+    queries = [
+        PAPER_QUERIES[qid].build(scenario.target_schema) for qid in WORKLOAD_QUERY_IDS
+    ]
+    assert len(queries) == 20
+
+    # Interleave the three regimes within each round so slow drift of the
+    # machine hits all of them equally; gate on best-of-ROUNDS.
+    best = {"baseline": None, "off": None, "on": None}
+    batches = {}
+    for _ in range(ROUNDS):
+        with _pre_observability_stats():
+            seconds, batch = _run_workload(queries, scenario, False, False)
+        best["baseline"] = min(seconds, best["baseline"] or seconds)
+        batches["baseline"] = batch
+        seconds, batch = _run_workload(queries, scenario, False, False)
+        best["off"] = min(seconds, best["off"] or seconds)
+        batches["off"] = batch
+        seconds, batch = _run_workload(queries, scenario, True, True)
+        best["on"] = min(seconds, best["on"] or seconds)
+        batches["on"] = batch
+    benchmark.pedantic(
+        lambda: _run_workload(queries, scenario, True, True), rounds=1, iterations=1
+    )
+
+    # The pinned invariant: identical answers AND identical operator counts
+    # in every regime — instrumentation only observes.
+    reference = batches["baseline"]
+    for label, batch in batches.items():
+        assert _answers_key(batch) == _answers_key(reference), label
+        assert dict(batch.stats.operators) == dict(reference.stats.operators), label
+        assert batch.stats.source_operators == reference.stats.source_operators, label
+        assert batch.stats.rows_scanned == reference.stats.rows_scanned, label
+
+    instrumented_ratio = best["on"] / best["off"]
+    disabled_ratio = best["off"] / best["baseline"]
+
+    # Format gates: Prometheus text regex-parses line by line, the Chrome
+    # trace round-trips through json.loads, and the span tree is real.
+    with Session(
+        scenario.database,
+        scenario.mappings,
+        links=scenario.links,
+        policy=ExecutionPolicy(method="batch", trace=True),
+    ) as session:
+        session.query_many(queries)
+        prometheus = session.metrics().to_prometheus()
+        for line in prometheus.strip().splitlines():
+            assert _PROM_LINE.match(line), f"bad Prometheus line: {line!r}"
+        assert "repro_stage_seconds_bucket" in prometheus
+        assert "repro_pool_queue_depth" in prometheus
+        chrome = json.loads(session.tracer.chrome_trace())
+        assert chrome["traceEvents"], "empty Chrome trace"
+        assert {event["ph"] for event in chrome["traceEvents"]} == {"X"}
+        spans = [
+            json.loads(line) for line in session.tracer.export_jsonl().splitlines()
+        ]
+        assert any(span["name"].startswith("op:") for span in spans)
+
+    table = format_table(
+        ["regime", "best [s]", "vs off"],
+        [
+            ["baseline (pre-obs)", f"{best['baseline']:.3f}", ""],
+            ["off (no-op path)", f"{best['off']:.3f}", f"{disabled_ratio:.3f}x vs baseline"],
+            ["on (trace+metrics)", f"{best['on']:.3f}", f"{instrumented_ratio:.3f}x"],
+        ],
+    )
+    gate_disabled = os.environ.get("REPRO_BENCH_OBS_GATE", "").lower() == "off"
+    gate_note = "DISABLED (REPRO_BENCH_OBS_GATE=off)" if gate_disabled else "ENFORCED"
+    report_writer(
+        "observability",
+        "== Observability overhead (20-query session workload) ==\n\n"
+        f"best of {ROUNDS} interleaved rounds; wall-clock gates {gate_note}\n"
+        f"instrumented <= {INSTRUMENTED_SLACK}x off, "
+        f"off <= {DISABLED_SLACK}x pre-obs baseline\n\n" + table + "\n",
+    )
+
+    write_bench_artifact(
+        "observability",
+        {
+            "workload": {"queries": len(queries), "rounds": ROUNDS},
+            "series": {
+                "baseline_seconds": best["baseline"],
+                "off_seconds": best["off"],
+                "on_seconds": best["on"],
+                "instrumented_ratio": instrumented_ratio,
+                "disabled_ratio": disabled_ratio,
+            },
+            "gates": {
+                "instrumented_slack": INSTRUMENTED_SLACK,
+                "disabled_slack": DISABLED_SLACK,
+                "wallclock_gates": gate_note,
+                "answers_byte_identical": True,
+                "operator_counts_identical": True,
+                "prometheus_parses": True,
+                "chrome_trace_round_trips": True,
+            },
+        },
+    )
+
+    if not gate_disabled:
+        assert instrumented_ratio <= INSTRUMENTED_SLACK, (
+            f"traced+metered workload is {instrumented_ratio:.3f}x the "
+            f"uninstrumented run (gate {INSTRUMENTED_SLACK}x)"
+        )
+        assert disabled_ratio <= DISABLED_SLACK, (
+            f"disabled instrumentation is {disabled_ratio:.3f}x the "
+            f"pre-observability baseline (gate {DISABLED_SLACK}x)"
+        )

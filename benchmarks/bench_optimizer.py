@@ -11,7 +11,12 @@ The measured speedups are written to ``benchmarks/results/optimizer_speedup.txt`
 
 from __future__ import annotations
 
-from repro.bench.harness import DEFAULT_METHODS, ExperimentSeries, run_optimizer_modes
+from repro.bench.harness import (
+    DEFAULT_METHODS,
+    ExperimentSeries,
+    run_optimizer_modes,
+    write_series_artifact,
+)
 from repro.bench.reporting import render_experiment
 from repro.datagen.scenario import build_scenario
 from repro.workloads.generators import product_query, selection_query
@@ -106,6 +111,17 @@ def test_optimizer_fig11d_selections(benchmark, report_writer):
                 f"{method}@raw", count, "answers"
             )
 
+    write_series_artifact(
+        "optimizer_fig11d",
+        series,
+        gates={
+            "optimized_never_more_operators": True,
+            "optimized_never_more_rows_scanned": True,
+            "answers_identical": True,
+        },
+        workload={"h": SELECTIONS_H, "scale": SELECTIONS_SCALE, "counts": SELECTION_COUNTS},
+    )
+
 
 def test_optimizer_fig11e_products(benchmark, report_writer):
     series = benchmark.pedantic(_product_series, rounds=1, iterations=1)
@@ -139,6 +155,18 @@ def test_optimizer_fig11e_products(benchmark, report_writer):
     # CI runners (the operator/row gates above stay exact).
     for method in ("e-basic", "q-sharing"):
         assert series.value(f"{method}@opt", 3) <= series.value(f"{method}@raw", 3) * 1.25
+
+    write_series_artifact(
+        "optimizer_fig11e",
+        series,
+        gates={
+            "optimized_never_more_operators": True,
+            "optimized_never_more_rows_scanned": True,
+            "answers_identical": True,
+            "largest_query_wallclock_slack": 1.25,
+        },
+        workload={"h": PRODUCTS_H, "scale": PRODUCTS_SCALE, "counts": PRODUCT_COUNTS},
+    )
 
 
 def test_optimizer_speedup_report(report_writer):

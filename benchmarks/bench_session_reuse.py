@@ -22,15 +22,11 @@ wall-clock per series.
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-
 from repro import ExecutionPolicy, Session
 from repro.bench.reporting import format_table
 from repro.core import evaluate_many
+from repro.obs import write_bench_artifact
 from repro.workloads.queries import PAPER_QUERIES
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Each Excel query of Table III, repeated as serving traffic would repeat it.
 WORKLOAD_QUERY_IDS = ["Q1", "Q2", "Q3", "Q4", "Q5"] * 4
@@ -128,7 +124,6 @@ def test_session_reuse(benchmark, small_excel_bench, report_writer):
     report_writer("session_reuse", text)
 
     payload = {
-        "benchmark": "session_reuse",
         "workload": {"queries": len(queries), "passes": passes},
         "series": {
             "cold": {
@@ -161,9 +156,7 @@ def test_session_reuse(benchmark, small_excel_bench, report_writer):
             "warm_ops_strictly_fewer_than_cold": warm_ops < cold_ops,
         },
     }
-    (REPO_ROOT / "BENCH_session_reuse.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    write_bench_artifact("session_reuse", payload)
 
     # Answers are byte-identical in every pass.
     for cold_batch, warm_batch in zip(cold, warm):

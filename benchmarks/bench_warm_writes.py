@@ -24,9 +24,7 @@ wall-clock per series.
 
 from __future__ import annotations
 
-import json
 import time
-from pathlib import Path
 
 from repro import ExecutionPolicy, Session
 from repro.bench.reporting import format_table
@@ -34,9 +32,8 @@ from repro.core import evaluate
 from repro.core.target_query import TargetQuery
 from repro.datagen.paper_example import build_paper_example
 from repro.relational.algebra import Project, Scan
+from repro.obs import write_bench_artifact
 from repro.relational.expressions import col
-
-REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Interleaved appends absorbed by the warm session (one row each).
 K_WRITES = 6
@@ -195,7 +192,6 @@ def test_warm_writes(benchmark, report_writer):
     report_writer("warm_writes", text)
 
     payload = {
-        "benchmark": "warm_writes",
         "workload": {
             "probes": [probe.name for probe in probes],
             "interleaved_appends": K_WRITES,
@@ -228,9 +224,7 @@ def test_warm_writes(benchmark, report_writer):
             "unrelated_write_keeps_entries": after_write_cost == warm_repeat_cost,
         },
     }
-    (REPO_ROOT / "BENCH_warm_writes.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
-    )
+    write_bench_artifact("warm_writes", payload)
 
     # Byte-identity at every checkpoint: the delta path answers exactly what
     # a cold full recompute answers, write after write.

@@ -22,6 +22,7 @@ from repro.core.evaluators.base import EvaluationResult
 from repro.core.target_query import TargetQuery
 from repro.datagen.generator import GeneratorConfig, generate_source_instance
 from repro.datagen.scenario import MatchingScenario
+from repro.obs.artifacts import series_payload, write_bench_artifact
 from repro.policy import ExecutionPolicy
 from repro.session import Session
 
@@ -359,6 +360,35 @@ def run_session(
             point.details["session"] = session.stats.snapshot()
             points.append(point)
     return points
+
+
+# --------------------------------------------------------------------------- #
+# perf artifacts
+# --------------------------------------------------------------------------- #
+def write_series_artifact(
+    name: str,
+    series: ExperimentSeries | Sequence[ExperimentSeries],
+    gates: dict[str, Any] | None = None,
+    root: Any = None,
+    **extra: Any,
+) -> Any:
+    """Emit ``BENCH_<name>.json`` for one or more measured series.
+
+    The benchmark scripts call this after their gates pass, so every
+    CI-gated run leaves a machine-readable record
+    (:mod:`repro.obs.artifacts` shapes the envelope).  ``gates`` records the
+    thresholds the run was checked against; ``extra`` sections (scenario
+    parameters, environment notes) are forwarded verbatim.  Returns the
+    written path.
+    """
+    if isinstance(series, ExperimentSeries):
+        payload: dict[str, Any] = {"series": series_payload(series)}
+    else:
+        payload = {"series": [series_payload(one) for one in series]}
+    if gates is not None:
+        payload["gates"] = gates
+    payload.update(extra)
+    return write_bench_artifact(name, payload, root=root)
 
 
 # --------------------------------------------------------------------------- #

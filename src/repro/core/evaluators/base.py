@@ -70,6 +70,10 @@ class SharedState:
     inflight: Any = None
     pools: Any = None
     database: Any = None
+    #: optional :class:`~repro.obs.trace.Tracer` recording per-operator span
+    #: trees for every executor the session's evaluators construct (``None``
+    #: keeps the executor on its strict no-op path).
+    tracer: Any = None
 
 
 @dataclass
@@ -221,6 +225,7 @@ class Evaluator(abc.ABC):
         shared = self._shared_state(database)
         if shared is not None:
             kwargs.setdefault("pools", shared.pools)
+            kwargs.setdefault("tracer", shared.tracer)
         return Executor(
             database, stats, engine=self.engine, parallel=self.parallel, **kwargs
         )

@@ -1,0 +1,106 @@
+"""Machine-readable perf artifacts: ``BENCH_<name>.json`` at the repo root.
+
+Every CI-gated benchmark emits its measured series through one serializer so
+the repo keeps an honest, diffable perf trajectory (the ROADMAP's
+"machine-readable perf artifacts" item).  The envelope is deliberately
+boring and stable::
+
+    {
+      "benchmark": "<name>",
+      "schema": 1,
+      ...benchmark-specific sections...
+    }
+
+No timestamps, hostnames or environment digests land in the payload: two
+runs of the same code on the same inputs should produce a clean diff, and
+the interesting deltas are the measured numbers themselves.  Wall-clock
+values *are* included (they are the point of a perf artifact) — consumers
+diffing across machines should read the deterministic counters (operators,
+rows, cache hits) as the gating signal, exactly as CI does.
+
+:func:`series_payload` serializes the bench harness's
+:class:`~repro.bench.harness.ExperimentSeries`;
+:func:`snapshot_payload` embeds a
+:class:`~repro.obs.metrics.MetricsSnapshot`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "REPO_ROOT",
+    "SCHEMA_VERSION",
+    "write_bench_artifact",
+    "series_payload",
+    "point_payload",
+    "snapshot_payload",
+]
+
+#: The repository root (``src/repro/obs/`` is three levels below it).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Bump when the envelope shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce ``value`` into plain JSON types (str fallback)."""
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    return str(value)
+
+
+def write_bench_artifact(
+    name: str, payload: dict[str, Any], root: Path | str | None = None
+) -> Path:
+    """Write ``BENCH_<name>.json`` under ``root`` (repo root by default).
+
+    ``payload`` supplies the benchmark-specific sections; the envelope keys
+    (``benchmark``, ``schema``) are added here so every artifact is
+    self-describing.  Returns the written path.
+    """
+    target = Path(root) if root is not None else REPO_ROOT
+    document: dict[str, Any] = {"benchmark": name, "schema": SCHEMA_VERSION}
+    for key, value in payload.items():
+        if key not in ("benchmark", "schema"):
+            document[key] = _jsonable(value)
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def point_payload(point) -> dict[str, Any]:
+    """One :class:`~repro.bench.harness.ExperimentPoint` as a JSON object."""
+    return {
+        "method": point.method,
+        "x": _jsonable(point.x),
+        "seconds": point.seconds,
+        "source_operators": point.source_operators,
+        "source_queries": point.source_queries,
+        "answers": point.answers,
+        "reformulations": point.reformulations,
+        "details": _jsonable(point.details),
+    }
+
+
+def series_payload(series) -> dict[str, Any]:
+    """One :class:`~repro.bench.harness.ExperimentSeries` as a JSON object."""
+    return {
+        "title": series.title,
+        "x_label": series.x_label,
+        "methods": series.methods(),
+        "x_values": [_jsonable(x) for x in series.x_values()],
+        "points": [point_payload(point) for point in series.points],
+    }
+
+
+def snapshot_payload(snapshot) -> dict[str, Any]:
+    """A :class:`~repro.obs.metrics.MetricsSnapshot` as a JSON object."""
+    return {"enabled": snapshot.enabled, "metrics": _jsonable(snapshot.data)}

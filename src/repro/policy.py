@@ -141,6 +141,22 @@ class ExecutionPolicy:
     k:
         Answer count for ``"top-k"`` (and the default ``k`` of
         :meth:`~repro.session.Session.top_k`).
+    trace:
+        Record a per-query span tree on the session's
+        :class:`~repro.obs.trace.Tracer` (session → optimize → execute →
+        per-operator spans; export via ``session.tracer``).  Off by default:
+        tracing observes, it never changes answers or operator counts, but
+        span bookkeeping costs a little wall-clock.
+    metrics:
+        Maintain the session's :class:`~repro.obs.metrics.MetricsRegistry`
+        (per-stage latency histograms, cache/pool counters; snapshot via
+        :meth:`~repro.session.Session.metrics`).  On by default — the
+        registry is cheap (a few lock-guarded increments per call).
+    slow_query_seconds:
+        Threshold for :meth:`~repro.session.Session.serve`'s slow-query log:
+        a served request slower than this is recorded on
+        ``session.slow_queries`` and logged through the ``repro.session``
+        logger.  ``None`` (default) disables the log.
     """
 
     method: str = "o-sharing"
@@ -153,6 +169,9 @@ class ExecutionPolicy:
     cache_size: int = 4096
     exhaustive_planning: bool = False
     k: int | None = None
+    trace: bool = False
+    metrics: bool = True
+    slow_query_seconds: float | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -179,6 +198,20 @@ class ExecutionPolicy:
             raise ValueError(f"cache_size must be a positive int, got {self.cache_size!r}")
         if self.k is not None and (not isinstance(self.k, int) or self.k <= 0):
             raise ValueError(f"k must be a positive int (or None), got {self.k!r}")
+        for flag in ("trace", "metrics"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ValueError(
+                    f"{flag} must be a bool, got {getattr(self, flag)!r}"
+                )
+        if self.slow_query_seconds is not None:
+            threshold = self.slow_query_seconds
+            if not isinstance(threshold, (int, float)) or isinstance(
+                threshold, bool
+            ) or threshold <= 0:
+                raise ValueError(
+                    "slow_query_seconds must be a positive number (or None), "
+                    f"got {threshold!r}"
+                )
         if self.method == TOP_K_METHOD and self.k is None:
             raise ValueError('method "top-k" requires k (e.g. ExecutionPolicy(method="top-k", k=10))')
 

@@ -28,6 +28,7 @@ import operator
 from itertools import compress
 from typing import Any, Sequence
 
+from repro.obs.trace import current_tracer
 from repro.relational.expressions import _ARITHMETIC, Arithmetic, ColumnRef, Expression, Literal
 from repro.relational.predicates import (
     And,
@@ -271,7 +272,13 @@ def predicate_mask(predicate: Predicate, batch: ColumnBatch) -> list[bool]:
     """
     if batch.length == 0:
         return []
-    return _mask(predicate, batch, batch.length)
+    mask = _mask(predicate, batch, batch.length)
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.event(
+            "columnar", kernel="predicate_mask", rows=batch.length, kept=sum(mask)
+        )
+    return mask
 
 
 def _mask(predicate: Predicate, batch: ColumnBatch, n: int) -> list[bool]:

@@ -152,6 +152,7 @@ class Executor:
         parallel=None,
         inflight=None,
         pools=None,
+        tracer=None,
     ):
         self.database = database
         self.stats = stats if stats is not None else ExecutionStats()
@@ -190,6 +191,12 @@ class Executor:
         #: worker pools the morsel kernels run on (a session's, usually); the
         #: process-wide default serves executors without one.
         self.pools = pools
+        #: optional :class:`~repro.obs.trace.Tracer`: when set, every
+        #: dispatched operator runs inside an ``op:<Type>`` span (engine and
+        #: rows_out attributes; the count_operator events carry rows_in/out
+        #: exactly as the stats count them) and cache probes record
+        #: hit/miss events.  ``None`` keeps dispatch on a no-op fast path.
+        self.tracer = tracer
         # Per-execute scan snapshots: the first scan of each base relation
         # pins a relabelled view (shared rows + version token), so every
         # later scan in the same plan — a self-join, say — reads the same
@@ -207,7 +214,11 @@ class Executor:
         self._scan_pins = {}
         self._version_pins = {}
         if self.optimizer is not None:
-            plan = self.optimizer.optimize(plan, self.stats)
+            if self.tracer is not None:
+                with self.tracer.span("optimize", engine=self.engine):
+                    plan = self.optimizer.optimize(plan, self.stats)
+            else:
+                plan = self.optimizer.optimize(plan, self.stats)
         if self.engine in _BATCH_ENGINES:
             return self._evaluate_columnar(plan).to_relation()
         return self._evaluate(plan)
@@ -229,14 +240,36 @@ class Executor:
         entry = self.cache.get(key, self.database)
         if entry is not None:
             self.stats.count_cache_hit(entry.operator_count)
+            self._trace_cache("hit", operators_saved=entry.operator_count)
             self._merge_version_pins(entry.dependency_versions)
             return entry.relation
         self.stats.count_cache_miss()
+        self._trace_cache("miss")
         result = self._dispatch(node)
         self.cache.put(key, node, result, self.database, versions=self._version_pins)
         return result
 
+    def _trace_cache(self, outcome: str, **attributes) -> None:
+        """Record a plan-cache probe event on the current span (if traced)."""
+        if self.tracer is not None:
+            self.tracer.event("plan-cache", outcome=outcome, **attributes)
+
     def _dispatch(self, node: PlanNode) -> Relation:
+        tracer = self.tracer
+        if tracer is None:
+            return self._dispatch_node(node)
+        # One span per dispatched operator.  The count_operator events land
+        # inside it (via the ambient tracer), so an indexed select's fused
+        # Scan+Select pair shows up as two operator events on one span —
+        # exactly the two operators the stats record.
+        with tracer.span(
+            f"op:{type(node).__name__}", engine=self.engine
+        ) as span:
+            result = self._dispatch_node(node)
+            span.attributes["rows_out"] = len(result)
+            return result
+
+    def _dispatch_node(self, node: PlanNode) -> Relation:
         if isinstance(node, Scan):
             return self._evaluate_scan(node)
         if isinstance(node, Select):
@@ -620,9 +653,11 @@ class Executor:
         entry = self.cache.get(key, self.database)
         if entry is not None:
             self.stats.count_cache_hit(entry.operator_count)
+            self._trace_cache("hit", operators_saved=entry.operator_count)
             self._merge_version_pins(entry.dependency_versions)
             return ColumnBatch.from_relation(entry.relation)
         self.stats.count_cache_miss()
+        self._trace_cache("miss")
         result = self._dispatch_columnar(node)
         self.cache.put(
             key, node, result.to_relation(), self.database, versions=self._version_pins
@@ -646,12 +681,14 @@ class Executor:
         if not owner:
             relation, operator_count, versions = future.result()
             self.stats.count_cache_hit(operator_count)
+            self._trace_cache("hit", operators_saved=operator_count, inflight=True)
             self._merge_version_pins(versions)
             return ColumnBatch.from_relation(relation)
         try:
             entry = self.cache.get(key, self.database)
             if entry is not None:
                 self.stats.count_cache_hit(entry.operator_count)
+                self._trace_cache("hit", operators_saved=entry.operator_count)
                 self._merge_version_pins(entry.dependency_versions)
                 self.inflight.resolve(
                     key,
@@ -660,6 +697,7 @@ class Executor:
                 )
                 return ColumnBatch.from_relation(entry.relation)
             self.stats.count_cache_miss()
+            self._trace_cache("miss")
             result = self._dispatch_columnar(node)
             relation = result.to_relation()
             entry = self.cache.put(
@@ -676,6 +714,17 @@ class Executor:
             raise
 
     def _dispatch_columnar(self, node: PlanNode) -> ColumnBatch:
+        tracer = self.tracer
+        if tracer is None:
+            return self._dispatch_columnar_node(node)
+        with tracer.span(
+            f"op:{type(node).__name__}", engine=self.engine
+        ) as span:
+            result = self._dispatch_columnar_node(node)
+            span.attributes["rows_out"] = len(result)
+            return result
+
+    def _dispatch_columnar_node(self, node: PlanNode) -> ColumnBatch:
         if isinstance(node, Scan):
             return self._scan_columnar(node)
         if isinstance(node, Select):
@@ -692,7 +741,9 @@ class Executor:
             return self._aggregate_columnar(node)
         # Row fallback: a node type without a columnar implementation is
         # evaluated by the row engine (unknown types still raise TypeError).
-        return ColumnBatch.from_relation(self._dispatch(node))
+        # _dispatch_node, not _dispatch: the operator span for this node is
+        # already open above, a second one would double-count it.
+        return ColumnBatch.from_relation(self._dispatch_node(node))
 
     # -- leaves ---------------------------------------------------------- #
     def _scan_columnar(self, node: Scan) -> ColumnBatch:
@@ -717,7 +768,7 @@ class Executor:
             from repro.relational.parallel import parallel_predicate_mask
 
             return parallel_predicate_mask(
-                predicate, batch, self.parallel, pools=self.pools
+                predicate, batch, self.parallel, pools=self.pools, tracer=self.tracer
             )
         return predicate_mask(predicate, batch)
 
@@ -806,7 +857,7 @@ class Executor:
                 from repro.relational.parallel import parallel_distinct_indices
 
                 keep = parallel_distinct_indices(
-                    data, length, self.parallel, pools=self.pools
+                    data, length, self.parallel, pools=self.pools, tracer=self.tracer
                 )
             if keep is None:
                 seen: set[tuple] = set()
@@ -875,7 +926,13 @@ class Executor:
             from repro.relational.parallel import parallel_join_indices
 
             left_idx, right_idx = parallel_join_indices(
-                left, right, pairs, pure_equi, self.parallel, pools=self.pools
+                left,
+                right,
+                pairs,
+                pure_equi,
+                self.parallel,
+                pools=self.pools,
+                tracer=self.tracer,
             )
         elif len(pairs) == 1:
             left_pos, right_pos = pairs[0]
@@ -951,7 +1008,7 @@ class Executor:
                     from repro.relational.parallel import parallel_distinct_indices
 
                     keep = parallel_distinct_indices(
-                        data, length, self.parallel, pools=self.pools
+                        data, length, self.parallel, pools=self.pools, tracer=self.tracer
                     )
                 if keep is None:
                     seen: set[tuple] = set()
@@ -1003,7 +1060,7 @@ class Executor:
             )
 
             groups = parallel_group_indices(
-                key_columns, n, self.parallel, pools=self.pools
+                key_columns, n, self.parallel, pools=self.pools, tracer=self.tracer
             )
         elif groups is None:
             groups = defaultdict(list)
@@ -1019,7 +1076,11 @@ class Executor:
                 return self._aggregate_values(node, member_values, len(members))
 
             aggregated = parallel_fold_groups(
-                fold, list(groups.values()), self.parallel, pools=self.pools
+                fold,
+                list(groups.values()),
+                self.parallel,
+                pools=self.pools,
+                tracer=self.tracer,
             )
             for key, value in zip(groups, aggregated):
                 for column, part in zip(data, key):

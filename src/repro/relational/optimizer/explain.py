@@ -14,6 +14,8 @@ Example::
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro.relational.algebra import (
     Aggregate,
     Join,
@@ -34,19 +36,33 @@ from repro.relational.stats import ExecutionStats
 
 
 class TracingExecutor(Executor):
-    """An executor that records the output cardinality of every plan node."""
+    """An executor recording cardinality and wall-clock of every plan node.
+
+    ``node_seconds`` is *inclusive* (a node's time contains its children's)
+    and accumulates with ``+=``: a node the cache serves twice, or that both
+    the row and columnar paths visit, charges every visit to the same entry.
+    """
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.node_rows: dict[int, int] = {}
+        self.node_seconds: dict[int, float] = {}
 
     def _evaluate(self, node: PlanNode) -> Relation:
+        started = perf_counter()
         result = super()._evaluate(node)
+        self.node_seconds[id(node)] = self.node_seconds.get(id(node), 0.0) + (
+            perf_counter() - started
+        )
         self.node_rows[id(node)] = len(result)
         return result
 
     def _evaluate_columnar(self, node: PlanNode) -> ColumnBatch:
+        started = perf_counter()
         result = super()._evaluate_columnar(node)
+        self.node_seconds[id(node)] = self.node_seconds.get(id(node), 0.0) + (
+            perf_counter() - started
+        )
         self.node_rows[id(node)] = len(result)
         return result
 
@@ -81,8 +97,14 @@ def render_plan(
     annotator: PlanAnnotator | None = None,
     actual_rows: dict[int, int] | None = None,
     indent: str = "  ",
+    actual_seconds: dict[int, float] | None = None,
 ) -> str:
-    """An indented tree rendering with optional est./actual row annotations."""
+    """An indented tree rendering with optional est./actual annotations.
+
+    ``actual_seconds`` (from :attr:`TracingExecutor.node_seconds`) appends a
+    measured per-node wall-clock — inclusive of children — after the row
+    annotation, e.g. ``(est. 100, actual 42 rows, 0.31 ms)``.
+    """
     lines: list[str] = []
 
     def render(node: PlanNode, depth: int) -> None:
@@ -96,7 +118,10 @@ def render_plan(
         if actual_rows is not None and id(node) in actual_rows:
             annotations.append(f"actual {actual_rows[id(node)]:,}")
         if annotations:
-            parts.append(f"({', '.join(annotations)} rows)")
+            suffix = " rows"
+            if actual_seconds is not None and id(node) in actual_seconds:
+                suffix += f", {actual_seconds[id(node)] * 1000:.2f} ms"
+            parts.append(f"({', '.join(annotations)}{suffix})")
         lines.append("  ".join(parts))
         for child in node.children():
             render(child, depth + 1)
@@ -111,6 +136,7 @@ def explain(
     optimizer: Optimizer | None = None,
     engine: str = DEFAULT_ENGINE,
     run: bool = True,
+    analyze: bool = False,
 ) -> str:
     """Explain ``plan``: logical tree, optimized tree, estimated vs actual rows.
 
@@ -119,10 +145,13 @@ def explain(
     orders considered, estimated vs actual rows per node), and — when
     ``run`` is true — an execution summary (operators executed, rows
     scanned, rows out) obtained by actually running the optimized plan on
-    ``engine`` with a tracing executor.  Pass an existing ``optimizer`` to
-    reuse its memo and statistics catalog; ``run=False`` skips execution and
-    the per-node "actual" annotations.
+    ``engine`` with a tracing executor.  ``analyze=True`` (implies ``run``)
+    additionally annotates every executed node with its measured wall-clock
+    (inclusive of children) and appends total execution time to the summary.
+    Pass an existing ``optimizer`` to reuse its memo and statistics catalog;
+    ``run=False`` skips execution and the per-node "actual" annotations.
     """
+    run = run or analyze
     optimizer = optimizer if optimizer is not None else Optimizer(database)
     report = optimizer.optimize_with_report(plan)
     annotator = PlanAnnotator(database, optimizer.catalog)
@@ -143,13 +172,19 @@ def explain(
     sections.append(header)
 
     actual_rows: dict[int, int] | None = None
+    actual_seconds: dict[int, float] | None = None
     summary: str | None = None
     if run:
         stats = ExecutionStats()
         tracer = TracingExecutor(database, stats, engine=engine)
+        started = perf_counter()
         result = tracer.execute(report.plan)
+        elapsed = perf_counter() - started
         actual_rows = tracer.node_rows
         actual_rows[id(report.plan)] = len(result)
+        if analyze:
+            actual_seconds = tracer.node_seconds
+            actual_seconds.setdefault(id(report.plan), elapsed)
         summary = (
             f"== execution (engine={engine}) ==\n"
             f"operators executed: {stats.source_operators}, "
@@ -157,7 +192,11 @@ def explain(
             f"rows out: {len(result)} "
             f"(estimated {report.estimated_rows:,.0f})"
         )
-    sections.append(render_plan(report.plan, annotator, actual_rows))
+        if analyze:
+            summary += f"\ntotal time: {elapsed * 1000:.2f} ms"
+    sections.append(
+        render_plan(report.plan, annotator, actual_rows, actual_seconds=actual_seconds)
+    )
     if summary is not None:
         sections.append(summary)
     return "\n".join(sections)

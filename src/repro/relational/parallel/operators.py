@@ -74,7 +74,11 @@ def _referenced_restriction(
 
 
 def parallel_predicate_mask(
-    predicate: Predicate, batch: ColumnBatch, config: ParallelConfig, pools=None
+    predicate: Predicate,
+    batch: ColumnBatch,
+    config: ParallelConfig,
+    pools=None,
+    tracer=None,
 ) -> list[bool]:
     """``predicate_mask`` computed over contiguous morsels in parallel.
 
@@ -108,7 +112,11 @@ def parallel_predicate_mask(
             (predicate, labels, [column[a:b] for column in columns], b - a)
             for a, b in spans
         ]
-    masks = run_tasks(config, _mask_morsel, tasks, picklable=True, pools=pools)
+    if tracer is not None:
+        tracer.event("kernel", kernel="predicate_mask", morsels=len(tasks), rows=n)
+    masks = run_tasks(
+        config, _mask_morsel, tasks, picklable=True, pools=pools, tracer=tracer
+    )
     return list(chain.from_iterable(masks))
 
 
@@ -179,6 +187,7 @@ def parallel_join_indices(
     pure_equi: bool,
     config: ParallelConfig,
     pools=None,
+    tracer=None,
 ) -> tuple[list[int], list[int]]:
     """Matching ``(left_idx, right_idx)`` row indices of a hash equi-join.
 
@@ -200,12 +209,24 @@ def parallel_join_indices(
 
     build_shards = config.shards_for(len(right))
     build_spans = chunk_spans(len(right), max(build_shards, 1))
+    if tracer is not None:
+        tracer.event(
+            "kernel",
+            kernel="join_build_probe",
+            build_morsels=len(build_spans),
+            build_rows=len(right),
+            probe_rows=len(left),
+        )
     if single:
         build_tasks = [(right_column, a, b, pure_equi) for a, b in build_spans]
-        locals_ = run_tasks(config, _build_single, build_tasks, pools=pools)
+        locals_ = run_tasks(
+            config, _build_single, build_tasks, pools=pools, tracer=tracer
+        )
     else:
         build_tasks = [(right_columns, a, b, pure_equi) for a, b in build_spans]
-        locals_ = run_tasks(config, _build_composite, build_tasks, pools=pools)
+        locals_ = run_tasks(
+            config, _build_composite, build_tasks, pools=pools, tracer=tracer
+        )
     if len(locals_) == 1:
         buckets = locals_[0]
     else:
@@ -222,10 +243,14 @@ def parallel_join_indices(
     probe_spans = chunk_spans(len(left), max(probe_shards, 1))
     if single:
         probe_tasks = [(left_column, a, b, buckets) for a, b in probe_spans]
-        parts = run_tasks(config, _probe_single, probe_tasks, pools=pools)
+        parts = run_tasks(
+            config, _probe_single, probe_tasks, pools=pools, tracer=tracer
+        )
     else:
         probe_tasks = [(left_columns, a, b, buckets) for a, b in probe_spans]
-        parts = run_tasks(config, _probe_composite, probe_tasks, pools=pools)
+        parts = run_tasks(
+            config, _probe_composite, probe_tasks, pools=pools, tracer=tracer
+        )
     left_idx = list(chain.from_iterable(part[0] for part in parts))
     right_idx = list(chain.from_iterable(part[1] for part in parts))
     return left_idx, right_idx
@@ -247,7 +272,11 @@ def _group_morsel(key_columns: list[list], start: int, stop: int) -> dict:
 
 
 def parallel_group_indices(
-    key_columns: list[list], length: int, config: ParallelConfig, pools=None
+    key_columns: list[list],
+    length: int,
+    config: ParallelConfig,
+    pools=None,
+    tracer=None,
 ) -> dict[tuple, list[int]]:
     """Group rows by key tuple, preserving serial insertion order exactly.
 
@@ -258,7 +287,9 @@ def parallel_group_indices(
     """
     spans = chunk_spans(length, max(config.shards_for(length), 1))
     tasks = [(key_columns, a, b) for a, b in spans]
-    locals_ = run_tasks(config, _group_morsel, tasks, pools=pools)
+    if tracer is not None:
+        tracer.event("kernel", kernel="group_indices", morsels=len(tasks), rows=length)
+    locals_ = run_tasks(config, _group_morsel, tasks, pools=pools, tracer=tracer)
     if len(locals_) == 1:
         return locals_[0]
     merged: dict[tuple, list[int]] = {}
@@ -273,7 +304,7 @@ def parallel_group_indices(
 
 
 def parallel_fold_groups(
-    fold, groups: Sequence[tuple], config: ParallelConfig, pools=None
+    fold, groups: Sequence[tuple], config: ParallelConfig, pools=None, tracer=None
 ) -> list[Any]:
     """Apply ``fold(group)`` to every group, parallel over chunks of groups.
 
@@ -288,7 +319,9 @@ def parallel_fold_groups(
         return [fold(group) for group in groups]
     spans = chunk_spans(n, shards)
     tasks = [(fold, groups, a, b) for a, b in spans]
-    chunks = run_tasks(config, _fold_chunk, tasks, pools=pools)
+    if tracer is not None:
+        tracer.event("kernel", kernel="fold_groups", morsels=len(tasks), groups=n)
+    chunks = run_tasks(config, _fold_chunk, tasks, pools=pools, tracer=tracer)
     return list(chain.from_iterable(chunks))
 
 
@@ -312,7 +345,7 @@ def _distinct_morsel(data: list[list], start: int, stop: int) -> list[tuple]:
 
 
 def parallel_distinct_indices(
-    data: list[list], length: int, config: ParallelConfig, pools=None
+    data: list[list], length: int, config: ParallelConfig, pools=None, tracer=None
 ) -> list[int]:
     """Indices of first occurrences, in ascending order (serial dedup order).
 
@@ -322,7 +355,11 @@ def parallel_distinct_indices(
     """
     spans = chunk_spans(length, max(config.shards_for(length), 1))
     tasks = [(data, a, b) for a, b in spans]
-    locals_ = run_tasks(config, _distinct_morsel, tasks, pools=pools)
+    if tracer is not None:
+        tracer.event(
+            "kernel", kernel="distinct_indices", morsels=len(tasks), rows=length
+        )
+    locals_ = run_tasks(config, _distinct_morsel, tasks, pools=pools, tracer=tracer)
     seen: set[tuple] = set()
     keep: list[int] = []
     for firsts in locals_:

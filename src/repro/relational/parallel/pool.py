@@ -35,6 +35,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, 
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.obs.trace import activate
 from repro.relational.parallel.config import ParallelConfig
 
 #: Pool role running operator morsels (leaf tasks — never submit pool work).
@@ -110,6 +111,23 @@ class PoolManager:
         with self._lock:
             return self._started_total
 
+    def queue_depth(self) -> int:
+        """Tasks submitted to this manager's thread pools but not yet running.
+
+        An instantaneous gauge (the serving front end's saturation signal):
+        0 means every submitted morsel/inter-query task has a worker.
+        Process pools are excluded — their queues live across the process
+        boundary and expose no cheap depth.
+        """
+        depth = 0
+        with self._lock:
+            pools = list(self._thread_pools.values())
+        for pool in pools:
+            queue = getattr(pool, "_work_queue", None)
+            if queue is not None:
+                depth += queue.qsize()
+        return depth
+
     @property
     def closed(self) -> bool:
         """True once :meth:`shutdown` has run."""
@@ -160,6 +178,7 @@ def run_tasks(
     args_list: Sequence[tuple],
     picklable: bool = False,
     pools: PoolManager | None = None,
+    tracer=None,
 ) -> list[Any]:
     """Run ``fn(*args)`` for every args tuple, returning results in order.
 
@@ -174,6 +193,13 @@ def run_tasks(
 
     ``pools`` selects the owning :class:`PoolManager` (a session's, usually);
     the process-wide default serves callers that pass none.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) propagates the
+    submitting thread's current span into thread-pool workers, so events a
+    task records nest under the operator that scheduled it; the fan-out
+    itself is recorded as a ``pool`` event (kind, tasks, workers).  A live
+    tracer cannot cross a process boundary, so process-pool runs record the
+    fan-out on the scheduling side only.
     """
     manager = pools if pools is not None else _DEFAULT_MANAGER
     workers = config.resolved_workers()
@@ -182,9 +208,25 @@ def run_tasks(
     if picklable and config.kind == "process":
         results = _try_process_pool(manager, workers, fn, args_list)
         if results is not None:
+            if tracer is not None:
+                tracer.event(
+                    "pool", kind="process", tasks=len(args_list), workers=workers
+                )
             return results
     pool = manager.thread_pool(workers)
-    futures = [pool.submit(fn, *args) for args in args_list]
+    task = fn
+    if tracer is not None:
+        tracer.event("pool", kind="thread", tasks=len(args_list), workers=workers)
+        parent = tracer.current()
+
+        def task(*args):
+            # Workers carry neither the ambient tracer nor the submitting
+            # thread's span stack; restore both so anything the morsel
+            # records lands under the scheduling operator's span.
+            with activate(tracer), tracer.attach(parent):
+                return fn(*args)
+
+    futures = [pool.submit(task, *args) for args in args_list]
     return [future.result() for future in futures]
 
 

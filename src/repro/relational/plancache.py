@@ -240,6 +240,20 @@ class PlanCache:
                     self.stats.evictions += 1
         return entry
 
+    def stats_snapshot(self) -> dict:
+        """A lock-guarded, point-in-time copy of the cache statistics.
+
+        :attr:`stats` is mutated under the cache lock (``get``/``put``/
+        ``apply_write``); reading its fields live from another thread can
+        observe a torn update (hits incremented, operators_saved not yet).
+        Sessions and reports read this snapshot instead.  ``entries`` is the
+        current cache population (not part of :class:`PlanCacheStats`).
+        """
+        with self._lock:
+            snapshot = self.stats.snapshot()
+            snapshot["entries"] = len(self._entries)
+            return snapshot
+
     def __contains__(self, key: object) -> bool:
         return key in self._entries
 

@@ -14,6 +14,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.obs.trace import current_tracer
+
 
 @dataclass
 class ExecutionStats:
@@ -70,6 +72,12 @@ class ExecutionStats:
         self.source_operators += 1
         self.rows_scanned += rows_in
         self.rows_output += rows_out
+        tracer = current_tracer()
+        if tracer is not None:
+            # Counted exactly as the stats see it, attached to whichever
+            # span is innermost (the executor's operator span) — so the
+            # trace can never disagree with the gated operator counters.
+            tracer.event("operator", op=name, rows_in=rows_in, rows_out=rows_out)
 
     def count_source_query(self) -> None:
         """Record the execution of one complete source query."""
@@ -110,13 +118,30 @@ class ExecutionStats:
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        """Context manager accumulating wall-clock time into ``phase_seconds[name]``."""
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - started
-            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+        """Context manager accumulating wall-clock time into ``phase_seconds[name]``.
+
+        With an ambient tracer active (a session serving a traced call) the
+        phase additionally opens a ``phase:<name>`` span, so the per-stage
+        split the paper reports shows up in the span tree without touching
+        the six evaluators.  The untraced cost is one thread-local read.
+        """
+        tracer = current_tracer()
+        if tracer is None:
+            started = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - started
+                self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+            return
+        with tracer.span(f"phase:{name}") as span:
+            started = time.perf_counter()
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - started
+                self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+                span.attributes["seconds"] = round(elapsed, 6)
 
     # ------------------------------------------------------------------ #
     @property

@@ -44,6 +44,7 @@ NumPy is optional: without it every kernel returns ``None`` and
 
 from __future__ import annotations
 
+import functools
 import operator
 from typing import Any, Sequence
 
@@ -52,6 +53,7 @@ try:  # NumPy is an optional extra (setup.py: repro[vector])
 except ImportError:  # pragma: no cover - exercised via HAVE_NUMPY monkeypatch
     np = None
 
+from repro.obs.trace import current_tracer
 from repro.relational.columnar import _SWAPPED_OP, ColumnBatch, _mask
 from repro.relational.predicates import (
     And,
@@ -98,6 +100,27 @@ _NP_OPS = {
 def numpy_available() -> bool:
     """True when the vector engine can run in this environment."""
     return np is not None and HAVE_NUMPY
+
+
+def _traced_kernel(fn):
+    """Record each kernel attempt as an ambient ``vector`` trace event.
+
+    ``engaged=False`` means the kernel declined (returned ``None``) and the
+    executor served the node through the serial fallback — exactly the
+    decision traces need to explain why a "vector" query ran at columnar
+    speed.  Untraced runs pay one thread-local read per *operator*, nothing
+    per row.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        result = fn(*args, **kwargs)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event("vector", kernel=fn.__name__, engaged=result is not None)
+        return result
+
+    return wrapper
 
 
 # --------------------------------------------------------------------------- #
@@ -254,6 +277,7 @@ def _int_exact(arr) -> bool:
 # --------------------------------------------------------------------------- #
 # predicate masks
 # --------------------------------------------------------------------------- #
+@_traced_kernel
 def vector_predicate_mask(predicate: Predicate, batch: ColumnBatch):
     """``predicate_mask`` as Python bools via NumPy, or ``None`` (fallback).
 
@@ -268,6 +292,7 @@ def vector_predicate_mask(predicate: Predicate, batch: ColumnBatch):
     return mask.tolist()
 
 
+@_traced_kernel
 def vector_select_indices(predicate: Predicate, batch: ColumnBatch):
     """Kept row positions for a selection, or ``None`` (fallback)."""
     if not numpy_available() or batch.length == 0:
@@ -508,6 +533,7 @@ class _SideEntries(dict):
         return dict.__getitem__(self, position)
 
 
+@_traced_kernel
 def vector_product_select_positions(
     predicate: Predicate, left: ColumnBatch, right: ColumnBatch, labels: Sequence[str]
 ):
@@ -628,6 +654,7 @@ def _cross_entry(ref: ColumnRef, adapter_left: ColumnBatch, adapter_right: Colum
 # --------------------------------------------------------------------------- #
 # hash join: joint factorisation + stable sort + searchsorted
 # --------------------------------------------------------------------------- #
+@_traced_kernel
 def vector_join_indices(
     left: ColumnBatch, right: ColumnBatch, pairs: Sequence[tuple[int, int]]
 ):
@@ -741,6 +768,7 @@ def _first_occurrence_keep(code) -> list[int]:
     return first.tolist()
 
 
+@_traced_kernel
 def vector_distinct_indices(batch: ColumnBatch, positions: Sequence[int]):
     """First-occurrence keep list for DISTINCT over ``positions``, or ``None``."""
     if not numpy_available() or not positions:
@@ -752,6 +780,7 @@ def vector_distinct_indices(batch: ColumnBatch, positions: Sequence[int]):
     return _first_occurrence_keep(code)
 
 
+@_traced_kernel
 def vector_union_distinct_indices(left: ColumnBatch, right: ColumnBatch):
     """Keep list for UNION DISTINCT over the stacked batches, or ``None``."""
     if not numpy_available() or not left.data:
@@ -770,6 +799,7 @@ def vector_union_distinct_indices(left: ColumnBatch, right: ColumnBatch):
     return _first_occurrence_keep(code)
 
 
+@_traced_kernel
 def vector_group_indices(
     batch: ColumnBatch,
     positions: Sequence[int],

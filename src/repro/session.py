@@ -49,9 +49,12 @@ performed shrinks as the session warms up.
 
 from __future__ import annotations
 
+import logging
 import threading
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.evaluators import EVALUATORS, SharedState
@@ -60,10 +63,15 @@ from repro.core.evaluators.batch import BatchEvaluator, BatchResult
 from repro.core.evaluators.topk import TopKEvaluator
 from repro.core.links import SchemaLinks
 from repro.core.target_query import TargetQuery
+from repro.obs import MetricsRegistry, MetricsSnapshot, Tracer
+from repro.obs.trace import activate
 from repro.policy import TOP_K_METHOD, ExecutionPolicy, check_applicable
 from repro.relational.database import Database
 from repro.relational.plancache import PlanCache
 from repro.relational.stats import ExecutionStats
+
+#: The serving loop's slow-query log writes here (see ``slow_query_seconds``).
+logger = logging.getLogger("repro.session")
 
 
 @dataclass(frozen=True)
@@ -201,12 +209,22 @@ class Session:
         #: worker pools (session-owned and lazily started unless injected)
         self._owns_pools = pools is None
         self.pools = PoolManager() if pools is None else pools
+        #: per-query span trees when ``policy.trace`` is on (``None`` keeps
+        #: every instrumented call site on its strict no-op path)
+        self.tracer = Tracer() if policy.trace else None
+        #: the session :class:`~repro.obs.metrics.MetricsRegistry`; read it
+        #: through :meth:`metrics`, which syncs the legacy absolute counters
+        #: into the registry before snapshotting
+        self.metrics_registry = MetricsRegistry(enabled=policy.metrics)
+        #: the most recent requests :meth:`serve` flagged as slow (bounded)
+        self.slow_queries: deque[dict[str, Any]] = deque(maxlen=128)
         self._shared = SharedState(
             plan_cache=self.plan_cache,
             optimizer=self.optimizer,
             inflight=self.inflight,
             pools=self.pools,
             database=database,
+            tracer=self.tracer,
         )
         self._lock = threading.Lock()
         self._idle = threading.Condition(self._lock)
@@ -272,6 +290,21 @@ class Session:
                 if not self._active:
                     self._idle.notify_all()
 
+    @contextmanager
+    def _traced(self, name: str, **attributes: Any) -> Iterator[None]:
+        """A root session span + the ambient tracer, when tracing is on.
+
+        ``activate`` makes the tracer ambient for the calling thread so the
+        deep layers (phase timers, operator counters, kernels) record onto
+        it; worker threads re-activate it themselves via the pool
+        propagation in :func:`repro.relational.parallel.run_tasks`.
+        """
+        if self.tracer is None:
+            yield
+            return
+        with activate(self.tracer), self.tracer.span(name, **attributes):
+            yield
+
     # ------------------------------------------------------------------ #
     # serving calls
     # ------------------------------------------------------------------ #
@@ -287,21 +320,27 @@ class Session:
             policy = self._resolve(overrides)
             if policy.method == TOP_K_METHOD:
                 return self._run_top_k(query, policy)
-            evaluator = EVALUATORS[policy.method](
-                links=self.links, shared=self._shared, **policy.evaluator_options()
-            )
-            if policy.method == "batch":
-                # A batch evaluation of one query keeps its planning-phase
-                # counters on the workload-level stats; record those so the
-                # session lifetime totals stay complete.
-                batch = evaluator.evaluate_many(
-                    [query], self.mappings, self.database
+            with self._traced(
+                "session.query",
+                query=query.name,
+                method=policy.method,
+                engine=policy.engine,
+            ):
+                evaluator = EVALUATORS[policy.method](
+                    links=self.links, shared=self._shared, **policy.evaluator_options()
                 )
-                self._record(batch.stats, queries=1)
-                return batch.results[0]
-            result = evaluator.evaluate(query, self.mappings, self.database)
-            self._record(result.stats, queries=1)
-            return result
+                if policy.method == "batch":
+                    # A batch evaluation of one query keeps its planning-phase
+                    # counters on the workload-level stats; record those so the
+                    # session lifetime totals stay complete.
+                    batch = evaluator.evaluate_many(
+                        [query], self.mappings, self.database
+                    )
+                    self._record(batch.stats, queries=1)
+                    return batch.results[0]
+                result = evaluator.evaluate(query, self.mappings, self.database)
+                self._record(result.stats, queries=1)
+                return result
 
     def query_many(
         self, queries: Sequence[TargetQuery], **overrides: Any
@@ -315,14 +354,17 @@ class Session:
         """
         with self._serving():
             policy = self._resolve(overrides, method="batch")
-            evaluator = BatchEvaluator(
-                links=self.links,
-                shared=self._shared,
-                **policy.evaluator_options("batch"),
-            )
-            batch = evaluator.evaluate_many(queries, self.mappings, self.database)
-            self._record(batch.stats, workloads=1)
-            return batch
+            with self._traced(
+                "session.workload", queries=len(queries), engine=policy.engine
+            ):
+                evaluator = BatchEvaluator(
+                    links=self.links,
+                    shared=self._shared,
+                    **policy.evaluator_options("batch"),
+                )
+                batch = evaluator.evaluate_many(queries, self.mappings, self.database)
+                self._record(batch.stats, workloads=1)
+                return batch
 
     def top_k(
         self, query: TargetQuery, k: int | None = None, **overrides: Any
@@ -357,6 +399,16 @@ class Session:
                 "when the session is created; open the session with "
                 f"ExecutionPolicy(cache_size={overrides['cache_size']}) instead"
             )
+        # Same story for the observability wiring: the tracer and metrics
+        # registry are constructed with the session, so a per-call attempt to
+        # toggle them would be silently ignored — reject it instead.
+        for fixed in ("trace", "metrics"):
+            if fixed in overrides and overrides[fixed] != getattr(self.policy, fixed):
+                raise ValueError(
+                    f"{fixed} wires the session-owned observability state and "
+                    "is fixed when the session is created; open the session "
+                    f"with ExecutionPolicy({fixed}={overrides[fixed]}) instead"
+                )
         explicit = overrides.get("method")
         if (
             method is not None
@@ -379,15 +431,18 @@ class Session:
                 "top-k needs k: pass session.top_k(query, k=10) or set "
                 "ExecutionPolicy(k=10)"
             )
-        evaluator = TopKEvaluator(
-            k=policy.k,
-            links=self.links,
-            shared=self._shared,
-            **policy.evaluator_options(TOP_K_METHOD),
-        )
-        result = evaluator.evaluate(query, self.mappings, self.database)
-        self._record(result.stats, queries=1)
-        return result
+        with self._traced(
+            "session.top_k", query=query.name, k=policy.k, engine=policy.engine
+        ):
+            evaluator = TopKEvaluator(
+                k=policy.k,
+                links=self.links,
+                shared=self._shared,
+                **policy.evaluator_options(TOP_K_METHOD),
+            )
+            result = evaluator.evaluate(query, self.mappings, self.database)
+            self._record(result.stats, queries=1)
+            return result
 
     def serve(
         self, requests: Iterable[TargetQuery | tuple[TargetQuery, dict]]
@@ -402,21 +457,69 @@ class Session:
 
             for result in session.serve(request_stream()):
                 respond(result.answers)
+
+        Every request is timed end to end (the ``repro_request_seconds``
+        histogram when metrics are on), and a request slower than the
+        policy's ``slow_query_seconds`` threshold is appended to
+        :attr:`slow_queries` (a bounded deque) and logged as a warning on
+        the ``repro.session`` logger.
         """
+        threshold = self.policy.slow_query_seconds
         for request in requests:
             if isinstance(request, tuple):
                 query, overrides = request
-                yield self.query(query, **dict(overrides))
+                overrides = dict(overrides)
             else:
-                yield self.query(request)
+                query, overrides = request, {}
+            started = perf_counter()
+            result = self.query(query, **overrides)
+            elapsed = perf_counter() - started
+            self._observe_request(query, elapsed, threshold)
+            yield result
 
-    def explain(self, query: TargetQuery, mapping_index: int = 0) -> str:
+    def _observe_request(
+        self, query: TargetQuery, elapsed: float, threshold: float | None
+    ) -> None:
+        """Record one served request's end-to-end timing (serve loop only)."""
+        registry = self.metrics_registry
+        if registry.enabled:
+            registry.histogram(
+                "repro_request_seconds",
+                "End-to-end wall-clock of requests answered by serve().",
+            ).observe(elapsed)
+        if threshold is None or elapsed < threshold:
+            return
+        self.slow_queries.append(
+            {
+                "query": query.name,
+                "seconds": round(elapsed, 6),
+                "threshold": threshold,
+            }
+        )
+        if registry.enabled:
+            registry.counter(
+                "repro_slow_queries_total",
+                "Served requests slower than slow_query_seconds.",
+            ).inc()
+        logger.warning(
+            "slow query %s: %.1f ms (threshold %.1f ms)",
+            query.name,
+            elapsed * 1000,
+            threshold * 1000,
+        )
+
+    def explain(
+        self, query: TargetQuery, mapping_index: int = 0, analyze: bool = False
+    ) -> str:
         """What the optimizer does to ``query``'s reformulated source plan.
 
         Reformulates the query under the ``mapping_index``-th possible
         mapping (0 = most probable) and renders the logical plan, the
         optimized plan and estimated vs actual rows — through the *session*
         optimizer, so the memo and statistics it warms benefit later calls.
+        ``analyze=True`` additionally annotates every executed node with its
+        measured wall-clock (inclusive of children) and reports total
+        execution time.
         """
         with self._serving():
             from repro.core.reformulation import reformulate_query
@@ -424,7 +527,11 @@ class Session:
 
             plan = reformulate_query(query, self.mappings[mapping_index], self.links)
             return explain_plan(
-                plan, self.database, optimizer=self.optimizer, engine=self.policy.engine
+                plan,
+                self.database,
+                optimizer=self.optimizer,
+                engine=self.policy.engine,
+                analyze=analyze,
             )
 
     # ------------------------------------------------------------------ #
@@ -435,6 +542,28 @@ class Session:
             self._totals.merge(stats)
             self._queries += queries
             self._workloads += workloads
+        registry = self.metrics_registry
+        if not registry.enabled:
+            return
+        for stage, seconds in stats.phase_seconds.items():
+            registry.histogram(
+                "repro_stage_seconds",
+                "Per-call wall-clock of each execution stage.",
+                labels={"stage": stage},
+            ).observe(seconds)
+        registry.histogram(
+            "repro_call_seconds",
+            "End-to-end wall-clock of serving calls.",
+            labels={"kind": "workload" if workloads else "query"},
+        ).observe(stats.total_seconds)
+        if queries:
+            registry.counter(
+                "repro_queries_total", "Single queries the session served."
+            ).inc(queries)
+        if workloads:
+            registry.counter(
+                "repro_workloads_total", "Workloads (query_many calls) served."
+            ).inc(workloads)
 
     @property
     def stats(self) -> SessionStats:
@@ -449,10 +578,12 @@ class Session:
             workloads = self._workloads
         # The delta counters accrue on the session-owned caches (writes
         # arrive through Database hooks, not through evaluator calls), so
-        # they are read live and promoted into the snapshot copy.
-        cache = self.plan_cache.stats
-        totals.entries_patched = cache.patches
-        totals.entries_invalidated = cache.invalidations
+        # they are promoted into the snapshot copy — via the cache's *locked*
+        # snapshot, so a concurrent hit can never be observed half-recorded
+        # (hits incremented, operators_saved not yet).
+        cache = self.plan_cache.stats_snapshot()
+        totals.entries_patched = cache["patches"]
+        totals.entries_invalidated = cache["invalidations"]
         totals.stats_refreshed_incrementally = (
             self.database.stats_catalog.incremental_refreshes
         )
@@ -460,13 +591,98 @@ class Session:
             queries=queries,
             workloads=workloads,
             totals=totals,
-            plan_cache=cache.snapshot(),
+            plan_cache=cache,
             optimizer_memo_entries=len(self.optimizer),
             pools_started=self.pools.started_pools,
             entries_patched=totals.entries_patched,
             entries_invalidated=totals.entries_invalidated,
             stats_refreshed_incrementally=totals.stats_refreshed_incrementally,
         )
+
+    def metrics(self) -> MetricsSnapshot:
+        """A point-in-time :class:`~repro.obs.metrics.MetricsSnapshot`.
+
+        Before snapshotting, the legacy absolute counters (plan cache,
+        lifetime totals, pools, optimizer memo) are mirrored into the
+        registry via ``set_total``/``set`` — the engine's own counters stay
+        the source of truth and nothing is double-counted.  The snapshot
+        renders to JSON (``to_json()``) and Prometheus text format
+        (``to_prometheus()``); with ``policy.metrics`` off it is empty and
+        flagged ``enabled=False``.
+        """
+        registry = self.metrics_registry
+        if not registry.enabled:
+            return registry.snapshot()
+        cache = self.plan_cache.stats_snapshot()
+        with self._lock:
+            source_queries = self._totals.source_queries
+            source_operators = self._totals.source_operators
+            reformulations = self._totals.reformulations
+            plans_optimized = self._totals.plans_optimized
+            memo_hits = self._totals.optimizer_memo_hits
+        counter, gauge = registry.counter, registry.gauge
+        counter(
+            "repro_plan_cache_lookups_total",
+            "Plan-cache probes, by outcome.",
+            labels={"outcome": "hit"},
+        ).set_total(cache["hits"])
+        counter(
+            "repro_plan_cache_lookups_total",
+            "Plan-cache probes, by outcome.",
+            labels={"outcome": "miss"},
+        ).set_total(cache["misses"])
+        counter(
+            "repro_plan_cache_evictions_total", "Plan-cache LRU evictions."
+        ).set_total(cache["evictions"])
+        counter(
+            "repro_plan_cache_invalidations_total",
+            "Plan-cache entries dropped by write invalidation.",
+        ).set_total(cache["invalidations"])
+        counter(
+            "repro_plan_cache_patches_total",
+            "Plan-cache entries delta-patched in place by writes.",
+        ).set_total(cache["patches"])
+        counter(
+            "repro_operators_saved_total",
+            "Source operators cache hits avoided executing.",
+        ).set_total(cache["operators_saved"])
+        gauge(
+            "repro_plan_cache_entries", "Entries currently cached."
+        ).set(cache["entries"])
+        gauge(
+            "repro_plan_cache_hit_rate",
+            "Fraction of plan-cache probes answered without execution.",
+        ).set(cache["hit_rate"])
+        counter(
+            "repro_source_queries_total", "Source queries executed."
+        ).set_total(source_queries)
+        counter(
+            "repro_source_operators_total", "Source operators executed."
+        ).set_total(source_operators)
+        counter(
+            "repro_reformulations_total", "Query reformulations performed."
+        ).set_total(reformulations)
+        counter(
+            "repro_plans_optimized_total", "Plans run through the optimizer."
+        ).set_total(plans_optimized)
+        counter(
+            "repro_optimizer_memo_hits_total", "Optimizer memo hits."
+        ).set_total(memo_hits)
+        gauge(
+            "repro_optimizer_memo_entries", "Plans currently memoized."
+        ).set(len(self.optimizer))
+        counter(
+            "repro_stats_incremental_refreshes_total",
+            "Statistics-catalog entries refreshed from an append delta.",
+        ).set_total(self.database.stats_catalog.incremental_refreshes)
+        gauge(
+            "repro_pool_queue_depth",
+            "Tasks submitted to the session worker pools but not yet running.",
+        ).set(self.pools.queue_depth())
+        gauge(
+            "repro_pools_started", "Worker pools the session has started."
+        ).set(self.pools.started_pools)
+        return registry.snapshot()
 
     @property
     def stats_catalog(self):

@@ -376,6 +376,64 @@ def test_warm_session_matches_cold_one_shot(method, engine, paper_example):
         )
 
 
+# --------------------------------------------------------------------------- #
+# instrumentation parity: trace on/off × metrics on/off changes nothing
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("method", ALL_EVALUATORS)
+@pytest.mark.parametrize("engine", ENGINES)
+def test_instrumentation_never_changes_answers_or_operators(
+    method, engine, paper_example
+):
+    """The observability pinned invariant, differentially (ARCHITECTURE.md).
+
+    The same two-query workload runs through four sessions covering the full
+    trace on/off × metrics on/off grid; answers (byte-identical floats, not
+    tolerance-equal), empty-answer mass, operator counts and row counters
+    must all match the uninstrumented session exactly — instrumentation only
+    observes, it never changes what executes.
+    """
+    from repro import ExecutionPolicy, Session
+
+    queries = [paper_example.q0(), paper_example.q2()]
+    runs = {}
+    for trace in (False, True):
+        for metrics in (False, True):
+            policy = ExecutionPolicy(
+                method=method, engine=engine, trace=trace, metrics=metrics
+            )
+            with Session(
+                paper_example.database,
+                paper_example.mappings,
+                links=paper_example.links,
+                policy=policy,
+            ) as session:
+                results = [session.query(query) for query in queries]
+                batch = session.query_many(queries)
+            runs[(trace, metrics)] = (results, batch)
+
+    reference_results, reference_batch = runs[(False, False)]
+    for (trace, metrics), (results, batch) in runs.items():
+        label = f"{method}@{engine} trace={trace} metrics={metrics}"
+        for result, reference in zip(results, reference_results):
+            assert _answer_map(result) == _answer_map(reference), label
+            assert (
+                result.answers.empty_probability
+                == reference.answers.empty_probability
+            ), label
+            assert dict(result.stats.operators) == dict(
+                reference.stats.operators
+            ), label
+            assert result.stats.source_operators == reference.stats.source_operators
+            assert result.stats.rows_scanned == reference.stats.rows_scanned
+            assert result.stats.rows_output == reference.stats.rows_output
+        for result, reference in zip(batch.results, reference_batch.results):
+            assert _answer_map(result) == _answer_map(reference), label
+        assert dict(batch.stats.operators) == dict(
+            reference_batch.stats.operators
+        ), label
+        assert batch.stats.source_operators == reference_batch.stats.source_operators
+
+
 @pytest.mark.parametrize("engine", ENGINES)
 def test_warm_session_top_k_matches_cold_one_shot(engine, paper_example):
     from repro import Session

@@ -1,0 +1,132 @@
+"""Unit tests for the shared BENCH_*.json perf-artifact serializer."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.harness import (
+    ExperimentPoint,
+    ExperimentSeries,
+    write_series_artifact,
+)
+from repro.obs import (
+    REPO_ROOT,
+    SCHEMA_VERSION,
+    MetricsRegistry,
+    series_payload,
+    snapshot_payload,
+    write_bench_artifact,
+)
+
+
+def _sample_series():
+    series = ExperimentSeries(title="sweep", x_label="selections")
+    series.add(
+        ExperimentPoint(
+            method="e-basic",
+            x=1,
+            seconds=0.25,
+            source_operators=10,
+            source_queries=4,
+            answers=3,
+            details={"rows_scanned": 100},
+        )
+    )
+    series.add(
+        ExperimentPoint(
+            method="e-basic",
+            x=2,
+            seconds=0.5,
+            source_operators=20,
+            source_queries=8,
+            answers=3,
+        )
+    )
+    return series
+
+
+class TestWriteBenchArtifact:
+    def test_envelope_and_file_shape(self, tmp_path):
+        path = write_bench_artifact(
+            "smoke", {"series": [{"x": 1}], "gates": {"ok": True}}, root=tmp_path
+        )
+        assert path == tmp_path / "BENCH_smoke.json"
+        text = path.read_text(encoding="utf-8")
+        assert text.endswith("\n")
+        document = json.loads(text)
+        assert document["benchmark"] == "smoke"
+        assert document["schema"] == SCHEMA_VERSION
+        assert document["series"] == [{"x": 1}]
+        assert document["gates"] == {"ok": True}
+
+    def test_payload_cannot_shadow_envelope(self, tmp_path):
+        path = write_bench_artifact(
+            "smoke", {"benchmark": "spoof", "schema": 99, "x": 1}, root=tmp_path
+        )
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["benchmark"] == "smoke"
+        assert document["schema"] == SCHEMA_VERSION
+        assert document["x"] == 1
+
+    def test_non_json_values_coerced(self, tmp_path):
+        path = write_bench_artifact(
+            "smoke",
+            {"workload": {"counts": (1, 2, 3), "tags": {"a"}, "path": REPO_ROOT}},
+            root=tmp_path,
+        )
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["workload"]["counts"] == [1, 2, 3]
+        assert document["workload"]["tags"] == [str(t) for t in {"a"}]
+        assert document["workload"]["path"] == str(REPO_ROOT)
+
+    def test_no_timestamps_in_envelope(self, tmp_path):
+        # Two writes of the same payload must produce identical bytes — the
+        # artifacts are meant to diff cleanly across runs.
+        first = write_bench_artifact("a", {"x": 1}, root=tmp_path).read_bytes()
+        second = write_bench_artifact("a", {"x": 1}, root=tmp_path).read_bytes()
+        assert first == second
+
+    def test_default_root_is_repo_root(self):
+        assert (REPO_ROOT / "src" / "repro" / "obs" / "artifacts.py").exists()
+
+
+class TestSeriesPayload:
+    def test_series_payload_shape(self):
+        payload = series_payload(_sample_series())
+        assert payload["title"] == "sweep"
+        assert payload["x_label"] == "selections"
+        assert payload["methods"] == ["e-basic"]
+        assert payload["x_values"] == [1, 2]
+        assert [point["x"] for point in payload["points"]] == [1, 2]
+        assert payload["points"][0]["details"] == {"rows_scanned": 100}
+
+    def test_write_series_artifact_single(self, tmp_path):
+        path = write_series_artifact(
+            "sweep",
+            _sample_series(),
+            gates={"ok": True},
+            root=tmp_path,
+            workload={"h": 60},
+        )
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["benchmark"] == "sweep"
+        assert document["series"]["title"] == "sweep"
+        assert document["gates"] == {"ok": True}
+        assert document["workload"] == {"h": 60}
+
+    def test_write_series_artifact_sequence(self, tmp_path):
+        path = write_series_artifact(
+            "multi", [_sample_series(), _sample_series()], root=tmp_path
+        )
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert isinstance(document["series"], list)
+        assert len(document["series"]) == 2
+
+
+class TestSnapshotPayload:
+    def test_snapshot_embeds(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total").inc(3)
+        payload = snapshot_payload(registry.snapshot())
+        assert payload["enabled"] is True
+        assert payload["metrics"]["repro_hits_total"]["series"][0]["value"] == 3

@@ -1,0 +1,276 @@
+"""Unit tests for the zero-dependency tracer (span trees, exporters, ambient)."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs import Span, Tracer, activate, current_tracer
+
+
+class TestSpanTree:
+    def test_nested_spans_build_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root", engine="columnar") as root:
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b", rows=3):
+                pass
+        assert len(tracer) == 1
+        assert tracer.roots[0] is root
+        assert [child.name for child in root.children] == ["child-a", "child-b"]
+        assert root.children[0].children[0].name == "grandchild"
+        assert root.attributes == {"engine": "columnar"}
+        assert root.children[1].attributes == {"rows": 3}
+
+    def test_walk_is_depth_first_parents_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        names = [span.name for span in tracer.roots[0].walk()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_find_returns_first_match_or_none(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("op:select"):
+                pass
+        root = tracer.roots[0]
+        assert root.find("op:select").name == "op:select"
+        assert root.find("op:join") is None
+
+    def test_durations_are_measured_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer = tracer.roots[0]
+        assert outer.duration > 0
+        assert outer.children[0].duration <= outer.duration
+
+    def test_span_attributes_refinable_while_open(self):
+        tracer = Tracer()
+        with tracer.span("op:select", rows_in=10) as span:
+            span.attributes["rows_out"] = 4
+        assert tracer.roots[0].attributes == {"rows_in": 10, "rows_out": 4}
+
+    def test_sibling_roots_accumulate(self):
+        tracer = Tracer()
+        for index in range(3):
+            with tracer.span(f"query-{index}"):
+                pass
+        assert [root.name for root in tracer.roots] == [
+            "query-0",
+            "query-1",
+            "query-2",
+        ]
+
+    def test_roots_are_bounded(self):
+        tracer = Tracer(max_roots=4)
+        for index in range(10):
+            with tracer.span(f"q{index}"):
+                pass
+        assert len(tracer) == 4
+        assert [root.name for root in tracer.roots] == ["q6", "q7", "q8", "q9"]
+
+    def test_clear_drops_finished_roots(self):
+        tracer = Tracer()
+        with tracer.span("done"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("root"):
+                with tracer.span("fails"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert tracer.current() is None
+        assert len(tracer) == 1
+        assert tracer.roots[0].children[0].name == "fails"
+
+
+class TestEvents:
+    def test_event_lands_on_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("inner"):
+                tracer.event("cache", outcome="hit")
+        inner = tracer.roots[0].children[0]
+        assert len(inner.events) == 1
+        assert inner.events[0]["name"] == "cache"
+        assert inner.events[0]["outcome"] == "hit"
+        assert inner.events[0]["at"] >= 0
+        assert tracer.roots[0].events == []
+
+    def test_event_outside_any_span_is_a_noop(self):
+        tracer = Tracer()
+        tracer.event("orphan", x=1)  # must not raise
+        assert len(tracer) == 0
+
+
+class TestThreadPropagation:
+    def test_worker_thread_adopts_parent_via_attach(self):
+        tracer = Tracer()
+        with tracer.span("op:join") as parent:
+
+            def work():
+                with activate(tracer), tracer.attach(parent):
+                    with tracer.span("morsel", shard=0):
+                        current_tracer().event("kernel", engaged=True)
+
+            worker = threading.Thread(target=work)
+            worker.start()
+            worker.join()
+        root = tracer.roots[0]
+        assert [child.name for child in root.children] == ["morsel"]
+        assert root.children[0].events[0]["name"] == "kernel"
+
+    def test_attach_none_is_a_noop(self):
+        tracer = Tracer()
+        with tracer.attach(None):
+            assert tracer.current() is None
+
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def work(name):
+            with tracer.span(name):
+                seen[name] = tracer.current().name
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(4)]
+        with tracer.span("main"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert tracer.current().name == "main"
+        assert seen == {f"t{i}": f"t{i}" for i in range(4)}
+        # Each thread's span became its own root — no cross-thread nesting.
+        assert sorted(root.name for root in tracer.roots) == [
+            "main",
+            "t0",
+            "t1",
+            "t2",
+            "t3",
+        ]
+
+
+class TestAmbientTracer:
+    def test_disabled_default_is_none(self):
+        assert current_tracer() is None
+
+    def test_activate_sets_and_restores(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert current_tracer() is tracer
+            inner = Tracer()
+            with activate(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_activate_is_thread_local(self):
+        tracer = Tracer()
+        observed = []
+
+        def work():
+            observed.append(current_tracer())
+
+        with activate(tracer):
+            worker = threading.Thread(target=work)
+            worker.start()
+            worker.join()
+        assert observed == [None]
+
+
+class TestExporters:
+    def _sample_tracer(self):
+        tracer = Tracer()
+        with tracer.span("session.query", query="Q1"):
+            with tracer.span("op:select", rows_in=10, rows_out=4):
+                tracer.event("cache", outcome="miss")
+        return tracer
+
+    def test_jsonl_round_trips_with_parent_links(self):
+        tracer = self._sample_tracer()
+        lines = [json.loads(line) for line in tracer.export_jsonl().splitlines()]
+        assert [record["name"] for record in lines] == ["session.query", "op:select"]
+        root, child = lines
+        assert root["parent"] is None
+        assert child["parent"] == root["id"]
+        assert child["attributes"] == {"rows_in": 10, "rows_out": 4}
+        assert child["events"][0]["outcome"] == "miss"
+        assert child["dur_us"] >= 0
+
+    def test_jsonl_ids_dense_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        lines = [json.loads(line) for line in tracer.export_jsonl().splitlines()]
+        assert [(r["id"], r["name"]) for r in lines] == [
+            (0, "a"),
+            (1, "b"),
+            (2, "c"),
+            (3, "d"),
+        ]
+        assert [r["parent"] for r in lines] == [None, 0, 1, 0]
+
+    def test_jsonl_empty_tracer_is_empty_string(self):
+        assert Tracer().export_jsonl() == ""
+
+    def test_chrome_trace_round_trips_through_json_loads(self):
+        tracer = self._sample_tracer()
+        document = json.loads(tracer.chrome_trace())
+        events = document["traceEvents"]
+        assert [event["name"] for event in events] == ["session.query", "op:select"]
+        assert {event["ph"] for event in events} == {"X"}
+        assert all(event["pid"] == 1 for event in events)
+        assert events[1]["args"] == {"rows_in": 10, "rows_out": 4}
+        assert document["displayTimeUnit"] == "ms"
+
+    def test_chrome_trace_one_tid_per_root(self):
+        tracer = Tracer()
+        for _ in range(2):
+            with tracer.span("q"):
+                pass
+        events = json.loads(tracer.chrome_trace())["traceEvents"]
+        assert [event["tid"] for event in events] == [1, 2]
+
+    def test_non_json_attributes_stringified(self):
+        tracer = Tracer()
+        with tracer.span("root", shape=(1, 2)):
+            pass
+        record = json.loads(tracer.export_jsonl().splitlines()[0])
+        assert record["attributes"]["shape"] == "(1, 2)"
+        assert json.loads(tracer.chrome_trace())  # must stay serializable
+
+    def test_to_dict_nests(self):
+        tracer = self._sample_tracer()
+        rendered = tracer.roots[0].to_dict()
+        assert rendered["name"] == "session.query"
+        assert rendered["children"][0]["name"] == "op:select"
+        assert rendered["children"][0]["events"][0]["name"] == "cache"
+        assert rendered["duration_ms"] >= 0
+
+
+def test_span_is_slotted():
+    span = Span("x")
+    try:
+        span.arbitrary = 1
+    except AttributeError:
+        return
+    raise AssertionError("Span should use __slots__ (per-operator memory)")

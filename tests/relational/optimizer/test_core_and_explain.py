@@ -120,3 +120,24 @@ class TestExplain:
         assert f"engine={engine}" in text
         # est. 3 join rows (1/NDV estimate), actual 3 rows out of the join
         assert "rows out: 3" in text
+
+    def test_explain_analyze_adds_per_node_wall_clock(self, database):
+        text = explain(_join_plan(), database, analyze=True)
+        assert "== execution" in text
+        # Every executed-plan annotation carries a measured duration and the
+        # summary reports the total.
+        executed = [line for line in text.splitlines() if "actual" in line]
+        assert executed
+        assert all(" ms)" in line for line in executed)
+        assert "total time:" in text
+
+    def test_explain_analyze_implies_run(self, database):
+        # analyze=True overrides run=False — actual timings need execution.
+        text = explain(_join_plan(), database, run=False, analyze=True)
+        assert "== execution" in text
+        assert "total time:" in text
+
+    def test_explain_without_analyze_has_no_timings(self, database):
+        text = explain(_join_plan(), database)
+        assert "total time:" not in text
+        assert " ms)" not in text
