@@ -92,16 +92,25 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down (queue depth, cache entries, rates)."""
+    """A value that can go up and down (queue depth, cache entries, rates).
+
+    A gauge can be *read-through*: :meth:`set_callback` registers a zero-arg
+    callable evaluated at collection time, so every snapshot observes the
+    live value instead of whatever the last explicit ``set()`` stored.  A
+    worker-pool queue depth sampled only inside ``Session.metrics()`` would
+    otherwise read stale between snapshots — the callback makes the scrape
+    itself the sampling point.
+    """
 
     kind = "gauge"
-    __slots__ = ("name", "help", "labels", "_value", "_lock")
+    __slots__ = ("name", "help", "labels", "_value", "_callback", "_lock")
 
     def __init__(self, name: str, help: str = "", labels: dict[str, str] | None = None):
         self.name = name
         self.help = help
         self.labels = dict(labels) if labels else {}
         self._value = 0.0
+        self._callback: Any = None
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -116,10 +125,26 @@ class Gauge:
         with self._lock:
             self._value -= amount
 
+    def set_callback(self, callback) -> None:
+        """Make this gauge read-through: ``callback()`` supplies the value.
+
+        Collection falls back to the last stored value if the callback
+        raises (a dying pool must not take the whole scrape down with it).
+        """
+        with self._lock:
+            self._callback = callback
+
     @property
     def value(self) -> float:
         with self._lock:
-            return self._value
+            callback = self._callback
+            stored = self._value
+        if callback is None:
+            return stored
+        try:
+            return float(callback())
+        except Exception:  # pragma: no cover - defensive scrape path
+            return stored
 
     def series(self) -> dict[str, Any]:
         return {"labels": dict(self.labels), "value": self.value}
@@ -205,6 +230,9 @@ class _NoopInstrument:
         pass
 
     def set_total(self, value: float) -> None:
+        pass
+
+    def set_callback(self, callback) -> None:
         pass
 
     def observe(self, value: float) -> None:

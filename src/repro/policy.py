@@ -273,6 +273,21 @@ class ExecutionPolicy:
             return self
         return type(self)._build(self, options)
 
+    def describe(self) -> dict[str, Any]:
+        """A JSON-safe rendering of every field (serving/introspection).
+
+        The serving front end reports each tenant's policy defaults over the
+        wire; ``parallel`` is the one field that is not a JSON scalar, so it
+        is rendered as its ``repr`` (or ``None``).
+        """
+        described: dict[str, Any] = {}
+        for field_ in fields(self):
+            value = getattr(self, field_.name)
+            if field_.name == "parallel" and value is not None:
+                value = repr(value)
+            described[field_.name] = value
+        return described
+
     # ------------------------------------------------------------------ #
     def evaluator_options(self, method: str | None = None) -> dict[str, Any]:
         """Constructor keywords for ``method`` (default: this policy's method).

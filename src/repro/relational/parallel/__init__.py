@@ -47,6 +47,9 @@ from repro.relational.parallel.partition import (
     shard_relation,
 )
 from repro.relational.parallel.pool import (
+    ROLE_INTERQUERY,
+    ROLE_MORSEL,
+    ROLE_SERVING,
     InflightComputations,
     PoolManager,
     default_manager,
@@ -75,6 +78,9 @@ __all__ = [
     "shard_relation",
     "InflightComputations",
     "PoolManager",
+    "ROLE_INTERQUERY",
+    "ROLE_MORSEL",
+    "ROLE_SERVING",
     "default_manager",
     "run_tasks",
     "shutdown_pools",

@@ -43,6 +43,12 @@ ROLE_MORSEL = "morsel"
 #: Pool role running whole workload queries (these DO submit morsel tasks,
 #: so they must never share a pool with :data:`ROLE_MORSEL`).
 ROLE_INTERQUERY = "interquery"
+#: Pool role running the serving front end's per-tenant request workers
+#: (:mod:`repro.serving`).  A serving task drives a whole ``Session`` call —
+#: which may itself fan out inter-query and morsel tasks — so this level,
+#: like :data:`ROLE_INTERQUERY`, must never share a pool with the levels it
+#: submits to.
+ROLE_SERVING = "serving"
 
 
 class PoolManager:

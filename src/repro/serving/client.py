@@ -1,0 +1,156 @@
+"""A small asyncio client for the serving protocol (tests, benchmarks, docs).
+
+:class:`ServingClient` pipelines requests over one TCP connection: each
+request gets an auto-assigned ``id`` and a future; a background reader task
+matches response frames back to their futures by ``id``, so many requests
+may be in flight at once (possibly to different tenants) and completion
+order does not matter.  The raw response *bytes* of every matched frame are
+retained alongside the parsed dict — the byte-identity tests compare those
+frames, not re-serializations.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.serving.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """One JSON-lines connection to a :class:`~repro.serving.server.ReproServer`.
+
+    Usage::
+
+        client = await ServingClient.connect(*server.address)
+        response = await client.request(
+            "query", tenant="excel", query="Q1",
+            overrides={"method": "e-mqo"},
+        )
+        assert response["ok"]
+        await client.close()
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: dict[Any, asyncio.Future] = {}
+        #: ``id`` → raw frame bytes of every matched response, as received
+        self.frames: dict[Any, bytes] = {}
+        #: responses that matched no pending request (``id: null`` errors)
+        self._unmatched: list[dict[str, Any]] = []
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServingClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_FRAME_BYTES
+        )
+        return cls(reader, writer)
+
+    # ------------------------------------------------------------------ #
+    async def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request and await its matched response dict."""
+        future = await self.send(op, **fields)
+        return await future
+
+    async def send(self, op: str, **fields: Any) -> "asyncio.Future[dict]":
+        """Fire one request, return the future of its response (pipelining)."""
+        self._next_id += 1
+        request_id = self._next_id
+        request = {"op": op, "id": request_id, "v": PROTOCOL_VERSION, **fields}
+        loop = asyncio.get_event_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending[request_id] = future
+        self._writer.write(json.dumps(request).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        return future
+
+    async def send_raw(self, payload: bytes) -> None:
+        """Write arbitrary bytes (fuzz tests exercise the framing layer)."""
+        self._writer.write(payload)
+        await self._writer.drain()
+
+    async def read_unmatched(self, timeout: float = 5.0) -> dict[str, Any]:
+        """Await the next response that matched no pending request.
+
+        Errors for unparseable frames come back with ``id: null``; fuzz
+        tests read them here.
+        """
+        deadline = asyncio.get_event_loop().time() + timeout
+        while True:
+            if self._unmatched:
+                return self._unmatched.pop(0)
+            if asyncio.get_event_loop().time() > deadline:
+                raise asyncio.TimeoutError("no unmatched response arrived")
+            await asyncio.sleep(0.005)
+
+    # ------------------------------------------------------------------ #
+    # convenience wrappers
+    # ------------------------------------------------------------------ #
+    async def query(self, tenant: str, query: str, **fields) -> dict[str, Any]:
+        return await self.request("query", tenant=tenant, query=query, **fields)
+
+    async def top_k(self, tenant: str, query: str, k=None, **fields) -> dict[str, Any]:
+        if k is not None:
+            fields["k"] = k
+        return await self.request("top_k", tenant=tenant, query=query, **fields)
+
+    async def healthz(self) -> dict[str, Any]:
+        return await self.request("healthz")
+
+    async def metrics(self) -> str:
+        response = await self.request("metrics")
+        if not response.get("ok"):
+            raise RuntimeError(f"metrics request failed: {response}")
+        return response["result"]["text"]
+
+    async def drain(self) -> dict[str, Any]:
+        return await self.request("drain")
+
+    # ------------------------------------------------------------------ #
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line)
+                except ValueError:  # pragma: no cover - server never does this
+                    continue
+                future = self._pending.pop(response.get("id"), None)
+                if future is None:
+                    self._unmatched.append(response)
+                elif not future.done():
+                    self.frames[response.get("id")] = line
+                    future.set_result(response)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            closed = ConnectionResetError("connection closed by server")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(closed)
+            self._pending.clear()
+
+    @property
+    def connection_open(self) -> bool:
+        """False once the server has closed this connection."""
+        return not self._reader.at_eof()
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:  # pragma: no cover - peer already gone
+            pass

@@ -1,0 +1,385 @@
+"""The asyncio TCP front end: admission control, tenant workers, drain.
+
+:class:`ReproServer` listens on a TCP port and speaks the JSON-lines
+protocol of :mod:`repro.serving.protocol`.  The concurrency shape is the
+whole point:
+
+* the **event loop** owns connections and admission only — it never runs a
+  query.  Each arriving tenant request is admitted into that tenant's
+  bounded :class:`asyncio.Queue` (size = the tenant's
+  :attr:`~repro.serving.tenants.TenantQuota.queue_limit`); a full queue
+  load-sheds immediately with a structured ``overloaded`` refusal carrying a
+  ``retry_after_seconds`` hint, so one hot tenant saturates its own queue
+  and nothing else;
+* **one worker task per tenant** drains that queue in admission order and
+  executes each request on the shared :data:`~repro.relational.parallel.pool.ROLE_SERVING`
+  thread pool (:meth:`~repro.serving.tenants.Tenant.execute` is synchronous
+  and lock-guarded).  Per-tenant execution is therefore *sequential* — which
+  is what makes concurrent serving byte-identical to a serial replay of each
+  tenant's request order — while distinct tenants execute genuinely in
+  parallel;
+* **drain** (:meth:`ReproServer.drain`) flips admission off (new tenant
+  requests get a ``draining`` refusal), lets every already-admitted request
+  finish and be answered, then closes every tenant session —
+  ``Session.close()`` semantics, extended to the wire.
+
+Server-level operations (``metrics``, ``healthz``, ``tenants``, ``drain``)
+bypass the tenant queues; ``metrics`` renders the merged Prometheus text of
+the server's own registry plus every tenant session's registry with the
+``tenant`` label injected.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Sequence
+
+from repro.obs.metrics import MetricsRegistry, MetricsSnapshot
+from repro.relational.parallel.pool import ROLE_SERVING, PoolManager
+from repro.serving.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    TENANT_OPS,
+    encode_response,
+    error_response,
+    ok_response,
+    parse_request,
+)
+from repro.serving.tenants import TenantRegistry, TenantSpec
+
+__all__ = ["ReproServer"]
+
+
+class ReproServer:
+    """A multi-tenant serving front end over a set of tenant specs.
+
+    Usage (tests and the load benchmark use exactly this shape)::
+
+        server = ReproServer([spec_a, spec_b])
+        await server.start()          # binds 127.0.0.1:<ephemeral>
+        ...                           # clients connect to server.address
+        await server.drain()          # refuse new work, finish in-flight
+        await server.close()          # stop listening, close sessions
+
+    ``async with ReproServer(...)`` starts on entry and drains+closes on
+    exit.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TenantSpec],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: bool = True,
+        pools: PoolManager | None = None,
+    ):
+        self.metrics_registry = MetricsRegistry(enabled=metrics)
+        self.tenants = TenantRegistry(specs, metrics=self.metrics_registry)
+        self._host = host
+        self._port = port
+        self._pools = pools if pools is not None else PoolManager()
+        self._owns_pools = pools is None
+        self._server: asyncio.AbstractServer | None = None
+        self._queues: dict[str, asyncio.Queue] = {}
+        self._workers: list[asyncio.Task] = []
+        self._draining = False
+        self._closed = False
+        #: structured refusals issued, per reason (also exported as a metric)
+        self.shed_counts: dict[str, int] = {"overloaded": 0, "draining": 0}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "ReproServer":
+        """Bind the listening socket and launch one worker per tenant."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        if self._closed:
+            raise RuntimeError("server is closed")
+        for name, tenant in self.tenants.items():
+            queue: asyncio.Queue = asyncio.Queue(maxsize=tenant.quota.queue_limit)
+            self._queues[name] = queue
+            # Read-through depth gauge: a /metrics scrape sees the live
+            # admission queue, not a value sampled at some earlier request.
+            self.metrics_registry.gauge(
+                "repro_server_queue_depth",
+                "Admitted requests waiting in a tenant's serving queue.",
+                labels={"tenant": name},
+            ).set_callback(queue.qsize)
+            self._workers.append(
+                asyncio.ensure_future(self._tenant_worker(name, queue))
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self._host,
+            port=self._port,
+            limit=MAX_FRAME_BYTES,
+        )
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (port is concrete once started)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not listening")
+        sockname = self._server.sockets[0].getsockname()
+        return sockname[0], sockname[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def drain(self) -> None:
+        """Refuse new tenant work, finish everything already admitted.
+
+        Idempotent.  On return every admitted request has been executed and
+        its response written, and every tenant session is closed; the socket
+        keeps answering server ops (``healthz`` reports ``draining``) until
+        :meth:`close`.
+        """
+        if self._draining:
+            return
+        # Admission checks run synchronously on the event loop, so after
+        # this flag flips no connection handler can enqueue another request:
+        # there is no admitted-but-refused or refused-but-admitted window.
+        self._draining = True
+        for queue in self._queues.values():
+            await queue.join()
+        loop = asyncio.get_event_loop()
+        await loop.run_in_executor(None, self.tenants.close_all)
+
+    async def close(self) -> None:
+        """Drain, stop listening, cancel workers, release the pools."""
+        if self._closed:
+            return
+        await self.drain()
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for worker in self._workers:
+            worker.cancel()
+        for worker in self._workers:
+            try:
+                await worker
+            except asyncio.CancelledError:
+                pass
+        self._workers.clear()
+        if self._owns_pools:
+            self._pools.shutdown(wait=False)
+
+    async def __aenter__(self) -> "ReproServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # connections
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        """One client connection: read frames, admit, let workers answer.
+
+        Responses from tenant workers interleave on this connection in
+        completion order (``id`` matches them up); the per-connection lock
+        keeps individual frames atomic.
+        """
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # A line longer than the frame bound: refuse and close —
+                    # the stream can no longer be framed reliably.
+                    await self._send(
+                        writer,
+                        write_lock,
+                        error_response(
+                            None,
+                            ProtocolError(
+                                "bad-frame",
+                                f"request frame exceeds {MAX_FRAME_BYTES} bytes",
+                            ),
+                        ),
+                    )
+                    break
+                if not line:
+                    break  # EOF: client went away
+                if not line.endswith(b"\n"):
+                    # EOF in the middle of a frame: answer the truncation
+                    # structurally, then close.
+                    await self._send(
+                        writer,
+                        write_lock,
+                        error_response(
+                            None,
+                            ProtocolError(
+                                "bad-frame", "truncated frame (EOF before newline)"
+                            ),
+                        ),
+                    )
+                    break
+                if not line.strip():
+                    continue  # ignore blank keep-alive lines
+                await self._handle_frame(line, writer, write_lock)
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # pragma: no cover - peer already gone
+                pass
+
+    async def _handle_frame(self, line: bytes, writer, write_lock) -> None:
+        """Parse one frame and either answer it (server op) or admit it."""
+        try:
+            request = parse_request(line.decode("utf-8", errors="replace"))
+        except ProtocolError as err:
+            await self._send(writer, write_lock, error_response(None, err))
+            return
+        op = request["op"]
+        if op in TENANT_OPS:
+            await self._admit(request, writer, write_lock)
+            return
+        # Server ops bypass tenant queues entirely.
+        try:
+            result = await self._server_op(op, request)
+            response = ok_response(request.get("id"), result)
+        except ProtocolError as err:
+            response = error_response(request.get("id"), err)
+        await self._send(writer, write_lock, response)
+
+    async def _admit(self, request, writer, write_lock) -> None:
+        """Admission control: bounded enqueue or structured refusal."""
+        name = request["tenant"]
+        try:
+            tenant = self.tenants.get(name)
+        except ProtocolError as err:
+            await self._send(
+                writer, write_lock, error_response(request.get("id"), err)
+            )
+            return
+        if self._draining:
+            self._shed("draining")
+            refusal = ProtocolError(
+                "draining", "server is draining; no new requests are admitted"
+            )
+            await self._send(
+                writer,
+                write_lock,
+                error_response(request.get("id"), refusal, tenant=name),
+            )
+            return
+        queue = self._queues[name]
+        try:
+            queue.put_nowait((request, writer, write_lock))
+        except asyncio.QueueFull:
+            self._shed("overloaded")
+            refusal = ProtocolError(
+                "overloaded",
+                f"tenant {name!r} queue is full "
+                f"({tenant.quota.queue_limit} requests pending)",
+                retry_after_seconds=tenant.quota.retry_after_seconds,
+            )
+            await self._send(
+                writer,
+                write_lock,
+                error_response(request.get("id"), refusal, tenant=name),
+            )
+
+    def _shed(self, reason: str) -> None:
+        self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
+        self.metrics_registry.counter(
+            "repro_server_load_shed_total",
+            "Requests refused by admission control, by reason.",
+            labels={"reason": reason},
+        ).inc()
+
+    async def _tenant_worker(self, name: str, queue: asyncio.Queue) -> None:
+        """Drain one tenant's queue in admission order, forever.
+
+        Execution happens off-loop on the serving thread pool; the worker
+        awaits each request to completion before taking the next, so a
+        tenant's requests can never overlap or reorder.
+        """
+        loop = asyncio.get_event_loop()
+        tenant = self.tenants.get(name)
+        executor = self._pools.thread_pool(
+            max(1, len(self.tenants)), role=ROLE_SERVING
+        )
+        while True:
+            request, writer, write_lock = await queue.get()
+            try:
+                response = await loop.run_in_executor(
+                    executor, tenant.execute, request
+                )
+                await self._send(writer, write_lock, response)
+            except Exception:  # pragma: no cover - worker must survive
+                pass
+            finally:
+                queue.task_done()
+
+    async def _send(self, writer, write_lock, response: dict[str, Any]) -> None:
+        payload = encode_response(response)
+        async with write_lock:
+            try:
+                writer.write(payload)
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------ #
+    # server ops
+    # ------------------------------------------------------------------ #
+    async def _server_op(self, op: str, request) -> dict[str, Any]:
+        if op == "healthz":
+            return {
+                "status": "draining" if self._draining else "ok",
+                "protocol": PROTOCOL_VERSION,
+                "tenants": len(self.tenants),
+            }
+        if op == "tenants":
+            return {
+                "tenants": [tenant.describe() for tenant in self.tenants]
+            }
+        if op == "metrics":
+            loop = asyncio.get_event_loop()
+            text = await loop.run_in_executor(None, self.metrics_text)
+            return {"content_type": "text/plain; version=0.0.4", "text": text}
+        if op == "drain":
+            await self.drain()
+            return {"drained": True}
+        raise ProtocolError("unknown-op", f"op {op!r} is not a server operation")
+
+    def metrics_text(self) -> str:
+        """Merged Prometheus text: server registry + every tenant session.
+
+        Tenant sessions keep tenant-agnostic registries; the merge injects a
+        ``tenant`` label into every tenant-owned series, so one scrape sees
+        the whole process without the sessions knowing they are multi-tenant.
+        """
+        merged: dict[str, Any] = {}
+
+        def fold(data: dict[str, Any], extra_labels: dict[str, str]) -> None:
+            for metric_name, family in data.items():
+                target = merged.setdefault(
+                    metric_name,
+                    {"type": family["type"], "help": family["help"], "series": []},
+                )
+                for series in family["series"]:
+                    labelled = dict(series)
+                    labelled["labels"] = {**series["labels"], **extra_labels}
+                    target["series"].append(labelled)
+
+        fold(self.metrics_registry.snapshot().data, {})
+        for name, tenant in self.tenants.items():
+            # Session.metrics() stays readable after close() (it reads
+            # counters, it does not execute), so drained tenants still scrape.
+            fold(tenant.session.metrics().data, {"tenant": name})
+        for family in merged.values():
+            family["series"].sort(key=lambda s: sorted(s["labels"].items()))
+        return MetricsSnapshot(merged, enabled=True).to_prometheus()

@@ -216,6 +216,15 @@ class Session:
         #: through :meth:`metrics`, which syncs the legacy absolute counters
         #: into the registry before snapshotting
         self.metrics_registry = MetricsRegistry(enabled=policy.metrics)
+        # Queue depth is a read-through gauge: it used to be sampled only
+        # inside metrics(), so a scrape that snapshotted the registry
+        # directly between metrics() calls read a stale depth.  The callback
+        # makes every collection (ours or a serving front end's) observe the
+        # live pool queues.
+        self.metrics_registry.gauge(
+            "repro_pool_queue_depth",
+            "Tasks submitted to the session worker pools but not yet running.",
+        ).set_callback(self.pools.queue_depth)
         #: the most recent requests :meth:`serve` flagged as slow (bounded)
         self.slow_queries: deque[dict[str, Any]] = deque(maxlen=128)
         self._shared = SharedState(
@@ -675,10 +684,9 @@ class Session:
             "repro_stats_incremental_refreshes_total",
             "Statistics-catalog entries refreshed from an append delta.",
         ).set_total(self.database.stats_catalog.incremental_refreshes)
-        gauge(
-            "repro_pool_queue_depth",
-            "Tasks submitted to the session worker pools but not yet running.",
-        ).set(self.pools.queue_depth())
+        # repro_pool_queue_depth is registered as a read-through gauge in
+        # __init__ (its callback samples the pools at collection time), so
+        # there is nothing to sync here.
         gauge(
             "repro_pools_started", "Worker pools the session has started."
         ).set(self.pools.started_pools)

@@ -54,6 +54,37 @@ class TestGauge:
         gauge.dec()
         assert gauge.value == 12
 
+    def test_callback_makes_gauge_read_through(self):
+        # The callback is evaluated at *collection* time: every read — and
+        # therefore every registry.snapshot(), however it is triggered —
+        # observes the live value, not whatever set() last stored.
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth")
+        live = {"value": 0}
+        gauge.set(99)  # stale explicit value; the callback must win
+        gauge.set_callback(lambda: live["value"])
+        assert gauge.value == 0
+        live["value"] = 7
+        assert gauge.value == 7
+        assert registry.snapshot().value("depth") == 7
+        live["value"] = 3
+        assert registry.snapshot().value("depth") == 3
+
+    def test_callback_failure_falls_back_to_stored_value(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+
+        def dying():
+            raise RuntimeError("pool is gone")
+
+        gauge.set_callback(dying)
+        assert gauge.value == 5  # a dying source must not kill the scrape
+
+    def test_disabled_registry_noop_accepts_callback(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.gauge("depth").set_callback(lambda: 1)  # must not raise
+        assert "depth" not in registry.snapshot()
+
 
 class TestHistogram:
     def test_buckets_are_cumulative_le(self):

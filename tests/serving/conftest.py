@@ -1,0 +1,54 @@
+"""Fixtures for the serving test battery.
+
+Every tenant spec is built from :func:`build_paper_example` — a fresh,
+deterministic database per call — so the serial-replay harness can rebuild
+an identical isolated tenant even after the live one absorbed writes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.datagen.paper_example import build_paper_example
+from repro.policy import ExecutionPolicy
+from repro.serving import ServingClient, TenantQuota, TenantSpec
+
+
+def make_spec(
+    name: str,
+    policy: ExecutionPolicy | None = None,
+    quota: TenantQuota | None = None,
+) -> TenantSpec:
+    """A fresh paper-example tenant spec (deterministic; safe to rebuild)."""
+    example = build_paper_example()
+    catalog = {
+        "q0": example.q0(),
+        "q1": example.q1(),
+        "q2": example.q2(),
+        "q_phone": example.q_phone_by_addr(),
+    }
+    return TenantSpec(
+        name=name,
+        database=example.database,
+        mappings=example.mappings,
+        links=example.links,
+        policy=policy,
+        catalog=catalog,
+        quota=quota if quota is not None else TenantQuota(),
+    )
+
+
+def run(coro):
+    """Run one async test body on a fresh event loop (no pytest-asyncio)."""
+    return asyncio.run(coro)
+
+
+async def connect(server) -> ServingClient:
+    return await ServingClient.connect(*server.address)
+
+
+@pytest.fixture()
+def spec_factory():
+    return make_spec

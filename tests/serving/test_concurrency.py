@@ -1,0 +1,299 @@
+"""The concurrency battery: the serving determinism invariant, under load.
+
+The pinned invariant (ARCHITECTURE.md, "Serving"): serving N tenants
+concurrently is **byte-identical** to running each tenant's admitted
+requests serially, in per-tenant ``seq`` order, on an isolated session.
+These tests drive a live TCP server with many pipelining clients and then
+check the transcript against :func:`repro.serving.tenants.serial_replay` —
+actual response frames compared as bytes, not parsed dicts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.policy import ExecutionPolicy
+from repro.serving import ReproServer, TenantQuota, serial_replay
+from repro.serving.tenants import Tenant
+
+from tests.serving.conftest import connect, make_spec, run
+
+#: Per-tenant request scripts: names resolve against the paper-example
+#: catalog; every client cycles through its tenant's script.
+SCRIPTS = {
+    "alpha": ["q0", "q1", "q0", "q_phone", "q0"],
+    "beta": ["q1", "q1", "q2", "q1"],
+    "gamma": ["q2", "q0", "q2", "q2"],
+}
+
+#: e-mqo exercises the session plan cache, so repeats hit warm state —
+#: exactly the regime the byte-identity claim has to survive.
+POLICY = ExecutionPolicy(method="e-mqo", slow_query_seconds=30.0)
+
+
+def _specs(quota=None):
+    # Roomy default queue: the byte-identity scenarios pipeline up to ~30
+    # requests per tenant and must never shed (shed refusals carry no seq).
+    quota = quota if quota is not None else TenantQuota(queue_limit=64)
+    return [make_spec(name, policy=POLICY, quota=quota) for name in SCRIPTS]
+
+
+async def _client_loop(server, tenant, queries, rounds):
+    """One client: pipeline ``rounds`` cycles of ``queries`` at ``tenant``.
+
+    Returns ``(request_fields, response, frame)`` triples — the replay
+    harness re-issues the *original* requests, so it needs them verbatim.
+    """
+    client = await connect(server)
+    try:
+        sent = {}
+        futures = []
+        for _ in range(rounds):
+            for query in queries:
+                future = await client.send("query", tenant=tenant, query=query)
+                futures.append(future)
+                sent[client._next_id] = {
+                    "op": "query", "tenant": tenant, "query": query
+                }
+        responses = [await future for future in futures]
+        return [
+            (sent[response["id"]], response, client.frames[response["id"]])
+            for response in responses
+        ]
+    finally:
+        await client.close()
+
+
+def _replay_transcript(transcripts):
+    """Group live (request, response, frame) triples by tenant, seq-ordered."""
+    by_tenant: dict[str, list] = {}
+    for triples in transcripts:
+        for request, response, frame in triples:
+            by_tenant.setdefault(response["tenant"], []).append(
+                (request, response, frame)
+            )
+    for triples in by_tenant.values():
+        triples.sort(key=lambda triple: triple[1]["seq"])
+        seqs = [response["seq"] for _, response, _ in triples]
+        # seq numbers are dense and start at 1: nothing executed twice,
+        # nothing skipped, nothing lost between worker and client.
+        assert seqs == list(range(1, len(seqs) + 1))
+    return by_tenant
+
+
+def test_concurrent_serving_is_byte_identical_to_serial_replay():
+    """≥3 tenants × ≥8 clients: every frame matches an isolated serial run."""
+
+    async def scenario():
+        async with ReproServer(_specs()) as server:
+            # 9 concurrent clients: 3 per tenant, 3 tenants.
+            tasks = [
+                _client_loop(server, tenant, queries, rounds=2)
+                for tenant, queries in SCRIPTS.items()
+                for _ in range(3)
+            ]
+            transcripts = await asyncio.gather(*tasks)
+            by_tenant = _replay_transcript(transcripts)
+            assert sorted(by_tenant) == sorted(SCRIPTS)
+            live_stats = {
+                name: tenant.execute({"op": "stats", "id": "s", "tenant": name})
+                for name, tenant in server.tenants.items()
+            }
+        return by_tenant, live_stats
+
+    by_tenant, live_stats = run(scenario())
+
+    for name, triples in by_tenant.items():
+        # Rebuild the per-tenant request stream in execution (seq) order.
+        requests = [
+            {**request, "id": response["id"]}
+            for request, response, _ in triples
+        ]
+        live_frames = [frame for _, _, frame in triples]
+        replayed = serial_replay(make_spec(name, policy=POLICY), requests)
+        assert live_frames == replayed, f"tenant {name} diverged from serial replay"
+
+
+def test_session_stats_match_serial_run_exactly():
+    """Lifetime SessionStats totals equal an isolated serial run's totals."""
+
+    async def scenario():
+        async with ReproServer(_specs()) as server:
+            tasks = [
+                _client_loop(server, tenant, queries, rounds=2)
+                for tenant, queries in SCRIPTS.items()
+                for _ in range(2)
+            ]
+            transcripts = await asyncio.gather(*tasks)
+            by_tenant = _replay_transcript(transcripts)
+            live = {}
+            for name, tenant in server.tenants.items():
+                snapshot = tenant.session.stats.snapshot()
+                snapshot.pop("seconds")  # wall-clock is the one legit delta
+                live[name] = snapshot
+            return by_tenant, live
+
+    by_tenant, live = run(scenario())
+
+    for name, triples in by_tenant.items():
+        serial_tenant = Tenant(make_spec(name, policy=POLICY))
+        try:
+            for request, response, _ in triples:
+                serial_tenant.execute({**request, "id": response["id"]})
+            expected = serial_tenant.session.stats.snapshot()
+        finally:
+            serial_tenant.close()
+        expected.pop("seconds")
+        assert live[name] == expected, f"tenant {name} stats diverged"
+
+
+def test_warm_tenants_accumulate_cache_hits():
+    """Repeated queries hit the per-tenant plan cache (strictly positive)."""
+
+    async def scenario():
+        async with ReproServer(_specs()) as server:
+            tasks = [
+                _client_loop(server, tenant, queries, rounds=3)
+                for tenant, queries in SCRIPTS.items()
+            ]
+            await asyncio.gather(*tasks)
+            return {
+                name: tenant.session.stats.plan_cache["hits"]
+                for name, tenant in server.tenants.items()
+            }
+
+    hits = run(scenario())
+    for name, count in hits.items():
+        assert count > 0, f"tenant {name} never hit its warm plan cache"
+
+
+def test_full_queue_sheds_load_with_structured_refusal():
+    """An over-quota burst is refused with retry_after, never crashed on."""
+
+    quota = TenantQuota(queue_limit=1, retry_after_seconds=0.01)
+
+    async def scenario():
+        async with ReproServer(_specs(quota=quota)) as server:
+            client = await connect(server)
+            try:
+                # Fire a burst far larger than queue_limit=1 without reading
+                # responses in between: admission must shed the overflow.
+                futures = [
+                    await client.send("query", tenant="alpha", query="q0")
+                    for _ in range(24)
+                ]
+                responses = [await future for future in futures]
+            finally:
+                await client.close()
+            served = [r for r in responses if r["ok"]]
+            shed = [r for r in responses if not r["ok"]]
+            # The server stayed healthy throughout.
+            probe = await connect(server)
+            try:
+                health = await probe.healthz()
+            finally:
+                await probe.close()
+            return served, shed, health, dict(server.shed_counts)
+
+    served, shed, health, counts = run(scenario())
+    assert served, "burst produced no successful responses at all"
+    assert shed, "queue_limit=1 under a 24-request burst must shed something"
+    for refusal in shed:
+        assert refusal["error"]["code"] == "overloaded"
+        assert refusal["error"]["retry_after_seconds"] == 0.01
+        assert "queue is full" in refusal["error"]["message"]
+    assert health["result"]["status"] == "ok"
+    assert counts["overloaded"] == len(shed)
+
+
+def test_drain_under_load_finishes_in_flight_and_refuses_new():
+    """Drain: every admitted request is answered, none admitted after."""
+
+    async def scenario():
+        async with ReproServer(_specs()) as server:
+            client = await connect(server)
+            try:
+                # Admit a pipeline of work, then drain while it is in flight.
+                futures = [
+                    await client.send("query", tenant=name, query=queries[0])
+                    for name, queries in SCRIPTS.items()
+                    for _ in range(4)
+                ]
+                drain_future = await client.send("drain")
+                late_future = await client.send("query", tenant="alpha", query="q0")
+                responses = [await future for future in futures]
+                drained = await drain_future
+                late = await late_future
+            finally:
+                await client.close()
+            closed = {
+                name: tenant.session.closed
+                for name, tenant in server.tenants.items()
+            }
+            return responses, drained, late, closed
+
+    responses, drained, late, closed = run(scenario())
+
+    # No admitted request was dropped: each either succeeded or was shed
+    # *before* admission (pipelining may race requests past the drain flag).
+    answered = [r for r in responses if r["ok"]]
+    refused = [r for r in responses if not r["ok"]]
+    assert answered, "drain must let in-flight work finish"
+    for refusal in refused:
+        assert refusal["error"]["code"] in ("draining", "overloaded")
+    assert drained["ok"] and drained["result"] == {"drained": True}
+    # Nothing is admitted once drain has begun.
+    assert not late["ok"]
+    assert late["error"]["code"] == "draining"
+    assert all(closed.values()), "drain must close every tenant session"
+
+
+def test_interleaved_writes_stay_inside_the_replay_envelope():
+    """Writes flow through the same per-tenant order as queries.
+
+    A tenant interleaving appends with queries still replays byte-identically:
+    the write responses, the delta kinds and every subsequent answer.
+    """
+
+    writes = {
+        "op": "append_rows",
+        "tenant": "alpha",
+        "relation": "Customer",
+        "rows": [[9, "Zed", "123", "000", "999", "aaa", "zz", 1]],
+    }
+
+    read = {"op": "query", "tenant": "alpha", "query": "q0"}
+
+    async def scenario():
+        async with ReproServer([make_spec("alpha", policy=POLICY)]) as server:
+            client = await connect(server)
+            try:
+                sent, futures = {}, []
+                for fields in [read, writes, read] * 3:
+                    op = fields["op"]
+                    body = {k: v for k, v in fields.items() if k != "op"}
+                    futures.append(await client.send(op, **body))
+                    sent[client._next_id] = dict(fields)
+                responses = [await future for future in futures]
+            finally:
+                await client.close()
+            return [
+                (sent[r["id"]], r, client.frames[r["id"]]) for r in responses
+            ]
+
+    triples = run(scenario())
+    triples.sort(key=lambda triple: triple[1]["seq"])
+
+    for _, response, frame in triples:
+        body = json.loads(frame)
+        assert body["ok"], f"request failed: {body}"
+        if "delta" in body.get("result", {}):
+            assert body["result"]["delta"] == "append"
+
+    requests = [
+        {**request, "id": response["id"]} for request, response, _ in triples
+    ]
+    live_frames = [frame for _, _, frame in triples]
+    replayed = serial_replay(make_spec("alpha", policy=POLICY), requests)
+    assert live_frames == replayed

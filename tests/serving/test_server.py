@@ -1,0 +1,243 @@
+"""TCP-layer server tests: framing, server ops, metrics merge, robustness.
+
+The wire-level counterpart of ``test_protocol.py``: garbage bytes, truncated
+frames and oversized lines must produce a structured error (then at worst a
+closed *connection*) — never a hung connection, a traceback on the wire, or
+a dead server.  Every scenario ends with a health probe over a fresh
+connection proving the server survived.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.serving import MAX_FRAME_BYTES, ReproServer, ServingClient
+
+from tests.serving.conftest import connect, make_spec, run
+
+
+def _server():
+    return ReproServer([make_spec("alpha"), make_spec("beta")])
+
+
+async def _assert_alive(server):
+    probe = await connect(server)
+    try:
+        health = await probe.healthz()
+        assert health["ok"] and health["result"]["status"] in ("ok", "draining")
+    finally:
+        await probe.close()
+
+
+# --------------------------------------------------------------------------- #
+# framing
+# --------------------------------------------------------------------------- #
+def test_garbage_bytes_get_structured_errors_not_disconnects():
+    async def scenario():
+        async with _server() as server:
+            client = await connect(server)
+            try:
+                for payload in (b"\xff\xfe{{{ not json\n", b"[1,2,3]\n", b'"str"\n'):
+                    await client.send_raw(payload)
+                    response = await client.read_unmatched()
+                    assert response["ok"] is False
+                    assert response["error"]["code"] in ("bad-frame", "bad-request")
+                    assert "Traceback" not in response["error"]["message"]
+                # The same connection still serves real requests afterwards.
+                good = await client.query("alpha", "q0")
+                assert good["ok"] is True
+            finally:
+                await client.close()
+            await _assert_alive(server)
+
+    run(scenario())
+
+
+def test_truncated_frame_is_answered_then_closed():
+    async def scenario():
+        async with _server() as server:
+            reader, writer = await asyncio.open_connection(
+                *server.address, limit=MAX_FRAME_BYTES
+            )
+            # A frame cut off before its newline, then EOF.
+            writer.write(b'{"op": "query", "tenant": "alpha"')
+            writer.write_eof()
+            line = await reader.readline()
+            response = json.loads(line)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad-frame"
+            assert "truncated" in response["error"]["message"]
+            assert await reader.read() == b""  # server closed the connection
+            writer.close()
+            await _assert_alive(server)
+
+    run(scenario())
+
+
+def test_oversized_line_is_refused_and_survived():
+    async def scenario():
+        async with _server() as server:
+            reader, writer = await asyncio.open_connection(
+                *server.address, limit=MAX_FRAME_BYTES * 2
+            )
+            writer.write(b'{"pad": "' + b"x" * (MAX_FRAME_BYTES + 1024) + b'"}\n')
+            await writer.drain()
+            line = await reader.readline()
+            response = json.loads(line)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad-frame"
+            writer.close()
+            await _assert_alive(server)
+
+    run(scenario())
+
+
+def test_abrupt_client_disconnect_leaves_server_serving():
+    async def scenario():
+        async with _server() as server:
+            client = await connect(server)
+            # In-flight request, then vanish without reading the response.
+            await client.send("query", tenant="alpha", query="q0")
+            await client.close()
+            await _assert_alive(server)
+            # The tenant keeps serving other clients.
+            other = await connect(server)
+            try:
+                response = await other.query("alpha", "q1")
+                assert response["ok"] is True
+            finally:
+                await other.close()
+
+    run(scenario())
+
+
+# --------------------------------------------------------------------------- #
+# server ops
+# --------------------------------------------------------------------------- #
+def test_unknown_tenant_gets_did_you_mean():
+    async def scenario():
+        async with _server() as server:
+            client = await connect(server)
+            try:
+                response = await client.query("alhpa", "q0")
+                assert response["ok"] is False
+                assert response["error"]["code"] == "unknown-tenant"
+                assert "did you mean 'alpha'?" in response["error"]["message"]
+            finally:
+                await client.close()
+
+    run(scenario())
+
+
+def test_tenants_op_describes_every_tenant():
+    async def scenario():
+        async with _server() as server:
+            client = await connect(server)
+            try:
+                response = await client.request("tenants")
+            finally:
+                await client.close()
+            assert response["ok"] is True
+            described = {t["name"]: t for t in response["result"]["tenants"]}
+            assert sorted(described) == ["alpha", "beta"]
+            for tenant in described.values():
+                assert tenant["queries"] == ["q0", "q1", "q2", "q_phone"]
+                assert tenant["quota"]["queue_limit"] == 16
+                assert tenant["policy"]["method"] == "o-sharing"
+                assert tenant["closed"] is False
+
+    run(scenario())
+
+
+def test_metrics_op_merges_tenant_registries_with_labels():
+    async def scenario():
+        async with _server() as server:
+            client = await connect(server)
+            try:
+                assert (await client.query("alpha", "q0"))["ok"]
+                assert (await client.query("beta", "q1"))["ok"]
+                text = await client.metrics()
+            finally:
+                await client.close()
+            return text
+
+    text = run(scenario())
+    # Session-level families appear once per tenant, labelled.
+    assert 'repro_source_queries_total{tenant="alpha"}' in text
+    assert 'repro_source_queries_total{tenant="beta"}' in text
+    # The read-through pool-depth gauge is scraped per tenant too.
+    assert 'repro_pool_queue_depth{tenant="alpha"}' in text
+    # Server-level families carry their own labels.
+    assert 'repro_server_queue_depth{tenant="alpha"}' in text
+    assert 'repro_server_request_seconds_count{tenant="alpha"}' in text
+    # Prometheus text format sanity: one TYPE line per family.
+    for family in ("repro_server_queue_depth", "repro_source_queries_total"):
+        assert text.count(f"# TYPE {family} ") == 1
+
+
+def test_drain_is_idempotent_and_health_reports_it():
+    async def scenario():
+        async with _server() as server:
+            client = await connect(server)
+            try:
+                first = await client.drain()
+                second = await client.drain()
+                health = await client.healthz()
+            finally:
+                await client.close()
+            assert first["result"] == {"drained": True}
+            assert second["result"] == {"drained": True}
+            assert health["result"]["status"] == "draining"
+            # Metrics stay scrapeable after the sessions closed.
+            assert "repro_server_queue_depth" in server.metrics_text()
+
+    run(scenario())
+
+
+def test_client_pipelines_across_tenants_on_one_connection():
+    async def scenario():
+        async with _server() as server:
+            client = await connect(server)
+            try:
+                futures = [
+                    await client.send("query", tenant=tenant, query=query)
+                    for tenant, query in [
+                        ("alpha", "q0"), ("beta", "q2"), ("alpha", "q1"),
+                        ("beta", "q0"), ("alpha", "q0"),
+                    ]
+                ]
+                responses = [await f for f in futures]
+            finally:
+                await client.close()
+            assert all(r["ok"] for r in responses)
+            assert [r["tenant"] for r in responses] == [
+                "alpha", "beta", "alpha", "beta", "alpha"
+            ]
+            # Per-tenant seq increases in send order despite interleaving.
+            alpha_seqs = [r["seq"] for r in responses if r["tenant"] == "alpha"]
+            assert alpha_seqs == sorted(alpha_seqs)
+
+    run(scenario())
+
+
+def test_connect_helper_round_trip():
+    """ServingClient against a plain address tuple (docs example shape)."""
+
+    async def scenario():
+        server = ReproServer([make_spec("solo")])
+        await server.start()
+        try:
+            host, port = server.address
+            client = await ServingClient.connect(host, port)
+            try:
+                response = await client.query("solo", "q_phone")
+                assert response["ok"] is True
+                tuples = response["result"]["answers"]["tuples"]
+                assert tuples and tuples[0]["rank"] == 1
+            finally:
+                await client.close()
+        finally:
+            await server.close()
+
+    run(scenario())

@@ -435,3 +435,56 @@ class TestExplainAnalyze:
             if "actual" in line
         ]
         assert strip(analyzed) == strip(plain)
+
+
+# --------------------------------------------------------------------------- #
+# read-through pool queue depth (the serving front end's saturation signal)
+# --------------------------------------------------------------------------- #
+class TestQueueDepthGauge:
+    def test_gauge_reads_live_depth_between_metrics_calls(self, example):
+        """A direct registry snapshot observes a queued kernel.
+
+        ``repro_pool_queue_depth`` used to be sampled only inside
+        ``Session.metrics()``: any collector snapshotting the registry
+        between ``metrics()`` calls (the serving front end's ``/metrics``
+        scrape does exactly that) read a stale depth.  The gauge is now
+        registered with a read-through callback, so collection time *is*
+        sampling time — this test never calls ``metrics()`` at all.
+        """
+        from repro.relational.parallel.pool import ROLE_MORSEL
+
+        with _session(example) as s:
+            release = threading.Event()
+            running = threading.Event()
+
+            def occupy():
+                running.set()
+                release.wait(timeout=30)
+
+            # One worker: the first task occupies it, the second must queue.
+            pool = s.pools.thread_pool(1, role=ROLE_MORSEL)
+            try:
+                pool.submit(occupy)
+                assert running.wait(timeout=30)
+                queued = pool.submit(lambda: None)
+                snapshot = s.metrics_registry.snapshot()
+                assert snapshot.value("repro_pool_queue_depth") >= 1
+            finally:
+                release.set()
+            queued.result(timeout=30)
+            # Drained: the same gauge reads the emptied queue live.
+            assert s.metrics_registry.snapshot().value("repro_pool_queue_depth") == 0
+
+    def test_metrics_snapshot_still_reports_depth_zero_when_idle(self, example):
+        with _session(example) as s:
+            s.query(example.q0())
+            assert s.metrics().value("repro_pool_queue_depth") == 0
+
+    def test_depth_gauge_survives_session_close(self, example):
+        # close() shuts the pools down; the callback must fall back instead
+        # of failing the scrape.
+        s = _session(example)
+        s.query(example.q0())
+        s.close()
+        snapshot = s.metrics_registry.snapshot()
+        assert snapshot.value("repro_pool_queue_depth") >= 0
