@@ -13,6 +13,8 @@ mappings* with probabilities.  It contains:
 * the paper's evaluation algorithms — basic, e-basic, e-MQO, q-sharing,
   o-sharing and probabilistic top-k — plus the shared-execution batch API
   ``evaluate_many`` (:mod:`repro.core`),
+* the anytime subsystem: budgeted queries with sound, resumable per-tuple
+  probability intervals (:mod:`repro.anytime`, ``method="anytime"``),
 * the paper's query workload and parameterised workload generators
   (:mod:`repro.workloads`), and
 * the benchmark harness regenerating the paper's figures and tables
@@ -35,6 +37,7 @@ legacy one-shot helpers ``evaluate``/``evaluate_many``/``evaluate_top_k``
 remain as deprecated shims over a throwaway session.
 """
 
+from repro.anytime import AnytimeResult, Budget, IntervalAnswer
 from repro.core import (
     BatchResult,
     EvaluationResult,
@@ -60,6 +63,9 @@ __all__ = [
     "SessionStats",
     "ExecutionPolicy",
     "connect",
+    "AnytimeResult",
+    "Budget",
+    "IntervalAnswer",
     "BatchResult",
     "EvaluationResult",
     "Evaluator",

@@ -1,0 +1,174 @@
+"""Evaluation budgets for the anytime evaluator.
+
+A :class:`Budget` bounds how much of the u-trace one anytime drive may
+explore.  Two of the limits are **deterministic** — they count work in units
+the evaluator charges identically on every run (representative mappings
+evaluated, e-units created) — so budgeted results are replayable byte for
+byte and CI can gate on them.  ``wall_ms`` is the best-effort wall-clock
+limit the serving story needs; it is checked at the same checkpoints as the
+deterministic limits (between operator executions), never mid-operator, and
+is deliberately **not** accepted over the serving wire because a wall-clock
+cut is not reproducible under :func:`~repro.serving.tenants.serial_replay`.
+
+The :class:`BudgetMeter` is the per-drive accountant: the scheduler asks it
+``would_exceed`` *before* popping a frontier task and charges it *after* the
+task's operator actually executed, so an exhausted budget stops the drive at
+a checkpoint with the frontier intact (resumable), and exact-mode code paths
+never construct a meter at all when no budget is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import Any, Mapping
+
+__all__ = ["Budget", "BudgetMeter"]
+
+_LIMIT_FIELDS = ("mapping_limit", "eunit_limit", "wall_ms")
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Bounds for one anytime drive (all limits optional).
+
+    Attributes
+    ----------
+    mapping_limit:
+        Maximum number of representative mappings whose operator executions
+        the drive may charge (an executed partition group charges one per
+        mapping it carries).  Deterministic.
+    eunit_limit:
+        Maximum number of child e-units the drive may create.  Deterministic.
+    wall_ms:
+        Best-effort wall-clock limit in milliseconds, checked between
+        operator executions only.  Not deterministic; refused over the
+        serving wire.
+
+    A budget with every limit ``None`` is *unbounded*: the anytime evaluator
+    then explores the full u-trace and returns exact answers byte-identical
+    to o-sharing.
+    """
+
+    mapping_limit: int | None = None
+    eunit_limit: int | None = None
+    wall_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("mapping_limit", "eunit_limit"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ValueError(
+                    f"{name} must be a non-negative int (or None), got {value!r}"
+                )
+        if self.wall_ms is not None:
+            if (
+                not isinstance(self.wall_ms, (int, float))
+                or isinstance(self.wall_ms, bool)
+                or self.wall_ms <= 0
+            ):
+                raise ValueError(
+                    f"wall_ms must be a positive number (or None), got {self.wall_ms!r}"
+                )
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: "Budget | Mapping[str, Any]") -> "Budget":
+        """Build a budget from a mapping (``{"mapping_limit": 100}``).
+
+        Unknown keys raise a ``ValueError`` with a did-you-mean suggestion —
+        the same boundary behaviour :class:`~repro.policy.ExecutionPolicy`
+        applies to its own fields, because budget specs arrive from the same
+        loosely-typed places (per-call overrides, the serving wire).
+        """
+        if isinstance(spec, cls):
+            return spec
+        if not isinstance(spec, Mapping):
+            raise ValueError(
+                "budget must be a Budget or a mapping of its fields "
+                f"({', '.join(_LIMIT_FIELDS)}), got {type(spec).__name__}"
+            )
+        from repro.policy import suggest
+
+        unknown = [name for name in spec if name not in _LIMIT_FIELDS]
+        if unknown:
+            name = unknown[0]
+            raise ValueError(
+                f"unknown budget field {name!r}{suggest(name, _LIMIT_FIELDS)} "
+                f"(valid fields: {sorted(_LIMIT_FIELDS)})"
+            )
+        return cls(**dict(spec))
+
+    @property
+    def unbounded(self) -> bool:
+        """True when no limit is set (exact-mode behaviour)."""
+        return (
+            self.mapping_limit is None
+            and self.eunit_limit is None
+            and self.wall_ms is None
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-safe rendering (policy describe(), serving payloads)."""
+        return {
+            "mapping_limit": self.mapping_limit,
+            "eunit_limit": self.eunit_limit,
+            "wall_ms": self.wall_ms,
+        }
+
+    def capped(self, mapping_limit: int) -> "Budget":
+        """A copy whose ``mapping_limit`` is at most ``mapping_limit``.
+
+        The serving layer applies a tenant's ``mapping_budget_cap`` with
+        this: an absent or larger requested limit is clamped down, a smaller
+        one is kept.  Deterministic, so capped requests replay byte-identically.
+        """
+        if self.mapping_limit is not None and self.mapping_limit <= mapping_limit:
+            return self
+        return replace(self, mapping_limit=mapping_limit)
+
+    def meter(self) -> "BudgetMeter":
+        """A fresh accountant for one drive (wall-clock starts now)."""
+        return BudgetMeter(self)
+
+
+class BudgetMeter:
+    """Charges one drive's work against a :class:`Budget`."""
+
+    def __init__(self, budget: Budget):
+        self.budget = budget
+        self.mappings_charged = 0
+        self.eunits_charged = 0
+        self._started = perf_counter() if budget.wall_ms is not None else None
+
+    def would_exceed(self, mappings: int, eunits: int) -> bool:
+        """True when charging this much would break a deterministic limit."""
+        budget = self.budget
+        if (
+            budget.mapping_limit is not None
+            and self.mappings_charged + mappings > budget.mapping_limit
+        ):
+            return True
+        return (
+            budget.eunit_limit is not None
+            and self.eunits_charged + eunits > budget.eunit_limit
+        )
+
+    def expired(self) -> bool:
+        """True once the best-effort wall-clock limit has elapsed."""
+        if self._started is None:
+            return False
+        return (perf_counter() - self._started) * 1000.0 >= self.budget.wall_ms
+
+    def charge(self, mappings: int, eunits: int) -> None:
+        """Record work actually performed (after the operator executed)."""
+        self.mappings_charged += mappings
+        self.eunits_charged += eunits
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BudgetMeter(mappings={self.mappings_charged}, "
+            f"eunits={self.eunits_charged}, budget={self.budget.describe()})"
+        )

@@ -125,11 +125,13 @@ class UTrace:
         self.units_created = 1
         self.units_pruned_empty = 0
         self.units_answered = 0
+        self.mappings_evaluated = len(root.mappings)
         self.max_depth = 0
 
     def created(self, unit: EUnit) -> None:
         """Record the creation of a child e-unit."""
         self.units_created += 1
+        self.mappings_evaluated += len(unit.mappings)
         self.max_depth = max(self.max_depth, unit.depth)
 
     def pruned(self, unit: EUnit) -> None:
@@ -146,6 +148,7 @@ class UTrace:
             "units_created": self.units_created,
             "units_pruned_empty": self.units_pruned_empty,
             "units_answered": self.units_answered,
+            "mappings_evaluated": self.mappings_evaluated,
             "max_depth": self.max_depth,
         }
 

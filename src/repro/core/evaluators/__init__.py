@@ -10,11 +10,14 @@ q-sharing  partition-tree grouping + basic over representatives (IV)
 o-sharing  operator-level sharing over the u-trace (V-VI)
 top-k      bound-pruned top-k on top of o-sharing (VII)
 batch      shared execution across a workload of target queries
+anytime    budgeted o-sharing with sound probability intervals
 ========== =========================================================
 """
 
+from repro.core.evaluators.anytime import AnytimeEvaluator
 from repro.core.evaluators.base import (
     PHASE_AGGREGATION,
+    PHASE_ANYTIME,
     PHASE_EVALUATION,
     PHASE_PLANNING,
     PHASE_REWRITING,
@@ -38,6 +41,7 @@ EVALUATORS = {
     QSharingEvaluator.name: QSharingEvaluator,
     OSharingEvaluator.name: OSharingEvaluator,
     BatchEvaluator.name: BatchEvaluator,
+    AnytimeEvaluator.name: AnytimeEvaluator,
 }
 
 
@@ -56,9 +60,11 @@ def make_evaluator(name: str, links=None, **options) -> Evaluator:
 
 __all__ = [
     "PHASE_AGGREGATION",
+    "PHASE_ANYTIME",
     "PHASE_EVALUATION",
     "PHASE_PLANNING",
     "PHASE_REWRITING",
+    "AnytimeEvaluator",
     "EvaluationResult",
     "Evaluator",
     "SharedState",

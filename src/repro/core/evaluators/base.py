@@ -27,6 +27,7 @@ PHASE_REWRITING = "rewriting"
 PHASE_EVALUATION = "evaluation"
 PHASE_AGGREGATION = "aggregation"
 PHASE_PLANNING = "planning"
+PHASE_ANYTIME = "anytime"
 
 
 @dataclass

@@ -88,6 +88,11 @@ class OSharingEvaluator(Evaluator):
         # Step 4: recursive evaluation of the u-trace.
         self._run_qt(root, query, executor, answers, stats, trace)
 
+        stats.count_eunits(
+            created=trace.units_created,
+            pruned=trace.units_pruned_empty,
+            mappings=trace.mappings_evaluated,
+        )
         return self._result(
             query,
             answers,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.answer import ProbabilisticAnswer
+from repro.core.answer import ProbabilisticAnswer, _sort_key
 from repro.core.evaluators.base import (
     PHASE_AGGREGATION,
     PHASE_EVALUATION,
@@ -107,6 +107,11 @@ class TopKEvaluator(Evaluator):
         for entry in state.top_k():
             answers.add(entry.values, entry.lb)
 
+        stats.count_eunits(
+            created=trace.units_created,
+            pruned=trace.units_pruned_empty,
+            mappings=trace.mappings_evaluated,
+        )
         return self._result(
             query,
             answers,
@@ -249,8 +254,16 @@ class _TopKState:
 
     # ------------------------------------------------------------------ #
     def ranked(self) -> list[BoundedTuple]:
-        """Candidate tuples ordered by decreasing lower bound."""
-        return sorted(self.entries.values(), key=lambda entry: (-entry.lb, str(entry.values)))
+        """Candidate tuples ordered by decreasing lower bound.
+
+        Equal-probability ties break on the canonical tuple sort key (the
+        same ``_sort_key`` :meth:`ProbabilisticAnswer.ranked` uses), not on
+        ``str(values)`` — ``("b",)`` and ``(2,)`` stringify ambiguously, and
+        the anytime ranked prefix must be replay-stable under serial_replay.
+        """
+        return sorted(
+            self.entries.values(), key=lambda entry: (-entry.lb, _sort_key(entry.values))
+        )
 
     def top_k(self) -> list[BoundedTuple]:
         """The current top-k candidates (non-zero lower bound only)."""

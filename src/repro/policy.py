@@ -46,8 +46,8 @@ def _strategy_names():
 #: (``engine``, ``optimize``, ``parallel``, ``cache_size``, ``k``) configure
 #: session-level machinery every method shares and are never rejected.
 _METHOD_ONLY_OPTIONS: dict[str, tuple[str, ...]] = {
-    "strategy": ("o-sharing", TOP_K_METHOD),
-    "seed": ("o-sharing", TOP_K_METHOD),
+    "strategy": ("o-sharing", TOP_K_METHOD, "anytime"),
+    "seed": ("o-sharing", TOP_K_METHOD, "anytime"),
     "prune_empty": ("o-sharing",),
     "exhaustive_planning": ("batch",),
     # Only the explicit-override path is gated: ExecutionPolicy(k=...) or
@@ -55,6 +55,7 @@ _METHOD_ONLY_OPTIONS: dict[str, tuple[str, ...]] = {
     # check_applicable (a session's plan cache serves batch AND e-mqo).
     "k": (TOP_K_METHOD,),
     "cache_size": ("batch", "e-mqo"),
+    "budget": ("anytime",),
 }
 
 
@@ -114,8 +115,9 @@ class ExecutionPolicy:
     ----------
     method:
         Evaluation algorithm: ``"basic"``, ``"e-basic"``, ``"e-mqo"``,
-        ``"q-sharing"``, ``"o-sharing"`` (default), ``"batch"`` or
-        ``"top-k"`` (requires ``k``).
+        ``"q-sharing"``, ``"o-sharing"`` (default), ``"batch"``,
+        ``"anytime"`` (budgeted, interval answers) or ``"top-k"``
+        (requires ``k``).
     engine:
         Relational execution engine: ``"columnar"`` (default), ``"row"``,
         ``"parallel"`` or ``"vector"`` (NumPy-backed; requires the optional
@@ -141,6 +143,12 @@ class ExecutionPolicy:
     k:
         Answer count for ``"top-k"`` (and the default ``k`` of
         :meth:`~repro.session.Session.top_k`).
+    budget:
+        Exploration bound for ``"anytime"``: a
+        :class:`~repro.anytime.budget.Budget` or a mapping of its fields
+        (``mapping_limit``, ``eunit_limit``, ``wall_ms``).  ``None``
+        (default) means unbounded — anytime then returns exact answers
+        byte-identical to o-sharing.
     trace:
         Record a per-query span tree on the session's
         :class:`~repro.obs.trace.Tracer` (session → optimize → execute →
@@ -169,6 +177,7 @@ class ExecutionPolicy:
     cache_size: int = 4096
     exhaustive_planning: bool = False
     k: int | None = None
+    budget: Any = None
     trace: bool = False
     metrics: bool = True
     slow_query_seconds: float | None = None
@@ -198,6 +207,13 @@ class ExecutionPolicy:
             raise ValueError(f"cache_size must be a positive int, got {self.cache_size!r}")
         if self.k is not None and (not isinstance(self.k, int) or self.k <= 0):
             raise ValueError(f"k must be a positive int (or None), got {self.k!r}")
+        if self.budget is not None:
+            from repro.anytime.budget import Budget
+
+            # Eager normalisation: a dict spec becomes a validated Budget
+            # here, so an unknown budget field fails at policy construction
+            # (did-you-mean included) rather than deep inside the evaluator.
+            object.__setattr__(self, "budget", Budget.from_spec(self.budget))
         for flag in ("trace", "metrics"):
             if not isinstance(getattr(self, flag), bool):
                 raise ValueError(
@@ -285,6 +301,8 @@ class ExecutionPolicy:
             value = getattr(self, field_.name)
             if field_.name == "parallel" and value is not None:
                 value = repr(value)
+            elif field_.name == "budget" and value is not None:
+                value = value.describe()
             described[field_.name] = value
         return described
 
@@ -301,11 +319,13 @@ class ExecutionPolicy:
             "optimize": self.optimize,
             "parallel": self.parallel,
         }
-        if method in ("o-sharing", TOP_K_METHOD):
+        if method in ("o-sharing", TOP_K_METHOD, "anytime"):
             options["strategy"] = self.strategy
             options["seed"] = self.seed
         if method == "o-sharing":
             options["prune_empty"] = self.prune_empty
+        if method == "anytime":
+            options["budget"] = self.budget
         if method == "batch":
             options["cache_size"] = self.cache_size
             options["exhaustive_planning"] = self.exhaustive_planning

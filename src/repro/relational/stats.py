@@ -62,6 +62,12 @@ class ExecutionStats:
     #: statistics-catalog entries refreshed from an append delta instead of
     #: a full profiling pass
     stats_refreshed_incrementally: int = 0
+    #: e-units created in the u-trace (o-sharing/top-k/anytime)
+    eunits_created: int = 0
+    #: e-units discarded through the empty-intermediate shortcut
+    eunits_pruned: int = 0
+    #: mappings carried by created e-units (the anytime progress signal)
+    mappings_evaluated: int = 0
     #: per-phase wall-clock seconds
     phase_seconds: dict = field(default_factory=dict)
 
@@ -115,6 +121,12 @@ class ExecutionStats:
             self.optimizer_rules.update(rules)
         self.join_orders_considered += join_orders
         self.estimated_rows += estimated_rows
+
+    def count_eunits(self, created: int = 0, pruned: int = 0, mappings: int = 0) -> None:
+        """Record u-trace progress (e-units created/pruned, mappings carried)."""
+        self.eunits_created += created
+        self.eunits_pruned += pruned
+        self.mappings_evaluated += mappings
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -174,6 +186,9 @@ class ExecutionStats:
         self.entries_patched += other.entries_patched
         self.entries_invalidated += other.entries_invalidated
         self.stats_refreshed_incrementally += other.stats_refreshed_incrementally
+        self.eunits_created += other.eunits_created
+        self.eunits_pruned += other.eunits_pruned
+        self.mappings_evaluated += other.mappings_evaluated
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
 
@@ -198,6 +213,9 @@ class ExecutionStats:
             "entries_patched": self.entries_patched,
             "entries_invalidated": self.entries_invalidated,
             "stats_refreshed_incrementally": self.stats_refreshed_incrementally,
+            "eunits_created": self.eunits_created,
+            "eunits_pruned": self.eunits_pruned,
+            "mappings_evaluated": self.mappings_evaluated,
             "phase_seconds": dict(self.phase_seconds),
         }
 

@@ -290,13 +290,33 @@ def _counters(stats) -> dict[str, Any]:
 
 
 def result_payload(result) -> dict[str, Any]:
-    """One :class:`~repro.core.evaluators.base.EvaluationResult` on the wire."""
-    return {
+    """One :class:`~repro.core.evaluators.base.EvaluationResult` on the wire.
+
+    An anytime result (the ``budget`` request field routes to
+    ``method="anytime"``) additionally carries its interval section: per-tuple
+    ``[lb, ub]`` bounds, the global unexplored mass and the
+    ``exhausted``/``converged`` flags.  All of it is deterministic under the
+    wire-admissible (mapping/e-unit) budgets, so budgeted responses stay
+    inside the serial-replay byte-identity envelope.
+    """
+    payload = {
         "evaluator": result.evaluator,
         "query": result.query.name,
         "answers": answer_payload(result.answers),
         "counters": _counters(result.stats),
     }
+    intervals = getattr(result, "intervals", None)
+    if intervals is not None:
+        payload["anytime"] = {
+            "intervals": [
+                {"values": list(iv.values), "lb": iv.lb, "ub": iv.ub}
+                for iv in intervals
+            ],
+            "unexplored_mass": result.unexplored_mass,
+            "exhausted": result.exhausted,
+            "converged": result.converged,
+        }
+    return payload
 
 
 def batch_payload(batch) -> dict[str, Any]:

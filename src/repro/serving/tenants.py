@@ -66,11 +66,18 @@ class TenantQuota:
     ``Retry-After`` hint) — the server never buffers a tenant without bound
     and one hot tenant cannot starve the others' queues.  ``max_batch``
     bounds how many queries a single ``query_many`` request may carry.
+
+    ``mapping_budget_cap`` clamps the ``mapping_limit`` of any anytime
+    ``budget`` a request carries (absent or larger requested limits are
+    capped down, smaller ones kept) — a tenant allowed only bounded anytime
+    work cannot request an unbounded drive.  The cap is deterministic, so
+    capped requests still replay byte-identically.
     """
 
     queue_limit: int = 16
     max_batch: int = 64
     retry_after_seconds: float = 0.05
+    mapping_budget_cap: int | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.queue_limit, int) or self.queue_limit <= 0:
@@ -86,12 +93,22 @@ class TenantQuota:
                 "retry_after_seconds must be a positive number, "
                 f"got {self.retry_after_seconds!r}"
             )
+        if self.mapping_budget_cap is not None and (
+            not isinstance(self.mapping_budget_cap, int)
+            or isinstance(self.mapping_budget_cap, bool)
+            or self.mapping_budget_cap < 0
+        ):
+            raise ValueError(
+                "mapping_budget_cap must be a non-negative int (or None), "
+                f"got {self.mapping_budget_cap!r}"
+            )
 
     def describe(self) -> dict[str, Any]:
         return {
             "queue_limit": self.queue_limit,
             "max_batch": self.max_batch,
             "retry_after_seconds": self.retry_after_seconds,
+            "mapping_budget_cap": self.mapping_budget_cap,
         }
 
 
@@ -272,6 +289,9 @@ class Tenant:
     def _op_query(self, request) -> dict[str, Any]:
         query = self._catalog_query(request.get("query"))
         overrides = self._overrides(request)
+        budget = self._budget(request)
+        if budget is not None:
+            overrides["budget"] = budget
         result = self._session_call(
             lambda: self.session.query(query, **overrides)
         )
@@ -289,6 +309,7 @@ class Tenant:
                 f"batch of {len(names)} queries exceeds tenant "
                 f"{self.name!r} quota max_batch={self.quota.max_batch}",
             )
+        self._no_budget(request, "query_many")
         queries = [self._catalog_query(name) for name in names]
         overrides = self._overrides(request)
         batch = self._session_call(
@@ -298,6 +319,7 @@ class Tenant:
 
     def _op_top_k(self, request) -> dict[str, Any]:
         query = self._catalog_query(request.get("query"))
+        self._no_budget(request, "top_k")
         k = request.get("k")
         if k is not None and (not isinstance(k, int) or isinstance(k, bool)):
             raise ProtocolError(
@@ -393,7 +415,59 @@ class Tenant:
                 "parallel is not wire-configurable (it is a ParallelConfig "
                 "object); set it in the tenant's ExecutionPolicy instead",
             )
+        for name in ("budget", "budget_ms"):
+            if name in overrides:
+                raise ProtocolError(
+                    "bad-overrides",
+                    f"{name} is not an override: pass the top-level "
+                    '"budget" request field (validated and quota-capped; '
+                    "wall-clock budgets are not wire-admissible)",
+                )
         return dict(overrides)
+
+    def _budget(self, request):
+        """The request's validated (and quota-capped) anytime budget.
+
+        Only the deterministic limits are wire-admissible: a ``wall_ms``
+        budget cut depends on the serving machine's clock, so a budgeted
+        response carrying one could never replay byte-identically — it is
+        refused here, not silently dropped.  Unknown fields get the same
+        did-you-mean ``bad-overrides`` error every policy boundary produces.
+        """
+        spec = request.get("budget")
+        if spec is None:
+            return None
+        if not isinstance(spec, dict):
+            raise ProtocolError(
+                "bad-overrides",
+                "budget must be a JSON object of Budget fields "
+                f"(mapping_limit, eunit_limit), got {type(spec).__name__}",
+            )
+        if "wall_ms" in spec:
+            raise ProtocolError(
+                "bad-overrides",
+                "wall_ms is not wire-admissible (a wall-clock cut is not "
+                "reproducible under serial replay); use mapping_limit or "
+                "eunit_limit",
+            )
+        from repro.anytime.budget import Budget
+
+        try:
+            budget = Budget.from_spec(spec)
+        except ValueError as err:
+            raise ProtocolError("bad-overrides", str(err)) from None
+        cap = self.quota.mapping_budget_cap
+        if cap is not None:
+            budget = budget.capped(cap)
+        return budget
+
+    def _no_budget(self, request, op: str) -> None:
+        if request.get("budget") is not None:
+            raise ProtocolError(
+                "bad-overrides",
+                f'budget applies to the "query" op only, not {op!r} '
+                "(it routes the request to the anytime evaluator)",
+            )
 
     def _session_call(self, call):
         """Run one session call, mapping its ValueErrors onto the wire.

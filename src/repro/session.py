@@ -324,9 +324,18 @@ class Session:
         ``optimize=``, ...), validated eagerly with did-you-mean errors.
         Returns the same :class:`EvaluationResult` the one-shot API returns —
         byte-identical answers, served through the session's warm caches.
+
+        Two budget conveniences route to the anytime evaluator: ``budget=``
+        (a :class:`~repro.anytime.budget.Budget` or a dict of its fields)
+        and ``budget_ms=`` (shorthand for ``budget=Budget(wall_ms=...)``).
+        Either one implies ``method="anytime"`` unless a method is chosen
+        explicitly, and the returned
+        :class:`~repro.anytime.progress.AnytimeResult` carries per-tuple
+        probability intervals plus a ``resume()`` handle whose refinement
+        steps keep feeding this session's statistics and metrics.
         """
         with self._serving():
-            policy = self._resolve(overrides)
+            policy = self._resolve(self._budgeted(overrides))
             if policy.method == TOP_K_METHOD:
                 return self._run_top_k(query, policy)
             with self._traced(
@@ -349,6 +358,8 @@ class Session:
                     return batch.results[0]
                 result = evaluator.evaluate(query, self.mappings, self.database)
                 self._record(result.stats, queries=1)
+                if policy.method == "anytime":
+                    self._observe_anytime(result)
                 return result
 
     def query_many(
@@ -387,6 +398,63 @@ class Session:
                 overrides = {**overrides, "k": k}
             policy = self._resolve(overrides, method=TOP_K_METHOD)
             return self._run_top_k(query, policy)
+
+    def _budgeted(self, overrides: dict[str, Any]) -> dict[str, Any]:
+        """Normalise the ``budget=``/``budget_ms=`` conveniences of query().
+
+        ``budget_ms`` becomes ``budget=Budget(wall_ms=...)``; either budget
+        form implies ``method="anytime"`` when no method was chosen (the
+        anytime evaluator is the only one that reads a budget, and
+        ``check_applicable`` would rightly reject the pair otherwise).
+        """
+        if "budget_ms" in overrides:
+            if overrides.get("budget") is not None:
+                raise ValueError("pass budget= or budget_ms=, not both")
+            from repro.anytime.budget import Budget
+
+            overrides = dict(overrides)
+            overrides["budget"] = Budget(wall_ms=overrides.pop("budget_ms"))
+        if (
+            overrides.get("budget") is not None
+            and "method" not in overrides
+            and self.policy.method != "anytime"
+        ):
+            overrides = {**overrides, "method": "anytime"}
+        return overrides
+
+    def _observe_anytime(self, result, resumed: bool = False) -> None:
+        """Wire one anytime result into the session's obs surfaces.
+
+        The result's continuation reports back here on every ``resume()``
+        step, so refinement work done through the handle keeps the session
+        lifetime totals, gauges and exhaustion counters honest.
+        """
+        continuation = getattr(result, "continuation", None)
+        if continuation is not None:
+            continuation.observer = self._anytime_resumed
+        registry = self.metrics_registry
+        if not registry.enabled:
+            return
+        registry.counter(
+            "repro_anytime_resumes_total" if resumed else "repro_anytime_queries_total",
+            "Anytime resume() refinement steps served."
+            if resumed
+            else "Anytime queries the session served.",
+        ).inc()
+        registry.gauge(
+            "repro_anytime_unexplored_mass",
+            "Unexplored probability mass after the most recent anytime drive.",
+        ).set(result.unexplored_mass)
+        if not result.exhausted:
+            registry.counter(
+                "repro_anytime_budget_exhausted_total",
+                "Anytime drives stopped by their budget before the frontier drained.",
+            ).inc()
+
+    def _anytime_resumed(self, step_stats: ExecutionStats, result) -> None:
+        """Continuation callback: account one resume() step to the session."""
+        self._record(step_stats)
+        self._observe_anytime(result, resumed=True)
 
     def _resolve(
         self, overrides: dict[str, Any], method: str | None = None
@@ -629,6 +697,9 @@ class Session:
             reformulations = self._totals.reformulations
             plans_optimized = self._totals.plans_optimized
             memo_hits = self._totals.optimizer_memo_hits
+            eunits_created = self._totals.eunits_created
+            eunits_pruned = self._totals.eunits_pruned
+            mappings_evaluated = self._totals.mappings_evaluated
         counter, gauge = registry.counter, registry.gauge
         counter(
             "repro_plan_cache_lookups_total",
@@ -677,6 +748,18 @@ class Session:
         counter(
             "repro_optimizer_memo_hits_total", "Optimizer memo hits."
         ).set_total(memo_hits)
+        counter(
+            "repro_eunits_created_total",
+            "E-units created in u-traces (o-sharing/top-k/anytime).",
+        ).set_total(eunits_created)
+        counter(
+            "repro_eunits_pruned_total",
+            "E-units discarded through the empty-intermediate shortcut.",
+        ).set_total(eunits_pruned)
+        counter(
+            "repro_mappings_evaluated_total",
+            "Mappings carried by created e-units (anytime progress signal).",
+        ).set_total(mappings_evaluated)
         gauge(
             "repro_optimizer_memo_entries", "Plans currently memoized."
         ).set(len(self.optimizer))

@@ -185,3 +185,45 @@ class TestTopKAgainstFullRanking:
         assert dict(result.answers.items()) == dict(reference.answers.items())
         assert result.stats.rows_scanned == reference.stats.rows_scanned
         assert result.stats.rows_output == reference.stats.rows_output
+
+
+class TestDeterministicTieBreak:
+    def test_equal_probability_ties_break_on_canonical_tuple_order(self):
+        # Regression: ranked() used to tie-break on str(values), which orders
+        # ("b",) and (2,) by their ambiguous string forms.  The canonical
+        # key sorts by (type name, str) per element — mixed-type ties get a
+        # stable, replayable order (the anytime ranked prefix relies on it).
+        state = _TopKState(k=4, ub=1.0)
+        state.decide(0.25, [(2,)])
+        state.decide(0.25, [("b",)])
+        state.decide(0.25, [("a",)])
+        state.decide(0.25, [(10,)])
+        ranked = [entry.values for entry in state.ranked()]
+        # ints (type name "int") before strs (type name "str"); 10 < 2 as text
+        assert ranked == [(10,), (2,), ("a",), ("b",)]
+
+    def test_tie_break_is_insertion_order_independent(self):
+        orders = [
+            [(2,), ("b",), ("a",), (10,)],
+            [("a",), (10,), (2,), ("b",)],
+            [(10,), ("b",), (2,), ("a",)],
+        ]
+        rankings = []
+        for order in orders:
+            state = _TopKState(k=4, ub=1.0)
+            for values in order:
+                state.decide(0.25, [values])
+            rankings.append([entry.values for entry in state.ranked()])
+        assert rankings[0] == rankings[1] == rankings[2]
+
+    def test_tie_break_matches_probabilistic_answer_ranking(self):
+        from repro.core.answer import ProbabilisticAnswer
+
+        answers = ProbabilisticAnswer()
+        state = _TopKState(k=4, ub=1.0)
+        for values in [("b", 1), ("a", 2), ("a", 1), ("b", 0)]:
+            answers.add(values, 0.25)
+            state.decide(0.25, [values])
+        assert [entry.values for entry in state.ranked()] == [
+            ranked.values for ranked in answers.ranked()
+        ]
